@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Baselines Bechamel Benchmark Bitstream Device Hashtbl Instance Lazy List Measure Printf Reports Rfloor Sdr Search Staged Sys Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/reports.ml: Array Baselines Compat Device Devices Floorplan Format Grid Lazy List Milp Partition Printf Resource Rfloor Runtime Sdr Search Spec String Sys

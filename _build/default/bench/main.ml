@@ -1,0 +1,127 @@
+(* Benchmark harness: one bechamel micro-benchmark per table/figure
+   regeneration plus the full experiment reports.
+
+     dune exec bench/main.exe                 -- benches + all reports
+     dune exec bench/main.exe -- --report X   -- one report (see --list)
+     dune exec bench/main.exe -- --bench-only
+     RFLOOR_BENCH_BUDGET=60 ...               -- per-solve budget, seconds *)
+
+open Bechamel
+open Toolkit
+
+let quick_part = lazy (Device.Partition.columnar_exn Device.Devices.mini)
+let fx70t = lazy (Device.Partition.columnar_exn Device.Devices.virtex5_fx70t)
+
+let bench_tests () =
+  let part = Lazy.force quick_part in
+  let fx = Lazy.force fx70t in
+  let frames = Device.Grid.frames Device.Devices.virtex5_fx70t in
+  let fig1_areas = Device.Devices.fig1_areas in
+  let fig1_part = Device.Partition.columnar_exn Device.Devices.fig1 in
+  let toy_spec =
+    Device.Spec.make ~name:"bench-toy"
+      [
+        { Device.Spec.r_name = "R1"; demand = [ (Device.Resource.Clb, 2) ] };
+        { Device.Spec.r_name = "R2"; demand = [ (Device.Resource.Dsp, 1) ] };
+      ]
+  in
+  [
+    Test.make ~name:"fig1:compatibility_check"
+      (Staged.stage (fun () ->
+           List.iter
+             (fun (_, a) ->
+               List.iter
+                 (fun (_, b) ->
+                   ignore (Device.Compat.compatible fig1_part a b))
+                 fig1_areas)
+             fig1_areas));
+    Test.make ~name:"fig2:columnar_partitioning"
+      (Staged.stage (fun () ->
+           ignore (Device.Partition.columnar Device.Devices.fig2)));
+    Test.make ~name:"fig3:model_build_encode"
+      (Staged.stage (fun () ->
+           let spec =
+             Device.Spec.make ~name:"fig3"
+               [ { Device.Spec.r_name = "n"; demand = [ (Device.Resource.Clb, 1) ] } ]
+           in
+           let p3 = Device.Partition.columnar_exn Device.Devices.fig3 in
+           let model = Rfloor.Model.build p3 spec in
+           let plan =
+             Device.Floorplan.make
+               [ { Device.Floorplan.p_region = "n"; p_rect = Device.Devices.fig3_region } ]
+               []
+           in
+           ignore (Rfloor.Model.encode model plan)));
+    Test.make ~name:"table1:frame_accounting"
+      (Staged.stage (fun () -> ignore (Sdr.table1 ~frames)));
+    Test.make ~name:"feasibility:carrier_recovery"
+      (Staged.stage (fun () ->
+           ignore
+             (Search.Engine.feasible fx (Sdr.feasibility_variant Sdr.carrier_recovery))));
+    Test.make ~name:"table2:heuristic_baseline"
+      (Staged.stage (fun () ->
+           ignore (Baselines.Vipin_fahmy.solve fx Sdr.design)));
+    Test.make ~name:"table2:search_sdr_optimal"
+      (Staged.stage (fun () ->
+           let opts =
+             { Search.Engine.default_options with optimize_wirelength = false }
+           in
+           ignore (Search.Engine.solve ~options:opts fx Sdr.design)));
+    Test.make ~name:"fig4:candidate_enumeration"
+      (Staged.stage (fun () ->
+           List.iter
+             (fun (r : Device.Spec.region) ->
+               ignore (Search.Candidates.enumerate fx r.Device.Spec.demand))
+             Sdr.design.Device.Spec.regions));
+    Test.make ~name:"milp:toy_model_build"
+      (Staged.stage (fun () -> ignore (Rfloor.Model.build part toy_spec)));
+    Test.make ~name:"bitstream:synthesize_relocate"
+      (Staged.stage (fun () ->
+           let src = Device.Rect.make ~x:4 ~y:1 ~w:2 ~h:2 in
+           let dst = Device.Rect.make ~x:4 ~y:3 ~w:2 ~h:2 in
+           let img = Bitstream.Image.synthesize ~seed:7 part src in
+           ignore (Bitstream.Relocate.relocate part ~src ~dst img)));
+  ]
+
+let run_benches () =
+  let tests = bench_tests () in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.8) ~kde:None ~stabilize:false ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  Printf.printf "==== bechamel micro-benchmarks (one per table/figure) ====\n%!";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      Hashtbl.iter
+        (fun name raw ->
+          let est = Analyze.one ols instance raw in
+          match Analyze.OLS.estimates est with
+          | Some [ t ] -> Printf.printf "  %-32s %12.1f ns/run\n%!" name t
+          | _ -> Printf.printf "  %-32s (no estimate)\n%!" name)
+        results)
+    tests
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let rec find_report = function
+    | "--report" :: name :: _ -> Some name
+    | _ :: rest -> find_report rest
+    | [] -> None
+  in
+  if List.mem "--list" args then
+    List.iter print_endline Reports.names
+  else
+    match find_report args with
+    | Some name -> (
+      match Reports.by_name name with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown report %s; use --list\n" name;
+        exit 1)
+    | None ->
+      if not (List.mem "--report-only" args) then run_benches ();
+      if not (List.mem "--bench-only" args) then Reports.all ()

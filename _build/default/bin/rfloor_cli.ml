@@ -1,0 +1,290 @@
+(* Command-line interface to the relocation-aware floorplanner.
+
+     rfloor_cli partition   --device fx70t
+     rfloor_cli solve       --device fx70t --design sdr2 --engine search
+     rfloor_cli feasibility --device fx70t --region "Carrier Recovery"
+     rfloor_cli export-lp   --device mini --design-file d.txt -o model.lp
+     rfloor_cli relocate    --device mini --src 1,1,2,2 --dst 1,3,2,2 *)
+
+open Cmdliner
+open Device
+
+let builtin_devices =
+  [
+    ("fx70t", Devices.virtex5_fx70t);
+    ("mini", Devices.mini);
+    ("fig1", Devices.fig1);
+    ("fig2", Devices.fig2);
+    ("fig3", Devices.fig3);
+  ]
+
+let builtin_designs =
+  [ ("sdr", Sdr.design); ("sdr2", Sdr.sdr2); ("sdr3", Sdr.sdr3) ]
+
+let die fmt = Format.kasprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let load_device name file =
+  match file with
+  | Some path -> (
+    match Io.load_grid path with
+    | Ok g -> g
+    | Error e -> die "cannot load device %s: %s" path e)
+  | None -> (
+    match List.assoc_opt name builtin_devices with
+    | Some g -> g
+    | None ->
+      die "unknown device %s (builtins: %s; or use --device-file)" name
+        (String.concat ", " (List.map fst builtin_devices)))
+
+let load_design name file =
+  match file with
+  | Some path -> (
+    match Io.load_spec path with
+    | Ok s -> s
+    | Error e -> die "cannot load design %s: %s" path e)
+  | None -> (
+    match List.assoc_opt name builtin_designs with
+    | Some s -> s
+    | None ->
+      die "unknown design %s (builtins: %s; or use --design-file)" name
+        (String.concat ", " (List.map fst builtin_designs)))
+
+let partition_of grid =
+  match Partition.columnar grid with
+  | Ok p -> p
+  | Error e -> die "device is not columnar-partitionable: %s" e
+
+(* common args *)
+let device_arg =
+  Arg.(value & opt string "fx70t" & info [ "device" ] ~docv:"NAME" ~doc:"Built-in device name.")
+
+let device_file_arg =
+  Arg.(value & opt (some file) None & info [ "device-file" ] ~docv:"FILE" ~doc:"Device description file.")
+
+let design_arg =
+  Arg.(value & opt string "sdr" & info [ "design" ] ~docv:"NAME" ~doc:"Built-in design name.")
+
+let design_file_arg =
+  Arg.(value & opt (some file) None & info [ "design-file" ] ~docv:"FILE" ~doc:"Design description file.")
+
+let time_arg =
+  Arg.(value & opt float 60. & info [ "time" ] ~docv:"SECONDS" ~doc:"Solver time budget.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log solver progress.")
+
+(* ---------------- partition ---------------- *)
+
+let partition_cmd =
+  let run device device_file =
+    let grid = load_device device device_file in
+    print_endline (Grid.render grid);
+    Format.printf "%a" Partition.pp (partition_of grid)
+  in
+  Cmd.v (Cmd.info "partition" ~doc:"Columnar-partition a device and print the portions.")
+    Term.(const run $ device_arg $ device_file_arg)
+
+(* ---------------- solve ---------------- *)
+
+let engine_arg =
+  let parse = function
+    | ("search" | "milp" | "milp-ho" | "sa" | "tessellation") as s -> Ok s
+    | s -> Error (`Msg ("unknown engine " ^ s))
+  in
+  Arg.(
+    value
+    & opt (conv (parse, Format.pp_print_string)) "search"
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:"One of search (exact), milp (paper's O), milp-ho (HO), sa, tessellation.")
+
+let print_plan part spec label plan wasted wirelength proven =
+  Format.printf "engine: %s@." label;
+  (match (wasted, wirelength) with
+  | Some w, Some wl ->
+    Format.printf "wasted frames: %d, wire length: %.1f%s@." w wl
+      (if proven then "" else " (not proven optimal)")
+  | _ -> ());
+  match plan with
+  | None -> Format.printf "no floorplan found@."
+  | Some plan ->
+    (match Floorplan.validate part spec plan with
+    | Ok () -> ()
+    | Error es -> List.iter (fun e -> Format.printf "INVALID: %s@." e) es);
+    print_endline (Floorplan.render part plan)
+
+let solve_cmd =
+  let run device device_file design design_file engine time verbose =
+    let grid = load_device device device_file in
+    let spec = load_design design design_file in
+    let part = partition_of grid in
+    let log = if verbose then Some prerr_endline else None in
+    match engine with
+    | "search" ->
+      let r =
+        Search.Engine.solve
+          ~options:{ Search.Engine.default_options with time_limit = Some time; log }
+          part spec
+      in
+      print_plan part spec "exact combinatorial search" r.Search.Engine.plan
+        r.Search.Engine.wasted r.Search.Engine.wirelength r.Search.Engine.optimal
+    | "milp" | "milp-ho" ->
+      let opts =
+        {
+          Rfloor.Solver.default_options with
+          time_limit = Some time;
+          log;
+          engine = (if engine = "milp" then Rfloor.Solver.O else Rfloor.Solver.Ho None);
+        }
+      in
+      let r = Rfloor.Solver.solve ~options:opts part spec in
+      print_plan part spec
+        (if engine = "milp" then "MILP (O)" else "MILP (HO)")
+        r.Rfloor.Solver.plan r.Rfloor.Solver.wasted r.Rfloor.Solver.wirelength
+        (r.Rfloor.Solver.status = Rfloor.Solver.Optimal)
+    | "sa" ->
+      let r = Baselines.Annealing.solve part spec in
+      print_plan part spec "simulated annealing" r.Baselines.Annealing.plan
+        r.Baselines.Annealing.wasted r.Baselines.Annealing.wirelength false
+    | "tessellation" ->
+      let r = Baselines.Vipin_fahmy.solve part spec in
+      print_plan part spec "kernel tessellation heuristic" r.Baselines.Vipin_fahmy.plan
+        r.Baselines.Vipin_fahmy.wasted r.Baselines.Vipin_fahmy.wirelength false
+    | _ -> assert false
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Floorplan a design on a device.")
+    Term.(
+      const run $ device_arg $ device_file_arg $ design_arg $ design_file_arg
+      $ engine_arg $ time_arg $ verbose_arg)
+
+(* ---------------- feasibility ---------------- *)
+
+let feasibility_cmd =
+  let region_arg =
+    Arg.(value & opt (some string) None & info [ "region" ] ~docv:"NAME" ~doc:"Single region to test.")
+  in
+  let run device device_file design design_file region time =
+    let grid = load_device device device_file in
+    let part = partition_of grid in
+    let spec = load_design design design_file in
+    let targets =
+      match region with Some r -> [ r ] | None -> Spec.region_names spec
+    in
+    List.iter
+      (fun name ->
+        if Spec.find_region spec name = None then die "unknown region %s" name;
+        let spec' =
+          Spec.with_relocs spec [ { Spec.target = name; copies = 1; mode = Spec.Hard } ]
+        in
+        let r =
+          Search.Engine.feasible
+            ~options:{ Search.Engine.default_options with time_limit = Some time }
+            part spec'
+        in
+        Format.printf "%-20s %s@." name
+          (match (r.Search.Engine.plan, r.Search.Engine.optimal) with
+          | Some _, _ -> "relocatable"
+          | None, true -> "not relocatable (proven infeasible)"
+          | None, false -> "unknown (budget exhausted)"))
+      targets
+  in
+  Cmd.v
+    (Cmd.info "feasibility"
+       ~doc:"Can each region get a free-compatible area? (Section VI analysis)")
+    Term.(
+      const run $ device_arg $ device_file_arg $ design_arg $ design_file_arg
+      $ region_arg $ time_arg)
+
+(* ---------------- export-lp ---------------- *)
+
+let export_cmd =
+  let out_arg =
+    Arg.(value & opt string "model.lp" & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path (.lp or .mps).")
+  in
+  let run device device_file design design_file out =
+    let grid = load_device device device_file in
+    let spec = load_design design design_file in
+    let part = partition_of grid in
+    let opts = { Rfloor.Solver.default_options with warm_start = false } in
+    if Filename.check_suffix out ".mps" then begin
+      let model = Rfloor.Model.build part spec in
+      Milp.Mps.to_file out (Rfloor.Model.lp model)
+    end
+    else begin
+      let text = Rfloor.Solver.export_lp ~options:opts part spec in
+      let oc = open_out out in
+      output_string oc text;
+      close_out oc
+    end;
+    Format.printf "wrote %s@." out
+  in
+  Cmd.v
+    (Cmd.info "export-lp" ~doc:"Export the MILP model to a CPLEX-LP or MPS file.")
+    Term.(
+      const run $ device_arg $ device_file_arg $ design_arg $ design_file_arg
+      $ out_arg)
+
+(* ---------------- relocate ---------------- *)
+
+let rect_conv =
+  let parse s =
+    match List.map int_of_string_opt (String.split_on_char ',' s) with
+    | [ Some x; Some y; Some w; Some h ] -> (
+      try Ok (Rect.make ~x ~y ~w ~h) with Invalid_argument m -> Error (`Msg m))
+    | _ -> Error (`Msg "expected x,y,w,h")
+  in
+  Arg.conv (parse, fun ppf r -> Format.fprintf ppf "%s" (Rect.to_string r))
+
+let relocate_cmd =
+  let src_arg =
+    Arg.(required & opt (some rect_conv) None & info [ "src" ] ~docv:"X,Y,W,H" ~doc:"Source area.")
+  in
+  let dst_arg =
+    Arg.(required & opt (some rect_conv) None & info [ "dst" ] ~docv:"X,Y,W,H" ~doc:"Target area.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Bitstream synthesis seed.")
+  in
+  let run device device_file src dst seed =
+    let grid = load_device device device_file in
+    let part = partition_of grid in
+    let img = Bitstream.Image.synthesize ~seed part src in
+    Format.printf "synthesized %d frames at %s (CRC32 %08lx)@."
+      (Bitstream.Image.frame_count img)
+      (Rect.to_string src) (Bitstream.Image.crc img);
+    match Bitstream.Relocate.relocate part ~src ~dst img with
+    | Ok img' ->
+      Format.printf "relocated to %s (CRC32 %08lx), payload preserved: %b@."
+        (Rect.to_string dst) (Bitstream.Image.crc img')
+        (Bitstream.Image.payload_equal img img')
+    | Error e -> die "relocation refused: %a" Bitstream.Relocate.pp_error e
+  in
+  Cmd.v
+    (Cmd.info "relocate" ~doc:"Synthesize a partial bitstream and relocate it.")
+    Term.(const run $ device_arg $ device_file_arg $ src_arg $ dst_arg $ seed_arg)
+
+(* ---------------- sites ---------------- *)
+
+let sites_cmd =
+  let area_arg =
+    Arg.(required & opt (some rect_conv) None & info [ "area" ] ~docv:"X,Y,W,H" ~doc:"Reference area.")
+  in
+  let run device device_file area =
+    let grid = load_device device device_file in
+    let part = partition_of grid in
+    let sites = Compat.relocation_sites part area in
+    Format.printf "%d compatible placements for %s:@." (List.length sites)
+      (Rect.to_string area);
+    List.iter (fun r -> Format.printf "  %s@." (Rect.to_string r)) sites
+  in
+  Cmd.v
+    (Cmd.info "sites" ~doc:"List all areas compatible with a given area.")
+    Term.(const run $ device_arg $ device_file_arg $ area_arg)
+
+let main_cmd =
+  let doc = "relocation-aware floorplanning for partially-reconfigurable FPGAs" in
+  Cmd.group
+    (Cmd.info "rfloor" ~version:"1.0.0" ~doc)
+    [ partition_cmd; solve_cmd; feasibility_cmd; export_cmd; relocate_cmd; sites_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

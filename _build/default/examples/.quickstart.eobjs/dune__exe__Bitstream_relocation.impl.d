@@ -1,0 +1,1 @@
+examples/bitstream_relocation.ml: Bitstream Bytes Device Devices Floorplan Format Option Partition Rect Resource Search Spec

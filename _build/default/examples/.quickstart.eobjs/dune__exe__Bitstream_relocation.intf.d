@@ -1,0 +1,1 @@
+examples/bitstream_relocation.mli:

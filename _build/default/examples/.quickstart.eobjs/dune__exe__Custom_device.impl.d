@@ -1,0 +1,1 @@
+examples/custom_device.ml: Device Filename Floorplan Format Grid List Partition Rect Resource Rfloor Search Spec String

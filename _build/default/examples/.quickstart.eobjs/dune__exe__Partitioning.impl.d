@@ -1,0 +1,1 @@
+examples/partitioning.ml: Device Devices Format Grid Partition Rect

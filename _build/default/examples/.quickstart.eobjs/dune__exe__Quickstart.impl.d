@@ -1,0 +1,1 @@
+examples/quickstart.ml: Device Devices Floorplan Format Grid Partition Resource Rfloor Search Spec

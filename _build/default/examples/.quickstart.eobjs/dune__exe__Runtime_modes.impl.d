@@ -1,0 +1,1 @@
+examples/runtime_modes.ml: Device Devices Format List Partition Rect Runtime Sdr Search

@@ -1,0 +1,1 @@
+examples/sdr_relocation.ml: Array Baselines Device Devices Floorplan Format Grid List Partition Sdr Search

@@ -1,0 +1,1 @@
+examples/sdr_relocation.mli:

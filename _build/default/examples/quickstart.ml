@@ -1,0 +1,44 @@
+(* Quickstart: describe a device, ask for a floorplan with a reserved
+   relocation target, and print it.
+
+     dune exec examples/quickstart.exe *)
+
+open Device
+
+let () =
+  (* 1. A small columnar device: 10 columns x 4 rows, with CLB, BRAM and
+     DSP columns (lowercase letters in the picture below). *)
+  let grid = Devices.mini in
+  let part = Partition.columnar_exn grid in
+  Format.printf "Device %s:@.%s@.@." (Grid.name grid) (Grid.render grid);
+
+  (* 2. A design: two regions connected by a bus.  "filter" wants one
+     free-compatible area so its bitstream can be relocated at run time
+     (relocation as a constraint, Section IV of the paper). *)
+  let spec =
+    Spec.make ~name:"quickstart"
+      ~nets:(Spec.chain_nets ~weight:32. [ "filter"; "decoder" ])
+      ~relocs:[ { Spec.target = "filter"; copies = 1; mode = Spec.Hard } ]
+      [
+        { Spec.r_name = "filter"; demand = [ (Resource.Clb, 2); (Resource.Bram, 1) ] };
+        { Spec.r_name = "decoder"; demand = [ (Resource.Clb, 2); (Resource.Dsp, 1) ] };
+      ]
+  in
+
+  (* 3. Solve.  The exact combinatorial engine minimizes wasted
+     configuration frames, then wire length. *)
+  let r = Search.Engine.solve part spec in
+  match r.Search.Engine.plan with
+  | None -> print_endline "no feasible floorplan"
+  | Some plan ->
+    Format.printf "wasted frames: %d, wire length: %.0f@."
+      (Floorplan.wasted_frames part spec plan)
+      (Floorplan.wirelength spec plan);
+    print_endline (Floorplan.render part plan);
+    (* 4. The same problem through the paper's MILP formulation. *)
+    let milp =
+      Rfloor.Solver.solve
+        ~options:{ Rfloor.Solver.default_options with time_limit = Some 30. }
+        part spec
+    in
+    Format.printf "@.MILP engine: %a@." Rfloor.Solver.pp_outcome milp

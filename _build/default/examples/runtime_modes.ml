@@ -1,0 +1,74 @@
+(* What do the reserved free-compatible areas buy at run time?
+
+   Floorplan the SDR2 design, then replay a burst of mode switches on
+   the relocatable modules under both policies: in-place reloads
+   (no relocation) vs prefetch-into-reserved-area + swap.
+
+     dune exec examples/runtime_modes.exe *)
+
+open Device
+
+let () =
+  let part = Partition.columnar_exn Devices.virtex5_fx70t in
+  let plan =
+    match
+      (Search.Engine.solve
+         ~options:{ Search.Engine.default_options with time_limit = Some 60. }
+         part Sdr.sdr2)
+        .Search.Engine.plan
+    with
+    | Some p -> p
+    | None -> failwith "no SDR2 floorplan"
+  in
+  (* a burst of mode switches on the relocatable modules, 50 us apart *)
+  let requests =
+    List.concat
+      (List.mapi
+         (fun i region ->
+           [
+             { Runtime.Reconfig.at = 50. *. float_of_int i; r_region = region; r_mode = "alt" };
+             { Runtime.Reconfig.at = 500. +. (50. *. float_of_int i); r_region = region; r_mode = "base" };
+           ])
+         Sdr.relocatable)
+  in
+  let run label policy =
+    match Runtime.Reconfig.simulate part Sdr.sdr2 plan policy requests with
+    | Error e -> failwith e
+    | Ok (events, stats) ->
+      Format.printf "@.%s:@." label;
+      List.iter
+        (fun (e : Runtime.Reconfig.event) ->
+          Format.printf
+            "  t=%6.1fus %-18s -> %-5s written to %s in %s, module stalled %.1fus@."
+            e.Runtime.Reconfig.e_request.Runtime.Reconfig.at
+            e.Runtime.Reconfig.e_request.Runtime.Reconfig.r_region
+            e.Runtime.Reconfig.e_request.Runtime.Reconfig.r_mode
+            (Rect.to_string e.Runtime.Reconfig.e_area)
+            (if e.Runtime.Reconfig.e_relocated then "a reserved area" else "place")
+            e.Runtime.Reconfig.e_downtime)
+        events;
+      Format.printf
+        "  => total downtime %.1fus, worst %.1fus, port busy %.1fus@."
+        stats.Runtime.Reconfig.total_downtime
+        stats.Runtime.Reconfig.worst_downtime stats.Runtime.Reconfig.port_busy;
+      stats
+  in
+  let s1 = run "Reload in place (no relocation)" Runtime.Reconfig.Reload_in_place in
+  let s2 = run "Prefetch into reserved areas" Runtime.Reconfig.Relocate_prefetch in
+  Format.printf "@.downtime reduction: %.0fx@."
+    (s1.Runtime.Reconfig.total_downtime /. max 1e-9 s2.Runtime.Reconfig.total_downtime);
+
+  (* design re-use: bitstreams that must be stored for 4 modes/module *)
+  let modes = List.map (fun r -> (r, 4)) Sdr.relocatable in
+  let without =
+    Runtime.Reconfig.stored_bitstreams part plan ~modes_per_region:modes
+      ~relocatable:false
+  in
+  let with_ =
+    Runtime.Reconfig.stored_bitstreams part plan ~modes_per_region:modes
+      ~relocatable:true
+  in
+  Format.printf
+    "stored bitstreams for 4 modes per relocatable module: %d without the \
+     relocation filter, %d with it@."
+    without with_

@@ -1,0 +1,58 @@
+(* The paper's Section VI case study end to end: the software-defined
+   radio design on the Virtex-5 FX70T model — feasibility analysis,
+   SDR2/SDR3 floorplans, and the baseline comparison.
+
+     dune exec examples/sdr_relocation.exe *)
+
+open Device
+
+let () =
+  let part = Partition.columnar_exn Devices.virtex5_fx70t in
+  Format.printf "Device: %s (%d portions, %d forbidden areas)@.@."
+    (Grid.name Devices.virtex5_fx70t)
+    (Array.length part.Partition.portions)
+    (List.length part.Partition.forbidden);
+
+  (* Table I *)
+  Format.printf "Resource requirements (Table I):@.";
+  List.iter
+    (fun (name, c, b, d, f) ->
+      Format.printf "  %-18s %3d CLB  %2d BRAM  %2d DSP  %5d frames@." name c b d f)
+    (Sdr.table1 ~frames:(Grid.frames Devices.virtex5_fx70t));
+
+  (* Which regions can be duplicated at all? *)
+  Format.printf "@.Feasibility of one free-compatible area per region:@.";
+  List.iter
+    (fun name ->
+      let r =
+        Search.Engine.feasible
+          ~options:{ Search.Engine.default_options with time_limit = Some 60. }
+          part (Sdr.feasibility_variant name)
+      in
+      Format.printf "  %-18s %s@." name
+        (match (r.Search.Engine.plan, r.Search.Engine.optimal) with
+        | Some _, _ -> "relocatable"
+        | None, true -> "not relocatable (proven)"
+        | None, false -> "unknown"))
+    Sdr.module_names;
+
+  (* SDR2: two reserved areas per relocatable region *)
+  Format.printf "@.SDR2 floorplan (2 areas per relocatable region):@.";
+  let r2 =
+    Search.Engine.solve
+      ~options:{ Search.Engine.default_options with time_limit = Some 60. }
+      part Sdr.sdr2
+  in
+  (match r2.Search.Engine.plan with
+  | Some plan ->
+    Format.printf "wasted frames %d (base design: 90 -> relocation is free here)@."
+      (Floorplan.wasted_frames part Sdr.sdr2 plan);
+    print_endline (Floorplan.render part plan)
+  | None -> print_endline "  no solution");
+
+  (* Baseline comparison *)
+  let vf = Baselines.Vipin_fahmy.solve part Sdr.design in
+  Format.printf "@.Tessellation heuristic ([8]-style) on the same design: %s wasted frames@."
+    (match vf.Baselines.Vipin_fahmy.wasted with
+    | Some w -> string_of_int w
+    | None -> "-")

@@ -1,0 +1,1 @@
+lib/baselines/annealing.ml: Array Compat Device Floorplan Grid Hashtbl List Partition Random Rect Resource Search Sequence_pair Spec

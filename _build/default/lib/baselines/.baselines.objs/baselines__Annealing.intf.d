@@ -1,0 +1,1 @@
+lib/baselines/annealing.mli: Device

@@ -1,0 +1,1 @@
+lib/baselines/sequence_pair.ml: Array Device Fun Random

@@ -1,0 +1,1 @@
+lib/baselines/sequence_pair.mli: Device Random

@@ -1,0 +1,1 @@
+lib/baselines/vipin_fahmy.ml: Array Compat Device Floorplan Grid List Partition Rect Resource Spec

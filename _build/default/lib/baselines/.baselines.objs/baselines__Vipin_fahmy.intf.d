@@ -1,0 +1,1 @@
+lib/baselines/vipin_fahmy.mli: Device

@@ -1,0 +1,164 @@
+open Device
+
+type options = {
+  iterations : int;
+  initial_temperature : float;
+  cooling : float;
+  seed : int;
+  wirelength_weight : float;
+}
+
+let default_options =
+  {
+    iterations = 20_000;
+    initial_temperature = 500.;
+    cooling = 0.9995;
+    seed = 42;
+    wirelength_weight = 0.05;
+  }
+
+type outcome = {
+  plan : Floorplan.t option;
+  wasted : int option;
+  wirelength : float option;
+  energy_trace : float list;
+  iterations : int;
+}
+
+(* Candidate shapes per region: distinct (w, h) pairs that cover the
+   demand somewhere on the device, cheapest-waste first, capped. *)
+let shape_menu part demand =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (c : Search.Candidates.candidate) ->
+      let key = (c.Search.Candidates.rect.Rect.w, c.Search.Candidates.rect.Rect.h) in
+      if not (Hashtbl.mem tbl key) then Hashtbl.replace tbl key c.Search.Candidates.waste)
+    (Search.Candidates.enumerate part demand);
+  let shapes = Hashtbl.fold (fun k w acc -> (k, w) :: acc) tbl [] in
+  let sorted = List.sort (fun (_, a) (_, b) -> compare a b) shapes in
+  Array.of_list (List.map fst (List.filteri (fun i _ -> i < 24) sorted))
+
+type state = {
+  sp : Sequence_pair.t;
+  shape_idx : int array; (* per region, index into its menu *)
+}
+
+let solve ?(options = default_options) part (spec : Spec.t) =
+  let rng = Random.State.make [| options.seed |] in
+  let regions = Array.of_list spec.Spec.regions in
+  let n = Array.length regions in
+  let menus =
+    Array.map (fun (r : Spec.region) -> shape_menu part r.Spec.demand) regions
+  in
+  if Array.exists (fun m -> Array.length m = 0) menus then
+    { plan = None; wasted = None; wirelength = None; energy_trace = []; iterations = 0 }
+  else begin
+    let width = Partition.width part and height = Partition.height part in
+    let evaluate st =
+      let shapes =
+        Array.init n (fun i -> menus.(i).(st.shape_idx.(i)))
+      in
+      let pos = Sequence_pair.pack st.sp shapes in
+      let rects =
+        Array.init n (fun i ->
+            let px, py = pos.(i) in
+            let w, h = shapes.(i) in
+            (* clamp into the device so the evaluation is always defined;
+               overflow is penalized below from the raw packing *)
+            let x = min (max 1 (px + 1)) (max 1 (width - w + 1)) in
+            let y = min (max 1 (py + 1)) (max 1 (height - h + 1)) in
+            Rect.make ~x ~y ~w:(min w width) ~h:(min h height))
+      in
+      let overflow = ref 0 in
+      Array.iteri
+        (fun i (px, py) ->
+          let w, h = shapes.(i) in
+          if px + w > width then overflow := !overflow + (px + w - width);
+          if py + h > height then overflow := !overflow + (py + h - height))
+        pos;
+      let shortfall = ref 0 and forbidden = ref 0 and waste = ref 0 in
+      Array.iteri
+        (fun i rect ->
+          let demand = regions.(i).Spec.demand in
+          if Grid.rect_hits_forbidden part.Partition.grid rect then incr forbidden;
+          let covered = Compat.covered_demand part rect in
+          List.iter
+            (fun (k, need) ->
+              let got = Resource.demand_get covered k in
+              if got < need then shortfall := !shortfall + (need - got))
+            demand;
+          waste := !waste + Compat.wasted_frames part rect demand)
+        rects;
+      let plan =
+        Floorplan.make
+          (Array.to_list
+             (Array.mapi
+                (fun i rect ->
+                  { Floorplan.p_region = regions.(i).Spec.r_name; p_rect = rect })
+                rects))
+          []
+      in
+      let wl = Floorplan.wirelength spec plan in
+      let violations = (1000 * !overflow) + (500 * !shortfall) + (5000 * !forbidden) in
+      let energy =
+        float_of_int violations +. float_of_int !waste
+        +. (options.wirelength_weight *. wl)
+      in
+      (energy, violations = 0, plan, !waste, wl)
+    in
+    let neighbour st =
+      match Random.State.int rng 4 with
+      | 0 -> { st with sp = Sequence_pair.swap_first rng st.sp }
+      | 1 -> { st with sp = Sequence_pair.swap_both rng st.sp }
+      | 2 -> { st with sp = Sequence_pair.rotate_segment rng st.sp }
+      | _ ->
+        let i = Random.State.int rng n in
+        let idx = Array.copy st.shape_idx in
+        idx.(i) <- Random.State.int rng (Array.length menus.(i));
+        { st with shape_idx = idx }
+    in
+    let st = ref { sp = Sequence_pair.identity n; shape_idx = Array.make n 0 } in
+    let e, valid, plan, waste, wl = evaluate !st in
+    let cur_energy = ref e in
+    let best = ref (if valid then Some (e, plan, waste, wl) else None) in
+    let trace = ref [ e ] in
+    let temp = ref options.initial_temperature in
+    for it = 1 to options.iterations do
+      let cand = neighbour !st in
+      let e, valid, plan, waste, wl = evaluate cand in
+      let accept =
+        e <= !cur_energy
+        || Random.State.float rng 1. < exp ((!cur_energy -. e) /. max !temp 1e-6)
+      in
+      if accept then begin
+        st := cand;
+        cur_energy := e
+      end;
+      if valid then begin
+        match !best with
+        | Some (be, _, _, _) when be <= e -> ()
+        | _ -> best := Some (e, plan, waste, wl)
+      end;
+      temp := !temp *. options.cooling;
+      if it mod (max 1 (options.iterations / 32)) = 0 then
+        trace :=
+          (match !best with Some (be, _, _, _) -> be | None -> e) :: !trace
+    done;
+    match !best with
+    | Some (_, plan, waste, wl) ->
+      {
+        plan = Some plan;
+        wasted = Some waste;
+        wirelength = Some wl;
+        energy_trace = List.rev !trace;
+        iterations = options.iterations;
+      }
+    | None ->
+      {
+        plan = None;
+        wasted = None;
+        wirelength = None;
+        energy_trace = List.rev !trace;
+        iterations = options.iterations;
+      }
+  end

@@ -1,0 +1,29 @@
+(** Simulated-annealing floorplanner in the style of Bolchini et al.
+    (ref. [9] of the paper): anneal over a sequence pair plus a shape
+    choice per region, evaluating packings on the columnar device with
+    penalties for resource shortfalls, forbidden overlaps and device
+    overflow, and optimizing wire length plus wasted frames.
+
+    Not relocation-aware — it is the heuristic baseline and, via
+    {!Ho.seed_of_search}-style seeding, a front-end for HO. *)
+
+type options = {
+  iterations : int;
+  initial_temperature : float;
+  cooling : float;  (** geometric factor per step *)
+  seed : int;
+  wirelength_weight : float;  (** relative to wasted frames *)
+}
+
+val default_options : options
+
+type outcome = {
+  plan : Device.Floorplan.t option;  (** best valid floorplan found *)
+  wasted : int option;
+  wirelength : float option;
+  energy_trace : float list;  (** sampled best-energy values, oldest first *)
+  iterations : int;
+}
+
+val solve :
+  ?options:options -> Device.Partition.t -> Device.Spec.t -> outcome

@@ -1,0 +1,156 @@
+type t = { s1 : int array; s2 : int array }
+
+let is_permutation a =
+  let n = Array.length a in
+  let seen = Array.make n false in
+  Array.for_all
+    (fun i ->
+      if i < 0 || i >= n || seen.(i) then false
+      else begin
+        seen.(i) <- true;
+        true
+      end)
+    a
+
+let of_arrays s1 s2 =
+  if Array.length s1 <> Array.length s2 then
+    invalid_arg "Sequence_pair.of_arrays: size mismatch";
+  if not (is_permutation s1 && is_permutation s2) then
+    invalid_arg "Sequence_pair.of_arrays: not permutations";
+  { s1 = Array.copy s1; s2 = Array.copy s2 }
+
+let identity n = { s1 = Array.init n Fun.id; s2 = Array.init n Fun.id }
+
+let size t = Array.length t.s1
+
+type relation = Left | Right | Over | Under
+
+let positions seq =
+  let n = Array.length seq in
+  let pos = Array.make n 0 in
+  Array.iteri (fun idx e -> pos.(e) <- idx) seq;
+  ignore n;
+  pos
+
+let relation t i j =
+  let p1 = positions t.s1 and p2 = positions t.s2 in
+  match (p1.(i) < p1.(j), p2.(i) < p2.(j)) with
+  | true, true -> Left
+  | false, false -> Right
+  | true, false -> Over
+  | false, true -> Under
+
+(* Longest-path packing: x of each entity is the max over entities to
+   its left of their right edge; same for y with "under". *)
+let pack t shapes =
+  let n = size t in
+  let p1 = positions t.s1 and p2 = positions t.s2 in
+  let order_x =
+    (* topological order for "left of" = order of s1 works: if i left of
+       j then p1(i) < p1(j) *)
+    Array.copy t.s1
+  in
+  let x = Array.make n 0 and y = Array.make n 0 in
+  Array.iter
+    (fun j ->
+      let best = ref 0 in
+      for i = 0 to n - 1 do
+        if i <> j && p1.(i) < p1.(j) && p2.(i) < p2.(j) then
+          best := max !best (x.(i) + fst shapes.(i))
+      done;
+      x.(j) <- !best)
+    order_x;
+  (* "i above j" when p1(i) < p1(j) and p2(i) > p2(j); process in an
+     order compatible with "above": decreasing p2 position works because
+     if i above j then p2(i) > p2(j) ... so we need i before j, i.e.
+     iterate s2 from the end. *)
+  for idx = Array.length t.s2 - 1 downto 0 do
+    let j = t.s2.(idx) in
+    let best = ref 0 in
+    for i = 0 to n - 1 do
+      if i <> j && p1.(i) < p1.(j) && p2.(i) > p2.(j) then
+        best := max !best (y.(i) + snd shapes.(i))
+    done;
+    y.(j) <- !best
+  done;
+  (* y currently grows downward from the top for "above"; flip is not
+     needed because only relative positions matter for a packing *)
+  Array.init n (fun i -> (x.(i), y.(i)))
+
+let extract rects =
+  let n = Array.length rects in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Device.Rect.overlaps rects.(i) rects.(j) then
+        invalid_arg "Sequence_pair.extract: overlapping rectangles"
+    done
+  done;
+  (* classic gridding construction: i before j in s1 iff i is left of or
+     above j; in s2 iff left of or below *)
+  let idx = Array.init n Fun.id in
+  let before_s1 i j =
+    let a = rects.(i) and b = rects.(j) in
+    if Device.Rect.x2 a < b.Device.Rect.x then true
+    else if Device.Rect.x2 b < a.Device.Rect.x then false
+    else Device.Rect.y2 a < b.Device.Rect.y
+  in
+  let before_s2 i j =
+    let a = rects.(i) and b = rects.(j) in
+    if Device.Rect.x2 a < b.Device.Rect.x then true
+    else if Device.Rect.x2 b < a.Device.Rect.x then false
+    else Device.Rect.y2 b < a.Device.Rect.y
+  in
+  let s1 = Array.copy idx and s2 = Array.copy idx in
+  let cmp before i j = if i = j then 0 else if before i j then -1 else 1 in
+  Array.sort (cmp before_s1) s1;
+  Array.sort (cmp before_s2) s2;
+  { s1; s2 }
+
+let swap2 rng arr =
+  let n = Array.length arr in
+  let a = Array.copy arr in
+  if n >= 2 then begin
+    let i = Random.State.int rng n in
+    let j = Random.State.int rng n in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  end;
+  a
+
+let swap_first rng t = { t with s1 = swap2 rng t.s1 }
+
+let swap_both rng t =
+  let n = size t in
+  if n < 2 then t
+  else begin
+    let i = Random.State.int rng n and j = Random.State.int rng n in
+    let s1 = Array.copy t.s1 and s2 = Array.copy t.s2 in
+    let sw a =
+      (* swap the same two ENTITIES in both sequences *)
+      let pi = ref 0 and pj = ref 0 in
+      Array.iteri (fun k e -> if e = t.s1.(i) then pi := k else if e = t.s1.(j) then pj := k) a;
+      let tmp = a.(!pi) in
+      a.(!pi) <- a.(!pj);
+      a.(!pj) <- tmp
+    in
+    if i <> j then begin
+      sw s1;
+      sw s2
+    end;
+    { s1; s2 }
+  end
+
+let rotate_segment rng t =
+  let n = size t in
+  if n < 3 then swap_first rng t
+  else begin
+    let s1 = Array.copy t.s1 in
+    let i = Random.State.int rng (n - 2) in
+    let len = 2 + Random.State.int rng (min 3 (n - i - 1)) in
+    let seg = Array.sub s1 i len in
+    for k = 0 to len - 1 do
+      s1.(i + k) <- seg.((k + 1) mod len)
+    done;
+    { t with s1 }
+  end

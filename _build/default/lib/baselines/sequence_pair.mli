@@ -1,0 +1,34 @@
+(** Sequence-pair floorplan representation.
+
+    A pair of permutations of the n entities encodes pairwise relative
+    positions: if [a] precedes [b] in both sequences, [a] is left of
+    [b]; if [a] precedes [b] only in the first, [a] is above [b].
+    Packing with given shapes is the classic longest-path evaluation. *)
+
+type t = { s1 : int array; s2 : int array }
+
+val identity : int -> t
+val of_arrays : int array -> int array -> t
+(** @raise Invalid_argument if the arrays are not permutations of the
+    same size. *)
+
+val size : t -> int
+
+type relation = Left | Right | Over | Under
+
+val relation : t -> int -> int -> relation
+(** Relative position of entity [i] with respect to [j]. *)
+
+val pack : t -> (int * int) array -> (int * int) array
+(** [pack sp shapes] returns the bottom-left positions (0-based
+    [(x, y)]) of the minimal packing where entity [i] has width/height
+    [shapes.(i)].  O(n^2). *)
+
+val extract : Device.Rect.t array -> t
+(** Sequence pair of an overlap-free placement (inverse of packing up
+    to compaction).  @raise Invalid_argument on overlapping rects. *)
+
+(* Neighbourhood moves for annealing; all return fresh pairs. *)
+val swap_first : Random.State.t -> t -> t
+val swap_both : Random.State.t -> t -> t
+val rotate_segment : Random.State.t -> t -> t

@@ -1,0 +1,113 @@
+open Device
+
+type outcome = {
+  plan : Floorplan.t option;
+  wasted : int option;
+  wirelength : float option;
+}
+
+(* Kernel-aligned candidate windows for a demand: a contiguous run of
+   whole portions and the minimal height covering the demand. *)
+let kernel_windows part demand =
+  let portions = part.Partition.portions in
+  let np = Array.length portions in
+  let height = Partition.height part in
+  let kind p = (portions.(p).Partition.tile).Resource.kind in
+  let out = ref [] in
+  for p0 = 0 to np - 1 do
+    for p1 = p0 to np - 1 do
+      (* columns per kind over portions p0..p1 *)
+      let cols k =
+        let acc = ref 0 in
+        for p = p0 to p1 do
+          if Resource.equal_kind (kind p) k then
+            acc := !acc + Partition.portion_width portions.(p)
+        done;
+        !acc
+      in
+      let hmin =
+        List.fold_left
+          (fun acc (k, need) ->
+            match acc with
+            | None -> None
+            | Some h ->
+              if need = 0 then Some h
+              else
+                let c = cols k in
+                if c = 0 then None
+                else Some (max h ((need + c - 1) / c)))
+          (Some 1) demand
+      in
+      match hmin with
+      | Some h when h <= height ->
+        let x = portions.(p0).Partition.x1 in
+        let w = portions.(p1).Partition.x2 - x + 1 in
+        out := (x, w, h) :: !out
+      | Some _ | None -> ()
+    done
+  done;
+  List.rev !out
+
+let solve_order part order =
+  let height = Partition.height part in
+  let placed = ref [] in
+  let ok = ref true in
+  List.iter
+    (fun (r : Spec.region) ->
+      if !ok then begin
+        let windows = kernel_windows part r.Spec.demand in
+        (* cheapest wasted frames first, then leftmost *)
+        let scored =
+          List.filter_map
+            (fun (x, w, h) ->
+              let fits = ref [] in
+              for y = 1 to height - h + 1 do
+                let rect = Rect.make ~x ~y ~w ~h in
+                if
+                  (not (Grid.rect_hits_forbidden part.Partition.grid rect))
+                  && not (List.exists (fun (_, r') -> Rect.overlaps rect r') !placed)
+                then fits := rect :: !fits
+              done;
+              match List.rev !fits with
+              | [] -> None
+              | rect :: _ ->
+                Some (Compat.wasted_frames part rect r.Spec.demand, rect))
+            windows
+        in
+        match List.sort compare scored with
+        | [] -> ok := false
+        | (_, rect) :: _ -> placed := (r.Spec.r_name, rect) :: !placed
+      end)
+    order;
+  if !ok then
+    Some
+      (Floorplan.make
+         (List.rev_map
+            (fun (name, rect) -> { Floorplan.p_region = name; p_rect = rect })
+            !placed)
+         [])
+  else None
+
+let solve part (spec : Spec.t) =
+  let by_demand =
+    List.sort
+      (fun (a : Spec.region) b ->
+        compare
+          (Resource.demand_tiles b.Spec.demand)
+          (Resource.demand_tiles a.Spec.demand))
+      spec.Spec.regions
+  in
+  let plans =
+    List.filter_map
+      (fun order -> solve_order part order)
+      [ spec.Spec.regions; by_demand ]
+  in
+  let score p = Floorplan.wasted_frames part spec p in
+  match List.sort (fun a b -> compare (score a) (score b)) plans with
+  | [] -> { plan = None; wasted = None; wirelength = None }
+  | best :: _ ->
+    {
+      plan = Some best;
+      wasted = Some (score best);
+      wirelength = Some (Floorplan.wirelength spec best);
+    }

@@ -1,0 +1,21 @@
+(** Reconfiguration-centric tessellation heuristic in the style of
+    Vipin-Fahmy (ref. [8] of the paper).
+
+    The device is tessellated into columnar kernels (our columnar
+    portions); each region is allocated a window of {e whole} adjacent
+    kernels at the minimal height covering its demand, scanning left to
+    right, greedily and without backtracking.  The kernel quantization
+    is what makes this heuristic waste more configuration frames than
+    the MILP floorplanners (Table II's 466 vs 306 on the authors'
+    device), while being essentially instantaneous. *)
+
+type outcome = {
+  plan : Device.Floorplan.t option;
+  wasted : int option;
+  wirelength : float option;
+}
+
+val solve : Device.Partition.t -> Device.Spec.t -> outcome
+(** Greedy tessellation in specification order.  Tries the pipeline
+    order and the decreasing-demand order; returns the cheaper valid
+    result. *)

@@ -1,0 +1,1 @@
+lib/bitstream/crc32.mli:

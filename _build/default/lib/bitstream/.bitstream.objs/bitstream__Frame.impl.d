@@ -1,0 +1,1 @@
+lib/bitstream/frame.ml: Format Int32

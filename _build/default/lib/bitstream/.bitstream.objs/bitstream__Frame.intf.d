@@ -1,0 +1,1 @@
+lib/bitstream/frame.mli: Format

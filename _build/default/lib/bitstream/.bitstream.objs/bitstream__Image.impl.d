@@ -1,0 +1,1 @@
+lib/bitstream/image.ml: Array Buffer Bytes Char Crc32 Device Frame Grid Int32 List Partition Rect Resource String

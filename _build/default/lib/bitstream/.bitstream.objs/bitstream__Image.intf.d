@@ -1,0 +1,1 @@
+lib/bitstream/image.mli: Device Frame

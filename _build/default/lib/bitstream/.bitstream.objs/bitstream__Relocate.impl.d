@@ -1,0 +1,1 @@
+lib/bitstream/relocate.ml: Compat Device Format Frame Grid Image List Partition Printf Rect

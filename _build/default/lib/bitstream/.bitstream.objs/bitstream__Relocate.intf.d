@@ -1,0 +1,1 @@
+lib/bitstream/relocate.mli: Device Format Frame Image

@@ -1,0 +1,24 @@
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let update crc buf off len =
+  let table = Lazy.force table in
+  let c = ref (Int32.logxor crc 0xFFFFFFFFl) in
+  for i = off to off + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code (Bytes.get buf i)))) 0xFFl)
+    in
+    c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let digest buf = update 0l buf 0 (Bytes.length buf)
+let digest_string s = digest (Bytes.of_string s)

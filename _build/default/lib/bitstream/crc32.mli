@@ -1,0 +1,13 @@
+(** CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+
+    The configuration interface of Xilinx devices protects bitstreams
+    with a CRC; a relocation filter must recompute it after rewriting
+    frame addresses (Section I, refs. [2]-[5]). *)
+
+val update : int32 -> bytes -> int -> int -> int32
+(** [update crc buf off len] folds a buffer slice into a running CRC
+    (pass [0xFFFFFFFFl]-complemented state transparently: this takes
+    and returns the {e presentation} value, as {!digest} does). *)
+
+val digest : bytes -> int32
+val digest_string : string -> int32

@@ -1,0 +1,32 @@
+(** Partial bitstream images: an ordered sequence of addressed frames
+    protected by a CRC, with a simple binary wire format.
+
+    [synthesize] produces the partial bitstream of a placed module: one
+    frame per (covered tile, minor index).  Payload words depend only on
+    the tile {e type}, the minor index and the module's seed — never on
+    the absolute position — modelling Definition .1's requirement that
+    tiles of one type carry identical configuration data, which is what
+    makes relocation by pure address rewriting possible. *)
+
+type t = { device : string; frames : Frame.t list }
+
+val synthesize :
+  seed:int -> Device.Partition.t -> Device.Rect.t -> t
+(** @raise Invalid_argument if the rectangle leaves the device. *)
+
+val frame_count : t -> int
+
+val payload_equal : t -> t -> bool
+(** Same frame payloads in order, addresses ignored. *)
+
+val equal : t -> t -> bool
+
+val serialize : t -> bytes
+(** Wire format: magic, device name, frame count; per frame the packed
+    address and payload words; trailing CRC-32 of everything before. *)
+
+val parse : bytes -> (t, string) result
+(** Rejects bad magic, truncation and CRC mismatches. *)
+
+val crc : t -> int32
+(** CRC of the serialized image (what a loader would check). *)

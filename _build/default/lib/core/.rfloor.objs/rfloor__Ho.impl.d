@@ -1,0 +1,1 @@
+lib/core/ho.ml: Device Floorplan List Model Option Printf Rect Search Spec

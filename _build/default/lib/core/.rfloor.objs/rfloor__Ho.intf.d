@@ -1,0 +1,1 @@
+lib/core/ho.mli: Device Model Search

@@ -1,0 +1,1 @@
+lib/core/model.ml: Array Device Float Floorplan Grid Hashtbl List Milp Objective Option Partition Printf Rect Resource Spec String

@@ -1,0 +1,1 @@
+lib/core/objective.ml: Device Grid List Partition Resource Spec

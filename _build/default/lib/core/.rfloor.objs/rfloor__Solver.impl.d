@@ -1,0 +1,1 @@
+lib/core/solver.ml: Device Floorplan Format Ho List Milp Model Objective Option Printf Search Spec

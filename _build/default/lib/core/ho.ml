@@ -1,0 +1,56 @@
+open Device
+
+let entity_rects (spec : Spec.t) plan =
+  let regions =
+    List.map
+      (fun (r : Spec.region) ->
+        match Floorplan.rect_of plan r.Spec.r_name with
+        | Some rect -> (r.Spec.r_name, rect)
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Ho.relations: seed misses region %s" r.Spec.r_name))
+      spec.Spec.regions
+  in
+  let fcs =
+    List.concat_map
+      (fun (rr : Spec.reloc_req) ->
+        List.filter (fun f -> f.Floorplan.fc_region = rr.Spec.target)
+          plan.Floorplan.fc_areas
+        |> List.mapi (fun i f ->
+               (Printf.sprintf "%s/%d" rr.Spec.target (i + 1), f.Floorplan.fc_rect)))
+      spec.Spec.relocs
+  in
+  regions @ fcs
+
+let relations spec plan =
+  let rects = entity_rects spec plan in
+  let rec pairs = function
+    | [] -> []
+    | (na, ra) :: rest ->
+      List.filter_map
+        (fun (nb, rb) ->
+          let rel =
+            if Rect.x2 ra < rb.Rect.x then Some Model.Left_of
+            else if Rect.x2 rb < ra.Rect.x then Some Model.Right_of
+            else if Rect.y2 ra < rb.Rect.y then Some Model.Above
+            else if Rect.y2 rb < ra.Rect.y then Some Model.Below
+            else
+              invalid_arg
+                (Printf.sprintf "Ho.relations: %s and %s overlap in the seed" na
+                   nb)
+          in
+          Option.map (fun r -> ((na, nb), r)) rel)
+        rest
+      @ pairs rest
+  in
+  pairs rects
+
+let seed_of_search ?options part spec =
+  let options =
+    match options with
+    | Some o -> o
+    | None ->
+      { Search.Engine.default_options with
+        time_limit = Some 10.; optimize_wirelength = false }
+  in
+  (Search.Engine.solve ~options part spec).Search.Engine.plan

@@ -1,0 +1,28 @@
+(** HO mode: sequence-pair restriction from a heuristic seed solution.
+
+    [10]'s HO algorithm extracts the sequence-pair of a first feasible
+    floorplan and constrains the MILP to placements with the same
+    pairwise relative positions, shrinking the search space.  Per
+    Section II.A, when relocation is a constraint the seed must also
+    contain the free-compatible areas, so the sequence pair naturally
+    extends to them; this module therefore derives a relation for every
+    entity pair (regions and areas). *)
+
+val relations :
+  Device.Spec.t ->
+  Device.Floorplan.t ->
+  ((string * string) * Model.pair_relation) list
+(** For each pair of entities in the seed, the geometric relation
+    (horizontal split preferred, then vertical).  Entity names follow
+    {!Model.entity_names} ("region" and "region/i").
+    @raise Invalid_argument if the seed has overlapping entities or
+    misses a region. *)
+
+val seed_of_search :
+  ?options:Search.Engine.options ->
+  Device.Partition.t ->
+  Device.Spec.t ->
+  Device.Floorplan.t option
+(** Convenience: obtain a seed floorplan (with hard free-compatible
+    areas placed) from the combinatorial engine, limited to a quick
+    first-solution search. *)

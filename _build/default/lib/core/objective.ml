@@ -1,0 +1,35 @@
+open Device
+
+type weights = {
+  q_wirelength : float;
+  q_perimeter : float;
+  q_resources : float;
+  q_relocation : float;
+}
+
+let default_weights =
+  { q_wirelength = 0.25; q_perimeter = 0.05; q_resources = 0.6; q_relocation = 0.1 }
+
+let wl_max part (spec : Spec.t) =
+  let diameter =
+    float_of_int (Partition.width part + Partition.height part)
+  in
+  List.fold_left (fun acc (n : Spec.net) -> acc +. (n.Spec.weight *. diameter)) 0.
+    spec.Spec.nets
+
+let perimeter_max part (spec : Spec.t) =
+  let per = 2. *. float_of_int (Partition.width part + Partition.height part) in
+  float_of_int (List.length spec.Spec.regions) *. per
+
+let resources_max part =
+  let g = part.Partition.grid in
+  Resource.demand_frames ~frames:(Grid.frames g) (Grid.total_tiles g)
+  |> float_of_int
+
+let relocation_max (spec : Spec.t) =
+  List.fold_left
+    (fun acc (rr : Spec.reloc_req) ->
+      match rr.Spec.mode with
+      | Spec.Soft w -> acc +. (w *. float_of_int rr.Spec.copies)
+      | Spec.Hard -> acc)
+    0. spec.Spec.relocs

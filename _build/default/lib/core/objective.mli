@@ -1,0 +1,29 @@
+(** The paper's composite objective (Eq. 14):
+
+    [min q1*WL/WLmax + q2*P/Pmax + q3*R/Rmax + q4*RL/RLmax]
+
+    with wire length, perimeter, wasted-resource and relocation cost
+    terms, each normalized by its maximum so the [q] weights are
+    comparable. *)
+
+type weights = {
+  q_wirelength : float;
+  q_perimeter : float;
+  q_resources : float;
+  q_relocation : float;
+}
+
+val default_weights : weights
+(** Evaluation-section flavour: resources dominate, wire length second,
+    relocation and perimeter small. *)
+
+val wl_max : Device.Partition.t -> Device.Spec.t -> float
+(** Normalizer [WLmax]: every net at the device diameter. *)
+
+val perimeter_max : Device.Partition.t -> Device.Spec.t -> float
+
+val resources_max : Device.Partition.t -> float
+(** Total configuration frames of the device ([Rmax]). *)
+
+val relocation_max : Device.Spec.t -> float
+(** Eq. 15: sum of the soft-area weights ([RLmax]). *)

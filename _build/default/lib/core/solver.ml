@@ -1,0 +1,237 @@
+open Device
+module Bb = Milp.Branch_bound
+
+type engine = O | Ho of Floorplan.t option
+
+type objective_mode =
+  | Lexicographic
+  | Weighted of Objective.weights
+  | Feasibility_only
+
+type options = {
+  engine : engine;
+  objective_mode : objective_mode;
+  time_limit : float option;
+  node_limit : int option;
+  paper_literal_l : bool;
+  warm_start : bool;
+  log : (string -> unit) option;
+}
+
+let default_options =
+  {
+    engine = O;
+    objective_mode = Lexicographic;
+    time_limit = Some 120.;
+    node_limit = None;
+    paper_literal_l = false;
+    warm_start = true;
+    log = None;
+  }
+
+type status = Optimal | Feasible | Infeasible | Unknown
+
+type outcome = {
+  plan : Floorplan.t option;
+  wasted : int option;
+  wirelength : float option;
+  fc_identified : int;
+  status : status;
+  objective_value : float option;
+  nodes : int;
+  simplex_iterations : int;
+  elapsed : float;
+}
+
+let log options fmt =
+  Format.kasprintf
+    (fun s -> match options.log with Some f -> f s | None -> ())
+    fmt
+
+(* Resolve the HO seed once so the pair relations and the warm start are
+   consistent (an inconsistent warm incumbent would be rejected). *)
+let resolve_seed options part spec =
+  match options.engine with
+  | O -> None
+  | Ho (Some seed) -> Some seed
+  | Ho None -> Ho.seed_of_search part spec
+
+let pair_relations spec = function
+  | Some seed -> Ho.relations spec seed
+  | None -> []
+
+let bb_options options model stage_time =
+  {
+    Bb.default_options with
+    Bb.time_limit = stage_time;
+    node_limit = options.node_limit;
+    priorities = Some (Model.branching_priorities model);
+    log = options.log;
+    log_every = 500;
+  }
+
+let warm_plan options part spec =
+  if not options.warm_start then None
+  else
+    let sopts =
+      {
+        Search.Engine.default_options with
+        time_limit = Some 5.;
+        optimize_wirelength = false;
+      }
+    in
+    (Search.Engine.solve ~options:sopts part spec).Search.Engine.plan
+
+(* Run branch-and-bound on a model, optionally warm-started. *)
+let run_stage options model ~stage_time ~warm =
+  let lp = Model.lp model in
+  (match Milp.Presolve.tighten lp with
+  | Milp.Presolve.Proven_infeasible -> ()
+  | Milp.Presolve.Tightened n -> log options "presolve: %d bound changes" n);
+  let incumbent =
+    match warm with
+    | None -> None
+    | Some plan -> (
+      let x = Model.encode model plan in
+      match Milp.Lp.validate ~eps:1e-5 lp x with
+      | Ok () -> Some x
+      | Error msg ->
+        log options "warm start rejected: %s" msg;
+        None)
+  in
+  Bb.solve ~options:(bb_options options model stage_time) ?incumbent lp
+
+let status_of_bb = function
+  | Bb.Optimal -> Optimal
+  | Bb.Feasible -> Feasible
+  | Bb.Infeasible -> Infeasible
+  | Bb.Unbounded | Bb.Unknown -> Unknown
+
+let finish part spec model (r : Bb.result) extra_nodes extra_iters extra_time =
+  let plan, fc =
+    match r.Bb.incumbent with
+    | Some (_, x) -> (Some (Model.decode model x), Model.fc_identified model x)
+    | None -> (None, 0)
+  in
+  let wasted =
+    Option.map (fun p -> Floorplan.wasted_frames part spec p) plan
+  in
+  let wirelength = Option.map (fun p -> Floorplan.wirelength spec p) plan in
+  {
+    plan;
+    wasted;
+    wirelength;
+    fc_identified = fc;
+    status = status_of_bb r.Bb.status;
+    objective_value = Option.map fst r.Bb.incumbent;
+    nodes = r.Bb.nodes + extra_nodes;
+    simplex_iterations = r.Bb.simplex_iterations + extra_iters;
+    elapsed = r.Bb.elapsed +. extra_time;
+  }
+
+let solve ?(options = default_options) part (spec : Spec.t) =
+  let seed = resolve_seed options part spec in
+  let relations = pair_relations spec seed in
+  let warm =
+    match seed with Some _ -> seed | None -> warm_plan options part spec
+  in
+  let model_options objective extra_waste_cap =
+    {
+      Model.objective;
+      paper_literal_l = options.paper_literal_l;
+      pair_relations = relations;
+      extra_waste_cap;
+    }
+  in
+  match options.objective_mode with
+  | Feasibility_only ->
+    let model = Model.build ~options:(model_options Model.Feasibility None) part spec in
+    finish part spec model (run_stage options model ~stage_time:options.time_limit ~warm) 0 0 0.
+  | Weighted w ->
+    let model =
+      Model.build ~options:(model_options (Model.Weighted w) None) part spec
+    in
+    finish part spec model (run_stage options model ~stage_time:options.time_limit ~warm) 0 0 0.
+  | Lexicographic -> (
+    let split f = Option.map (fun t -> t *. f) options.time_limit in
+    let m1 =
+      Model.build ~options:(model_options Model.Wasted_frames_only None) part spec
+    in
+    let r1 = run_stage options m1 ~stage_time:(split 0.6) ~warm in
+    match r1.Bb.incumbent with
+    | None -> finish part spec m1 r1 0 0 0.
+    | Some (w1, x1) ->
+      log options "stage 1: wasted frames = %.0f (%s)" w1
+        (match r1.Bb.status with Bb.Optimal -> "optimal" | _ -> "best found");
+      let plan1 = Model.decode m1 x1 in
+      let m2 =
+        Model.build
+          ~options:(model_options Model.Wirelength_only (Some (w1 +. 0.5)))
+          part spec
+      in
+      (* stage-2 warm start: prefer the candidate with the best wire
+         length among plans matching the stage-1 waste *)
+      let warm2 =
+        let ok p =
+          float_of_int (Floorplan.wasted_frames part spec p) <= w1 +. 0.5
+        in
+        let candidates = List.filter ok (plan1 :: Option.to_list warm) in
+        match
+          List.sort
+            (fun a b ->
+              compare (Floorplan.wirelength spec a) (Floorplan.wirelength spec b))
+            candidates
+        with
+        | best :: _ -> Some best
+        | [] -> Some plan1
+      in
+      let r2 = run_stage options m2 ~stage_time:(split 0.4) ~warm:warm2 in
+      let r2 =
+        match r2.Bb.incumbent with
+        | Some _ -> r2
+        | None -> { r2 with Bb.incumbent = r1.Bb.incumbent }
+      in
+      let out =
+        finish part spec m2 r2 r1.Bb.nodes r1.Bb.simplex_iterations r1.Bb.elapsed
+      in
+      (* stage-2 optimality only refines wire length; overall optimality
+         additionally needs stage 1 proven *)
+      let status =
+        match (r1.Bb.status, out.status) with
+        | Bb.Optimal, Optimal -> Optimal
+        | _, Infeasible -> Feasible (* stage 2 budget died; stage 1 plan holds *)
+        | _, s -> (match s with Optimal -> Feasible | s -> s)
+      in
+      { out with status })
+
+let export_lp ?(options = default_options) part spec =
+  let relations = pair_relations spec (resolve_seed options part spec) in
+  let objective =
+    match options.objective_mode with
+    | Feasibility_only -> Model.Feasibility
+    | Weighted w -> Model.Weighted w
+    | Lexicographic -> Model.Wasted_frames_only
+  in
+  let model =
+    Model.build
+      ~options:
+        {
+          Model.objective;
+          paper_literal_l = options.paper_literal_l;
+          pair_relations = relations;
+          extra_waste_cap = None;
+        }
+      part spec
+  in
+  Milp.Lp_format.to_string (Model.lp model)
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "status=%s wasted=%s wirelength=%s fc=%d nodes=%d %.1fs"
+    (match o.status with
+    | Optimal -> "optimal"
+    | Feasible -> "feasible"
+    | Infeasible -> "infeasible"
+    | Unknown -> "unknown")
+    (match o.wasted with Some w -> string_of_int w | None -> "-")
+    (match o.wirelength with Some w -> Printf.sprintf "%.1f" w | None -> "-")
+    o.fc_identified o.nodes o.elapsed

@@ -1,0 +1,55 @@
+(** End-to-end MILP floorplanning: build the model, presolve, run
+    branch-and-bound (optionally warm-started from the combinatorial
+    engine), decode and validate the floorplan.
+
+    Implements both algorithms of [10] as extended by the paper:
+    O explores the full space; HO additionally fixes the pairwise
+    relative positions extracted from a heuristic seed solution
+    (including the free-compatible areas, Section II.A). *)
+
+type engine =
+  | O
+  | Ho of Device.Floorplan.t option
+      (** [Ho None] obtains a seed from {!Search.Engine} first. *)
+
+type objective_mode =
+  | Lexicographic
+      (** Section VI's objective: minimize wasted frames, then minimize
+          wire length without increasing the frame cost. *)
+  | Weighted of Objective.weights  (** Eq. 14 *)
+  | Feasibility_only
+
+type options = {
+  engine : engine;
+  objective_mode : objective_mode;
+  time_limit : float option;
+  node_limit : int option;
+  paper_literal_l : bool;
+  warm_start : bool;
+  log : (string -> unit) option;
+}
+
+val default_options : options
+
+type status = Optimal | Feasible | Infeasible | Unknown
+
+type outcome = {
+  plan : Device.Floorplan.t option;
+  wasted : int option;
+  wirelength : float option;
+  fc_identified : int;
+  status : status;
+  objective_value : float option;
+  nodes : int;
+  simplex_iterations : int;
+  elapsed : float;
+}
+
+val solve :
+  ?options:options -> Device.Partition.t -> Device.Spec.t -> outcome
+
+val export_lp :
+  ?options:options -> Device.Partition.t -> Device.Spec.t -> string
+(** CPLEX-LP text of the (first-stage) model, for external solvers. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,1 @@
+lib/device/compat.ml: Array Grid List Partition Printf Rect Resource

@@ -1,0 +1,1 @@
+lib/device/compat.mli: Partition Rect Resource

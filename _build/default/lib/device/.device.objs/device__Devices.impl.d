@@ -1,0 +1,1 @@
+lib/device/devices.ml: Array Grid List Random Rect Resource

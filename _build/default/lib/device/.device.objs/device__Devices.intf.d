@@ -1,0 +1,1 @@
+lib/device/devices.mli: Grid Random Rect

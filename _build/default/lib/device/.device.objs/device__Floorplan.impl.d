@@ -1,0 +1,1 @@
+lib/device/floorplan.ml: Char Compat Format Grid List Option Partition Printf Rect Resource Spec String

@@ -1,0 +1,1 @@
+lib/device/floorplan.mli: Format Partition Rect Spec

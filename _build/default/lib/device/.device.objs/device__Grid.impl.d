@@ -1,0 +1,1 @@
+lib/device/grid.ml: Array Buffer Char Format List Printf Rect Resource String

@@ -1,0 +1,1 @@
+lib/device/grid.mli: Format Rect Resource

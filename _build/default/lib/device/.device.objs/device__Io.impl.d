@@ -1,0 +1,1 @@
+lib/device/io.ml: Buffer Char Fun Grid List Printf Rect Resource Spec String

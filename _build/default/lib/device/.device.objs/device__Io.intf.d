@@ -1,0 +1,1 @@
+lib/device/io.mli: Grid Spec

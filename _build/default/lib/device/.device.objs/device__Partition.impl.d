@@ -1,0 +1,1 @@
+lib/device/partition.ml: Array Format Grid List Option Printf Rect Resource

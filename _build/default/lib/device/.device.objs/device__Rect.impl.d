@@ -1,0 +1,1 @@
+lib/device/rect.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/device/rect.mli: Format

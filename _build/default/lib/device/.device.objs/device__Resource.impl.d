@@ -1,0 +1,1 @@
+lib/device/resource.ml: Format List

@@ -1,0 +1,1 @@
+lib/device/spec.ml: Format List Printf Resource Set String

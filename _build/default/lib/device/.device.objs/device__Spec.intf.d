@@ -1,0 +1,1 @@
+lib/device/spec.mli: Format Resource

@@ -1,0 +1,76 @@
+type signature = int array
+
+let check_inside part rect fn =
+  if
+    not
+      (Rect.within ~width:(Partition.width part) ~height:(Partition.height part)
+         rect)
+  then
+    invalid_arg
+      (Printf.sprintf "Compat.%s: %s outside device" fn (Rect.to_string rect))
+
+let signature part rect =
+  check_inside part rect "signature";
+  Array.init rect.Rect.w (fun i -> Partition.column_tid part (rect.Rect.x + i))
+
+let equal_signature (a : signature) b = a = b
+
+let compatible part a b =
+  a.Rect.w = b.Rect.w && a.Rect.h = b.Rect.h
+  && equal_signature (signature part a) (signature part b)
+
+let compatible_columns part rect =
+  let sg = signature part rect in
+  let w = rect.Rect.w in
+  let xs = ref [] in
+  for x = Partition.width part - w + 1 downto 1 do
+    let sg' =
+      Array.init w (fun i -> Partition.column_tid part (x + i))
+    in
+    if equal_signature sg sg' then xs := x :: !xs
+  done;
+  !xs
+
+let relocation_sites ?(avoid_forbidden = true) part rect =
+  let height = Partition.height part in
+  let keep r =
+    (not avoid_forbidden) || not (Grid.rect_hits_forbidden part.Partition.grid r)
+  in
+  List.concat_map
+    (fun x ->
+      List.filter_map
+        (fun y ->
+          let r = Rect.make ~x ~y ~w:rect.Rect.w ~h:rect.Rect.h in
+          if keep r then Some r else None)
+        (List.init (height - rect.Rect.h + 1) (fun i -> i + 1)))
+    (compatible_columns part rect)
+
+let free_compatible_sites ?avoid_forbidden ~occupied part rect =
+  List.filter
+    (fun site -> not (List.exists (Rect.overlaps site) occupied))
+    (relocation_sites ?avoid_forbidden part rect)
+
+let covered_demand part rect =
+  check_inside part rect "covered_demand";
+  let counts = List.map (fun k -> (k, ref 0)) Resource.all_kinds in
+  for i = 0 to rect.Rect.w - 1 do
+    let ty = Partition.column_type part (rect.Rect.x + i) in
+    let r = List.assoc ty.Resource.kind counts in
+    r := !r + rect.Rect.h
+  done;
+  List.filter_map (fun (k, r) -> if !r > 0 then Some (k, !r) else None) counts
+
+let satisfies part rect demand =
+  let covered = covered_demand part rect in
+  List.for_all
+    (fun (k, n) -> Resource.demand_get covered k >= n)
+    demand
+
+let wasted_frames part rect demand =
+  let covered = covered_demand part rect in
+  let frames = Grid.frames part.Partition.grid in
+  List.fold_left
+    (fun acc k ->
+      let extra = Resource.demand_get covered k - Resource.demand_get demand k in
+      acc + (frames k * max 0 extra))
+    0 Resource.all_kinds

@@ -1,0 +1,49 @@
+(** Area compatibility and relocation sites (Definitions .1 and .2).
+
+    Two areas are {e compatible} when they have the same shape, size and
+    relative positioning of tile types — on a columnar-partitioned
+    device: equal width, equal height and equal left-to-right column
+    type sequence.  A bitstream may be relocated from an area to any
+    compatible area that is free (Definition .2). *)
+
+type signature = int array
+(** Column type-id sequence of a rectangle, length = width. *)
+
+val signature : Partition.t -> Rect.t -> signature
+(** @raise Invalid_argument if the rectangle exceeds the device. *)
+
+val equal_signature : signature -> signature -> bool
+
+val compatible : Partition.t -> Rect.t -> Rect.t -> bool
+(** Same width, height, and column type sequence.  Both rectangles must
+    be inside the device.  Reflexive and symmetric. *)
+
+val compatible_columns : Partition.t -> Rect.t -> int list
+(** All x positions (including the rectangle's own) where a rectangle of
+    the same width has an equal column signature. *)
+
+val relocation_sites : ?avoid_forbidden:bool -> Partition.t -> Rect.t -> Rect.t list
+(** Every placement of a rectangle compatible with the argument
+    (including the argument itself), i.e. all compatible x positions
+    crossed with all vertical positions.  With [avoid_forbidden] (the
+    default) sites overlapping a forbidden area are dropped. *)
+
+val free_compatible_sites :
+  ?avoid_forbidden:bool ->
+  occupied:Rect.t list ->
+  Partition.t ->
+  Rect.t ->
+  Rect.t list
+(** {!relocation_sites} minus those overlapping any [occupied]
+    rectangle — the candidate free-compatible areas of Definition .2
+    for a given floorplan state. *)
+
+val covered_demand : Partition.t -> Rect.t -> Resource.demand
+(** Tiles covered per kind, via the columnar structure. *)
+
+val satisfies : Partition.t -> Rect.t -> Resource.demand -> bool
+(** Does the rectangle cover at least the demanded tiles of each kind? *)
+
+val wasted_frames : Partition.t -> Rect.t -> Resource.demand -> int
+(** Configuration frames covered beyond the demand (the paper's wasted
+    frames metric).  Negative kinds never offset positive ones. *)

@@ -1,0 +1,76 @@
+let clb = Resource.tile_type Resource.Clb
+let bram = Resource.tile_type Resource.Bram
+let dsp = Resource.tile_type Resource.Dsp
+
+(* Column plan of the XC5VFX70T model: 35 CLB, 5 BRAM, 2 DSP columns.
+   The DSP columns sit next to 7-wide CLB runs so that the SDR design's
+   DSP-hungry regions have exactly two 5-row windows available, which is
+   what makes duplicating the matched filter / video decoder infeasible
+   (Section VI's feasibility analysis). *)
+let fx70t_columns =
+  let c n = List.init n (fun _ -> clb) in
+  List.concat
+    [
+      c 2; [ bram ]; c 7; [ dsp ]; c 4; [ bram ]; c 4; [ bram ]; c 5; [ bram ];
+      c 7; [ dsp ]; c 4; [ bram ]; c 2;
+    ]
+
+let virtex5_fx70t =
+  Grid.of_columns ~name:"XC5VFX70T"
+    ~forbidden:[ Rect.make ~x:1 ~y:4 ~w:2 ~h:2 (* PowerPC440 block *) ]
+    ~rows:8 fx70t_columns
+
+let fig1 =
+  Grid.of_columns ~name:"fig1" ~rows:6
+    [ clb; bram; clb; clb; bram; clb; clb; bram ]
+
+let fig1_areas =
+  [
+    ("A", Rect.make ~x:1 ~y:1 ~w:2 ~h:2);
+    ("B", Rect.make ~x:4 ~y:3 ~w:2 ~h:2);
+    ("C", Rect.make ~x:2 ~y:4 ~w:2 ~h:2);
+  ]
+
+let fig2 =
+  Grid.of_columns ~name:"fig2" ~rows:6
+    ~forbidden:
+      [ Rect.make ~x:1 ~y:3 ~w:2 ~h:2; Rect.make ~x:7 ~y:5 ~w:1 ~h:1 ]
+    [ clb; clb; bram; clb; clb; dsp; clb; clb; bram ]
+
+let fig3 =
+  Grid.of_columns ~name:"fig3" ~rows:4
+    [ clb; clb; bram; clb; clb; dsp; dsp; clb ]
+
+let fig3_region = Rect.make ~x:3 ~y:2 ~w:5 ~h:2
+
+(* A small Virtex-7-style part: the paper notes Virtex-7 devices have
+   no fabric-breaking hard processors, so the whole device is columnar
+   with no forbidden areas. *)
+let virtex7_small =
+  let c n = List.init n (fun _ -> clb) in
+  Grid.of_columns ~name:"XC7-small" ~rows:6
+    (List.concat
+       [ c 4; [ bram ]; c 5; [ dsp ]; c 5; [ bram ]; c 5; [ dsp ]; c 5; [ bram ]; c 4 ])
+
+let mini =
+  Grid.of_columns ~name:"mini" ~rows:4
+    [ clb; clb; bram; clb; clb; dsp; clb; clb; bram; clb ]
+
+let random ?(max_width = 12) ?(max_height = 6) rng =
+  let width = 2 + Random.State.int rng (max_width - 1) in
+  let height = 2 + Random.State.int rng (max_height - 1) in
+  let kinds = [| clb; clb; clb; bram; dsp |] in
+  let cols =
+    List.init width (fun _ -> kinds.(Random.State.int rng (Array.length kinds)))
+  in
+  let forbidden =
+    if Random.State.int rng 3 = 0 && width > 2 && height > 2 then begin
+      let w = 1 + Random.State.int rng 2 and h = 1 + Random.State.int rng 2 in
+      let w = min w (width - 1) and h = min h (height - 1) in
+      let x = 1 + Random.State.int rng (width - w) in
+      let y = 1 + Random.State.int rng (height - h) in
+      [ Rect.make ~x ~y ~w ~h ]
+    end
+    else []
+  in
+  Grid.of_columns ~name:"random" ~forbidden ~rows:height cols

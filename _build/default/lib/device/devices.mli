@@ -1,0 +1,36 @@
+(** Predefined devices: the Virtex-5 FX70T tile model used by the
+    paper's evaluation, the toy devices of Figures 1-3, and random
+    devices for property tests. *)
+
+val virtex5_fx70t : Grid.t
+(** Tile model of the XC5VFX70T: 42 columns x 8 clock-region rows
+    (35 CLB, 5 BRAM and 2 DSP columns; 36/30/28 configuration frames per
+    tile as in Section VI) with the embedded PowerPC440 block as a
+    forbidden area at the left-center of the fabric. *)
+
+val fig1 : Grid.t
+(** Toy device for the compatible-areas example of Figure 1. *)
+
+val fig1_areas : (string * Rect.t) list
+(** The areas A, B, C of Figure 1: A and B compatible, C not. *)
+
+val fig2 : Grid.t
+(** Toy device with two hard blocks, as in the columnar-partitioning
+    example of Figure 2 (6 portions, forbidden areas f1 and f2). *)
+
+val fig3 : Grid.t
+(** Five-portion device for the offset-variables example of Figure 3. *)
+
+val fig3_region : Rect.t
+(** The region drawn in Figure 3 (covers portions 2-4). *)
+
+val virtex7_small : Grid.t
+(** Small Virtex-7-style part: fully columnar, no forbidden areas (the
+    paper notes Virtex-7 devices comply with the columnar description). *)
+
+val mini : Grid.t
+(** Small columnar device (10x4) for MILP-scale tests and examples. *)
+
+val random : ?max_width:int -> ?max_height:int -> Random.State.t -> Grid.t
+(** Random columnar device: random column kinds, size, and possibly one
+    forbidden block.  Always columnar-partitionable. *)

@@ -1,0 +1,179 @@
+type placement = { p_region : string; p_rect : Rect.t }
+
+type fc_area = { fc_region : string; fc_index : int; fc_rect : Rect.t }
+
+type t = { placements : placement list; fc_areas : fc_area list }
+
+let empty = { placements = []; fc_areas = [] }
+let make placements fc_areas = { placements; fc_areas }
+
+let placement_of t name =
+  List.find_opt (fun p -> p.p_region = name) t.placements
+
+let rect_of t name = Option.map (fun p -> p.p_rect) (placement_of t name)
+
+let all_rects t =
+  List.map (fun p -> p.p_rect) t.placements
+  @ List.map (fun f -> f.fc_rect) t.fc_areas
+
+let fc_count t = List.length t.fc_areas
+let fc_for t name = List.filter (fun f -> f.fc_region = name) t.fc_areas
+
+let validate part (spec : Spec.t) t =
+  let errs = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
+  let width = Partition.width part and height = Partition.height part in
+  (* placement presence and uniqueness *)
+  List.iter
+    (fun (r : Spec.region) ->
+      match
+        List.filter (fun p -> p.p_region = r.Spec.r_name) t.placements
+      with
+      | [] -> err "region %s is not placed" r.Spec.r_name
+      | [ _ ] -> ()
+      | _ -> err "region %s is placed more than once" r.Spec.r_name)
+    spec.Spec.regions;
+  List.iter
+    (fun p ->
+      if Spec.find_region spec p.p_region = None then
+        err "placement for unknown region %s" p.p_region)
+    t.placements;
+  (* geometric checks on every rectangle *)
+  let named_rects =
+    List.map (fun p -> (p.p_region, p.p_rect)) t.placements
+    @ List.map
+        (fun f -> (Printf.sprintf "%s %d" f.fc_region f.fc_index, f.fc_rect))
+        t.fc_areas
+  in
+  List.iter
+    (fun (name, r) ->
+      if not (Rect.within ~width ~height r) then
+        err "%s at %s exceeds the %dx%d device" name (Rect.to_string r) width
+          height
+      else if Grid.rect_hits_forbidden part.Partition.grid r then
+        err "%s at %s overlaps a forbidden area" name (Rect.to_string r))
+    named_rects;
+  let rec pairwise = function
+    | [] -> ()
+    | (na, ra) :: rest ->
+      List.iter
+        (fun (nb, rb) ->
+          if Rect.overlaps ra rb then err "%s overlaps %s" na nb)
+        rest;
+      pairwise rest
+  in
+  pairwise named_rects;
+  (* resource coverage *)
+  List.iter
+    (fun (r : Spec.region) ->
+      match rect_of t r.Spec.r_name with
+      | None -> ()
+      | Some rect ->
+        if Rect.within ~width ~height rect then
+          if not (Compat.satisfies part rect r.Spec.demand) then
+            err "region %s at %s does not cover its demand (%a)" r.Spec.r_name
+              (Rect.to_string rect) Resource.pp_demand r.Spec.demand)
+    spec.Spec.regions;
+  (* free-compatible areas: compatibility with their region *)
+  List.iter
+    (fun f ->
+      match rect_of t f.fc_region with
+      | None -> err "free-compatible area for unplaced region %s" f.fc_region
+      | Some rect ->
+        if
+          Rect.within ~width ~height rect
+          && Rect.within ~width ~height f.fc_rect
+          && not (Compat.compatible part rect f.fc_rect)
+        then
+          err "area %s %d at %s is not compatible with the region at %s"
+            f.fc_region f.fc_index (Rect.to_string f.fc_rect)
+            (Rect.to_string rect))
+    t.fc_areas;
+  (* hard relocation requests satisfied in number *)
+  List.iter
+    (fun (rr : Spec.reloc_req) ->
+      match rr.Spec.mode with
+      | Spec.Soft _ -> ()
+      | Spec.Hard ->
+        let got = List.length (fc_for t rr.Spec.target) in
+        if got < rr.Spec.copies then
+          err "region %s has %d free-compatible areas, %d required"
+            rr.Spec.target got rr.Spec.copies)
+    spec.Spec.relocs;
+  match List.rev !errs with [] -> Ok () | es -> Error es
+
+let is_valid part spec t = validate part spec t = Ok ()
+
+let wasted_frames part (spec : Spec.t) t =
+  List.fold_left
+    (fun acc (r : Spec.region) ->
+      match rect_of t r.Spec.r_name with
+      | None -> acc
+      | Some rect -> acc + Compat.wasted_frames part rect r.Spec.demand)
+    0 spec.Spec.regions
+
+let wirelength (spec : Spec.t) t =
+  List.fold_left
+    (fun acc (n : Spec.net) ->
+      match (rect_of t n.Spec.src, rect_of t n.Spec.dst) with
+      | Some a, Some b -> acc +. (n.Spec.weight *. Rect.manhattan_centers a b)
+      | _ ->
+        invalid_arg
+          (Printf.sprintf "Floorplan.wirelength: net %s-%s has unplaced region"
+             n.Spec.src n.Spec.dst))
+    0. spec.Spec.nets
+
+let region_marks t =
+  let digits = "123456789" in
+  List.mapi
+    (fun i p ->
+      let c =
+        if i < String.length digits then digits.[i]
+        else Char.chr (Char.code 'A' + i - String.length digits)
+      in
+      (c, p))
+    t.placements
+
+(* uppercase so marks never collide with the lowercase background tiles *)
+let fc_mark f =
+  match f.fc_region with
+  | "" -> '?'
+  | s -> Char.uppercase_ascii s.[0]
+
+let legend t =
+  let fc_groups =
+    List.fold_left
+      (fun acc f ->
+        let c = fc_mark f in
+        match List.assoc_opt c acc with
+        | Some n -> (c, max n f.fc_index) :: List.remove_assoc c acc
+        | None -> (c, f.fc_index) :: acc)
+      [] t.fc_areas
+  in
+  let fc_name c =
+    match List.find_opt (fun f -> fc_mark f = c) t.fc_areas with
+    | Some f -> f.fc_region
+    | None -> "?"
+  in
+  List.map (fun (c, p) -> (c, p.p_region)) (region_marks t)
+  @ List.rev_map
+      (fun (c, n) ->
+        ( c,
+          if n = 1 then Printf.sprintf "%s (free-compatible area)" (fc_name c)
+          else Printf.sprintf "%s (free-compatible areas 1-%d)" (fc_name c) n ))
+      fc_groups
+
+let render part t =
+  let marks =
+    List.map (fun (c, p) -> (p.p_rect, c)) (region_marks t)
+    @ List.map (fun f -> (f.fc_rect, fc_mark f)) t.fc_areas
+  in
+  let picture = Grid.render ~marks part.Partition.grid in
+  let legend_lines =
+    List.map (fun (c, name) -> Printf.sprintf "  %c = %s" c name) (legend t)
+  in
+  String.concat "\n" (picture :: legend_lines)
+
+let pp ppf t =
+  Format.fprintf ppf "%d regions, %d free-compatible areas"
+    (List.length t.placements) (fc_count t)

@@ -1,0 +1,121 @@
+type t = {
+  g_name : string;
+  g_width : int;
+  g_height : int;
+  g_tiles : Resource.tile_type array; (* row-major, index (row-1)*w + (col-1) *)
+  g_frames : Resource.kind -> int;
+  g_forbidden : Rect.t list;
+}
+
+let name g = g.g_name
+let width g = g.g_width
+let height g = g.g_height
+let frames g = g.g_frames
+let forbidden g = g.g_forbidden
+
+let check_coords g col row fn =
+  if col < 1 || col > g.g_width || row < 1 || row > g.g_height then
+    invalid_arg
+      (Printf.sprintf "Grid.%s: (%d,%d) outside %dx%d" fn col row g.g_width
+         g.g_height)
+
+let tile g col row =
+  check_coords g col row "tile";
+  g.g_tiles.(((row - 1) * g.g_width) + (col - 1))
+
+let create ?(name = "device") ?(frames = Resource.default_frames)
+    ?(forbidden = []) ~width ~height f =
+  if width <= 0 || height <= 0 then
+    invalid_arg "Grid.create: non-positive dimensions";
+  List.iter
+    (fun r ->
+      if not (Rect.within ~width ~height r) then
+        invalid_arg
+          (Printf.sprintf "Grid.create: forbidden area %s outside device"
+             (Rect.to_string r)))
+    forbidden;
+  let tiles =
+    Array.init (width * height) (fun i ->
+        let row = (i / width) + 1 and col = (i mod width) + 1 in
+        f col row)
+  in
+  {
+    g_name = name;
+    g_width = width;
+    g_height = height;
+    g_tiles = tiles;
+    g_frames = frames;
+    g_forbidden = forbidden;
+  }
+
+let of_columns ?name ?frames ?forbidden ~rows types =
+  let arr = Array.of_list types in
+  let width = Array.length arr in
+  if width = 0 then invalid_arg "Grid.of_columns: empty column list";
+  create ?name ?frames ?forbidden ~width ~height:rows (fun col _ -> arr.(col - 1))
+
+let of_strings ?name ?frames ?forbidden lines =
+  match lines with
+  | [] -> invalid_arg "Grid.of_strings: no rows"
+  | first :: _ ->
+    let width = String.length first in
+    let height = List.length lines in
+    let rows = Array.of_list lines in
+    Array.iter
+      (fun l ->
+        if String.length l <> width then
+          invalid_arg "Grid.of_strings: ragged rows")
+      rows;
+    create ?name ?frames ?forbidden ~width ~height (fun col row ->
+        let c = rows.(row - 1).[col - 1] in
+        match Resource.kind_of_char c with
+        | Some k -> Resource.tile_type k
+        | None -> invalid_arg (Printf.sprintf "Grid.of_strings: bad tile '%c'" c))
+
+let in_forbidden g col row =
+  List.exists (fun r -> Rect.contains_point r col row) g.g_forbidden
+
+let rect_hits_forbidden g rect =
+  List.exists (fun r -> Rect.overlaps r rect) g.g_forbidden
+
+let count_tiles g rect =
+  if not (Rect.within ~width:g.g_width ~height:g.g_height rect) then
+    invalid_arg
+      (Printf.sprintf "Grid.count_tiles: %s outside device" (Rect.to_string rect));
+  let counts = List.map (fun k -> (k, ref 0)) Resource.all_kinds in
+  for row = rect.Rect.y to Rect.y2 rect do
+    for col = rect.Rect.x to Rect.x2 rect do
+      let { Resource.kind; _ } = tile g col row in
+      incr (List.assoc kind counts)
+    done
+  done;
+  List.filter_map
+    (fun (k, r) -> if !r > 0 then Some (k, !r) else None)
+    counts
+
+let total_tiles g =
+  count_tiles g (Rect.make ~x:1 ~y:1 ~w:g.g_width ~h:g.g_height)
+
+let render ?(marks = []) g =
+  let b = Buffer.create ((g.g_width + 1) * g.g_height) in
+  for row = 1 to g.g_height do
+    for col = 1 to g.g_width do
+      let c =
+        if in_forbidden g col row then '#'
+        else
+          match
+            List.find_opt (fun (r, _) -> Rect.contains_point r col row) marks
+          with
+          | Some (_, m) -> m
+          | None ->
+            let ty = tile g col row in
+            Char.lowercase_ascii (Resource.kind_to_char ty.Resource.kind)
+      in
+      Buffer.add_char b c
+    done;
+    if row < g.g_height then Buffer.add_char b '\n'
+  done;
+  Buffer.contents b
+
+let pp ppf g =
+  Format.fprintf ppf "%s (%dx%d)@.%s" g.g_name g.g_width g.g_height (render g)

@@ -1,0 +1,66 @@
+(** The FPGA tile grid: a [width] x [height] array of tile types plus
+    the forbidden areas (hard blocks such as the PowerPC of the
+    Virtex-5 FX70T) and the per-kind configuration-frame counts. *)
+
+type t
+
+val create :
+  ?name:string ->
+  ?frames:(Resource.kind -> int) ->
+  ?forbidden:Rect.t list ->
+  width:int ->
+  height:int ->
+  (int -> int -> Resource.tile_type) ->
+  t
+(** [create ~width ~height f] builds a grid where tile [(col, row)]
+    (1-based) has type [f col row].
+    @raise Invalid_argument if a forbidden rectangle falls outside the
+    device. *)
+
+val of_columns :
+  ?name:string ->
+  ?frames:(Resource.kind -> int) ->
+  ?forbidden:Rect.t list ->
+  rows:int ->
+  Resource.tile_type list ->
+  t
+(** Uniform columns: every tile of column [i] has the [i]-th type. *)
+
+val of_strings :
+  ?name:string ->
+  ?frames:(Resource.kind -> int) ->
+  ?forbidden:Rect.t list ->
+  string list ->
+  t
+(** ASCII rows, top row first: ['C'] CLB, ['B'] BRAM, ['D'] DSP,
+    ['I'] IO.  A digit suffix is not supported; use {!create} for
+    variants.  Rows must have equal length.
+    @raise Invalid_argument on bad characters or ragged rows. *)
+
+val name : t -> string
+val width : t -> int
+val height : t -> int
+val tile : t -> int -> int -> Resource.tile_type
+(** [tile g col row], 1-based. @raise Invalid_argument out of range. *)
+
+val frames : t -> Resource.kind -> int
+val forbidden : t -> Rect.t list
+
+val in_forbidden : t -> int -> int -> bool
+(** Is tile [(col,row)] covered by a forbidden area? *)
+
+val rect_hits_forbidden : t -> Rect.t -> bool
+
+val count_tiles : t -> Rect.t -> Resource.demand
+(** Tiles per kind covered by a rectangle (forbidden tiles included —
+    callers exclude forbidden-overlapping rectangles up front). *)
+
+val total_tiles : t -> Resource.demand
+(** Whole-device tile census. *)
+
+val render : ?marks:(Rect.t * char) list -> t -> string
+(** ASCII picture of the device, one row per line, top row first.
+    Tiles covered by a mark rectangle show the mark character;
+    forbidden tiles show ['#']. *)
+
+val pp : Format.formatter -> t -> unit

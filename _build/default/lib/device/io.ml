@@ -1,0 +1,158 @@
+let lines_of text =
+  String.split_on_char '\n' text
+  |> List.map String.trim
+  |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+
+let prefixed prefix line =
+  let n = String.length prefix in
+  if String.length line >= n && String.sub line 0 n = prefix then
+    Some (String.trim (String.sub line n (String.length line - n)))
+  else None
+
+let words s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let parse_grid text =
+  try
+    let name = ref "device" and rows = ref [] and forbidden = ref [] in
+    List.iter
+      (fun line ->
+        match prefixed "name:" line with
+        | Some n -> name := n
+        | None -> (
+          match prefixed "forbidden:" line with
+          | Some spec -> (
+            match List.map int_of_string (words spec) with
+            | [ x; y; w; h ] -> forbidden := Rect.make ~x ~y ~w ~h :: !forbidden
+            | _ -> failwith "forbidden: expects 'x y w h'")
+          | None -> rows := line :: !rows))
+      (lines_of text);
+    if !rows = [] then Error "device file has no tile rows"
+    else
+      Ok
+        (Grid.of_strings ~name:!name ~forbidden:(List.rev !forbidden)
+           (List.rev !rows))
+  with
+  | Failure msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
+let parse_kind = function
+  | "clb" | "c" -> Some Resource.Clb
+  | "bram" | "b" -> Some Resource.Bram
+  | "dsp" | "d" -> Some Resource.Dsp
+  | "io" | "i" -> Some Resource.Io
+  | _ -> None
+
+let parse_demand_item item =
+  match String.split_on_char '=' item with
+  | [ k; n ] -> (
+    match (parse_kind (String.lowercase_ascii k), int_of_string_opt n) with
+    | Some kind, Some count when count > 0 -> Some (kind, count)
+    | _ -> None)
+  | _ -> None
+
+let parse_spec text =
+  try
+    let name = ref "design" in
+    let regions = ref [] and nets = ref [] and relocs = ref [] in
+    List.iter
+      (fun line ->
+        match prefixed "name:" line with
+        | Some n -> name := n
+        | None -> (
+          match words line with
+          | "region" :: rname :: items ->
+            let demand = List.filter_map parse_demand_item items in
+            if demand = [] || List.length demand <> List.length items then
+              failwith ("bad region line: " ^ line);
+            regions := { Spec.r_name = rname; demand } :: !regions
+          | [ "net"; a; b ] ->
+            nets := { Spec.src = a; dst = b; weight = 1. } :: !nets
+          | [ "net"; a; b; w ] ->
+            nets := { Spec.src = a; dst = b; weight = float_of_string w } :: !nets
+          | [ "reloc"; target; copies; "hard" ] ->
+            relocs :=
+              { Spec.target; copies = int_of_string copies; mode = Spec.Hard }
+              :: !relocs
+          | [ "reloc"; target; copies; "soft"; w ] ->
+            relocs :=
+              {
+                Spec.target;
+                copies = int_of_string copies;
+                mode = Spec.Soft (float_of_string w);
+              }
+              :: !relocs
+          | _ -> failwith ("unrecognized design line: " ^ line)))
+      (lines_of text);
+    Ok
+      (Spec.make ~name:!name ~nets:(List.rev !nets) ~relocs:(List.rev !relocs)
+         (List.rev !regions))
+  with
+  | Failure msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_grid path =
+  match read_file path with
+  | exception Sys_error e -> Error e
+  | text -> parse_grid text
+
+let load_spec path =
+  match read_file path with
+  | exception Sys_error e -> Error e
+  | text -> parse_spec text
+
+let grid_to_string g =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "name: %s\n" (Grid.name g));
+  for row = 1 to Grid.height g do
+    for col = 1 to Grid.width g do
+      let ty = Grid.tile g col row in
+      Buffer.add_char b (Char.lowercase_ascii (Resource.kind_to_char ty.Resource.kind))
+    done;
+    Buffer.add_char b '\n'
+  done;
+  List.iter
+    (fun (r : Rect.t) ->
+      Buffer.add_string b
+        (Printf.sprintf "forbidden: %d %d %d %d\n" r.Rect.x r.Rect.y r.Rect.w
+           r.Rect.h))
+    (Grid.forbidden g);
+  Buffer.contents b
+
+let spec_to_string (s : Spec.t) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "name: %s\n" s.Spec.s_name);
+  List.iter
+    (fun (r : Spec.region) ->
+      Buffer.add_string b (Printf.sprintf "region %s" r.Spec.r_name);
+      List.iter
+        (fun (k, n) ->
+          Buffer.add_string b
+            (Printf.sprintf " %s=%d"
+               (String.lowercase_ascii (Resource.kind_to_string k))
+               n))
+        r.Spec.demand;
+      Buffer.add_char b '\n')
+    s.Spec.regions;
+  List.iter
+    (fun (n : Spec.net) ->
+      Buffer.add_string b
+        (Printf.sprintf "net %s %s %g\n" n.Spec.src n.Spec.dst n.Spec.weight))
+    s.Spec.nets;
+  List.iter
+    (fun (rr : Spec.reloc_req) ->
+      match rr.Spec.mode with
+      | Spec.Hard ->
+        Buffer.add_string b
+          (Printf.sprintf "reloc %s %d hard\n" rr.Spec.target rr.Spec.copies)
+      | Spec.Soft w ->
+        Buffer.add_string b
+          (Printf.sprintf "reloc %s %d soft %g\n" rr.Spec.target rr.Spec.copies w))
+    s.Spec.relocs;
+  Buffer.contents b

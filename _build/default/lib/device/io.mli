@@ -1,0 +1,31 @@
+(** Plain-text formats for devices and designs, used by the CLI.
+
+    Device file: one line of tile letters per row (['c'] CLB, ['b']
+    BRAM, ['d'] DSP, ['i'] IO), plus optional directives:
+    {v
+    name: mydevice
+    ccbccdccbc
+    ccbccdccbc
+    forbidden: 1 1 2 1
+    v}
+
+    Design file:
+    {v
+    name: mydesign
+    region filter clb=2 bram=1
+    region decoder clb=2 dsp=1
+    net filter decoder 32
+    reloc filter 2 hard
+    reloc decoder 1 soft 1.5
+    v} *)
+
+val parse_grid : string -> (Grid.t, string) result
+val load_grid : string -> (Grid.t, string) result
+
+val parse_spec : string -> (Spec.t, string) result
+val load_spec : string -> (Spec.t, string) result
+
+val grid_to_string : Grid.t -> string
+(** Round-trippable rendering of a grid in the device file format. *)
+
+val spec_to_string : Spec.t -> string

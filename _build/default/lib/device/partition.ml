@@ -1,0 +1,169 @@
+type portion = {
+  index : int;
+  x1 : int;
+  x2 : int;
+  tile : Resource.tile_type;
+  tid : int;
+}
+
+let portion_width p = p.x2 - p.x1 + 1
+
+type t = {
+  grid : Grid.t;
+  portions : portion array;
+  forbidden : Rect.t list;
+  n_types : int;
+  types : Resource.tile_type array;
+}
+
+(* Step 1: the effective type of each column after replacing forbidden
+   tiles with a same-column tile outside any forbidden area. *)
+let effective_column_types grid =
+  let w = Grid.width grid and h = Grid.height grid in
+  let col_type = Array.make w None in
+  let err = ref None in
+  for col = 1 to w do
+    (* find a replacement type: any tile of this column outside the
+       forbidden areas *)
+    let repl = ref None in
+    for row = 1 to h do
+      if !repl = None && not (Grid.in_forbidden grid col row) then
+        repl := Some (Grid.tile grid col row)
+    done;
+    match !repl with
+    | None ->
+      if !err = None then
+        err := Some (Printf.sprintf "column %d is entirely forbidden" col)
+    | Some ty -> col_type.(col - 1) <- Some ty
+  done;
+  match !err with
+  | Some e -> Error e
+  | None -> Ok (Array.map Option.get col_type)
+
+(* Steps 2-5 of the procedure, specialised to the step-1 result: grow a
+   portion right from the first free column while the type matches, and
+   verify every covered column is uniform top to bottom (otherwise the
+   portion cannot be "extended completely to the bottom" and the FPGA is
+   not columnar-partitionable). *)
+let columnar grid =
+  match effective_column_types grid with
+  | Error e -> Error e
+  | Ok col_types ->
+    let w = Grid.width grid and h = Grid.height grid in
+    let uniform col =
+      let expect = col_types.(col - 1) in
+      let ok = ref true in
+      for row = 1 to h do
+        if
+          (not (Grid.in_forbidden grid col row))
+          && not (Resource.equal_tile_type (Grid.tile grid col row) expect)
+        then ok := false
+      done;
+      !ok
+    in
+    let bad = ref None in
+    for col = 1 to w do
+      if !bad = None && not (uniform col) then bad := Some col
+    done;
+    (match !bad with
+    | Some col ->
+      Error
+        (Printf.sprintf
+           "column %d mixes tile types: portion cannot extend to the bottom"
+           col)
+    | None ->
+      (* assign tile-type ids in order of first appearance *)
+      let types = ref [] and n_types = ref 0 in
+      let tid_of ty =
+        match
+          List.find_opt (fun (_, t) -> Resource.equal_tile_type t ty) !types
+        with
+        | Some (id, _) -> id
+        | None ->
+          incr n_types;
+          types := (!n_types, ty) :: !types;
+          !n_types
+      in
+      let portions = ref [] in
+      let idx = ref 0 in
+      let col = ref 1 in
+      while !col <= w do
+        let start = !col in
+        let ty = col_types.(start - 1) in
+        while !col <= w && Resource.equal_tile_type col_types.(!col - 1) ty do
+          incr col
+        done;
+        incr idx;
+        portions :=
+          { index = !idx; x1 = start; x2 = !col - 1; tile = ty; tid = tid_of ty }
+          :: !portions
+      done;
+      let types_arr = Array.make !n_types (Resource.tile_type Resource.Clb) in
+      List.iter (fun (id, ty) -> types_arr.(id - 1) <- ty) !types;
+      Ok
+        {
+          grid;
+          portions = Array.of_list (List.rev !portions);
+          forbidden = Grid.forbidden grid;
+          n_types = !n_types;
+          types = types_arr;
+        })
+
+let columnar_exn grid =
+  match columnar grid with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Partition.columnar: " ^ e)
+
+let width t = Grid.width t.grid
+let height t = Grid.height t.grid
+
+let portion_of_column t col =
+  if col < 1 || col > width t then
+    invalid_arg (Printf.sprintf "Partition.portion_of_column: %d" col);
+  (* portions are sorted left to right; binary search is overkill *)
+  let rec find i =
+    let p = t.portions.(i) in
+    if col <= p.x2 then p else find (i + 1)
+  in
+  find 0
+
+let column_type t col = (portion_of_column t col).tile
+let column_tid t col = (portion_of_column t col).tid
+
+let frames_of_demand t d =
+  Resource.demand_frames ~frames:(Grid.frames t.grid) d
+
+let check_adjacent_types_differ t =
+  let ok = ref true in
+  for i = 0 to Array.length t.portions - 2 do
+    if
+      Resource.equal_tile_type t.portions.(i).tile t.portions.(i + 1).tile
+    then ok := false
+  done;
+  !ok
+
+let check_cover_disjoint t =
+  let w = width t in
+  let covered = Array.make w 0 in
+  Array.iter
+    (fun p ->
+      for col = p.x1 to p.x2 do
+        covered.(col - 1) <- covered.(col - 1) + 1
+      done)
+    t.portions;
+  Array.for_all (fun c -> c = 1) covered
+  && Array.length t.portions > 0
+  && t.portions.(0).x1 = 1
+  && t.portions.(Array.length t.portions - 1).x2 = w
+
+let pp ppf t =
+  Format.fprintf ppf "%d portions over %dx%d (%d types):@." (Array.length t.portions)
+    (width t) (height t) t.n_types;
+  Array.iter
+    (fun p ->
+      Format.fprintf ppf "  P%d: cols %d-%d %a@." p.index p.x1 p.x2
+        Resource.pp_tile_type p.tile)
+    t.portions;
+  List.iter
+    (fun r -> Format.fprintf ppf "  forbidden %a@." Rect.pp r)
+    t.forbidden

@@ -1,0 +1,36 @@
+(** Axis-aligned rectangles on the tile grid.
+
+    Coordinates are 1-based, matching the paper's model ([x >= 1]); a
+    rectangle spans columns [x .. x + w - 1] and rows [y .. y + h - 1],
+    inclusive. *)
+
+type t = { x : int; y : int; w : int; h : int }
+
+val make : x:int -> y:int -> w:int -> h:int -> t
+(** @raise Invalid_argument if [w <= 0] or [h <= 0] or [x,y < 1]. *)
+
+val x2 : t -> int
+(** Rightmost column covered. *)
+
+val y2 : t -> int
+(** Bottommost row covered. *)
+
+val area : t -> int
+
+val overlaps : t -> t -> bool
+val contains_point : t -> int -> int -> bool
+val contains : t -> t -> bool
+(** [contains outer inner]. *)
+
+val within : width:int -> height:int -> t -> bool
+(** Entirely inside a [width] x [height] device. *)
+
+val center : t -> float * float
+
+val manhattan_centers : t -> t -> float
+(** Manhattan distance between centers (wire-length building block). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/milp/gomory.ml: Array Float Fun Hashtbl List Lp Printf Simplex

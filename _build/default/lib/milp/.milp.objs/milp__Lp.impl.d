@@ -1,0 +1,1 @@
+lib/milp/lp.ml: Array Float Format Hashtbl List Printf

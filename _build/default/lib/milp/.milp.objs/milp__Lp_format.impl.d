@@ -1,0 +1,1 @@
+lib/milp/lp_format.ml: Buffer Bytes Format Fun Hashtbl List Lp Printf String

@@ -1,0 +1,1 @@
+lib/milp/lp_format.mli: Format Lp

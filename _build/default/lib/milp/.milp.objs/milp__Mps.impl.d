@@ -1,0 +1,1 @@
+lib/milp/mps.ml: Array Buffer Format Fun List Lp Lp_format

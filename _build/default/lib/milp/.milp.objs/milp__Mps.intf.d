@@ -1,0 +1,1 @@
+lib/milp/mps.mli: Format Lp

@@ -1,0 +1,1 @@
+lib/milp/presolve.ml: Float List Lp

@@ -1,0 +1,214 @@
+type status = Optimal | Feasible | Infeasible | Unbounded | Unknown
+
+type result = {
+  status : status;
+  incumbent : (float * float array) option;
+  best_bound : float;
+  nodes : int;
+  simplex_iterations : int;
+  elapsed : float;
+}
+
+type options = {
+  time_limit : float option;
+  node_limit : int option;
+  mip_gap : float;
+  int_eps : float;
+  priorities : float array option;
+  log : (string -> unit) option;
+  log_every : int;
+  gomory_rounds : int;
+}
+
+let default_options =
+  {
+    time_limit = None;
+    node_limit = None;
+    mip_gap = 1e-6;
+    int_eps = 1e-6;
+    priorities = None;
+    log = None;
+    log_every = 1000;
+    gomory_rounds = 0;
+  }
+
+let objective_key dir obj =
+  match dir with Lp.Minimize -> obj | Lp.Maximize -> -.obj
+
+type node = { n_lb : float array; n_ub : float array; n_bound : float; n_depth : int }
+
+let frac x = x -. Float.round x
+
+(* Pick the branching variable: among fractional integer variables,
+   highest priority first, then most fractional. *)
+let pick_branch ~int_eps ~priorities int_vars x =
+  let best = ref None in
+  List.iter
+    (fun v ->
+      let f = abs_float (frac x.(v)) in
+      if f > int_eps then begin
+        let prio = match priorities with Some p -> p.(v) | None -> 0. in
+        let score = (prio, f) in
+        match !best with
+        | Some (_, s) when s >= score -> ()
+        | _ -> best := Some (v, score)
+      end)
+    int_vars;
+  match !best with None -> None | Some (v, _) -> Some v
+
+let solve ?(options = default_options) ?incumbent lp =
+  let t0 = Sys.time () in
+  (* root-node branch-and-cut: strengthen a private copy with GMI cuts *)
+  let lp =
+    if options.gomory_rounds <= 0 then lp
+    else begin
+      let lp' = Lp.copy lp in
+      let added = Gomory.add_root_cuts ~rounds:options.gomory_rounds lp' in
+      (match options.log with
+      | Some f when added > 0 -> f (Printf.sprintf "gomory: %d root cuts" added)
+      | _ -> ());
+      lp'
+    end
+  in
+  let dir = Lp.objective_dir lp in
+  let key = objective_key dir in
+  let unkey k = match dir with Lp.Minimize -> k | Lp.Maximize -> -.k in
+  let core = Simplex.Core.of_lp lp in
+  let n = Lp.num_vars lp in
+  let int_vars = Lp.integer_vars lp in
+  let root_lb = Array.init n (fun v -> Lp.var_lb lp v) in
+  let root_ub = Array.init n (fun v -> Lp.var_ub lp v) in
+  (* integer variables can have their bounds snapped to integers *)
+  List.iter
+    (fun v ->
+      if Float.is_finite root_lb.(v) then root_lb.(v) <- Float.round (ceil (root_lb.(v) -. 1e-9));
+      if Float.is_finite root_ub.(v) then root_ub.(v) <- Float.round (floor (root_ub.(v) +. 1e-9)))
+    int_vars;
+  let inc_x = ref None and inc_key = ref infinity in
+  (match incumbent with
+  | None -> ()
+  | Some x -> (
+    match Lp.validate ~eps:1e-5 lp x with
+    | Ok () ->
+      inc_x := Some (Array.copy x);
+      inc_key := key (Lp.objective_value lp x)
+    | Error msg ->
+      (match options.log with
+      | Some f -> f (Printf.sprintf "warm incumbent rejected: %s" msg)
+      | None -> ())));
+  let nodes = ref 0 and iters = ref 0 in
+  let incomplete = ref false in
+  (* stack of open nodes; each carries the bound inherited from its
+     parent's LP relaxation *)
+  let stack = ref [ { n_lb = root_lb; n_ub = root_ub; n_bound = neg_infinity; n_depth = 0 } ] in
+  let root_bound = ref neg_infinity in
+  let unbounded = ref false in
+  let stopped = ref false in
+  let gap_abs () = options.mip_gap *. max 1. (abs_float !inc_key) in
+  let out_of_budget () =
+    (match options.time_limit with
+    | Some tl -> Sys.time () -. t0 > tl
+    | None -> false)
+    || match options.node_limit with Some nl -> !nodes >= nl | None -> false
+  in
+  let log_progress () =
+    match options.log with
+    | Some f when !nodes mod options.log_every = 0 ->
+      let inc = if !inc_key = infinity then "-" else Printf.sprintf "%.4f" (unkey !inc_key) in
+      f
+        (Printf.sprintf "node %d open %d incumbent %s iters %d" !nodes
+           (List.length !stack) inc !iters)
+    | _ -> ()
+  in
+  while (not !stopped) && !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | node :: rest ->
+      stack := rest;
+      if !unbounded then stopped := true
+      else if out_of_budget () then begin
+        incomplete := true;
+        stack := node :: !stack;
+        stopped := true
+      end
+      else if node.n_bound >= !inc_key -. gap_abs () then () (* pruned by bound *)
+      else begin
+        incr nodes;
+        log_progress ();
+        let r = Simplex.Core.solve ~lb:node.n_lb ~ub:node.n_ub core in
+        iters := !iters + r.Simplex.iterations;
+        match r.Simplex.status with
+        | Simplex.Infeasible -> ()
+        | Simplex.Iter_limit -> incomplete := true
+        | Simplex.Unbounded ->
+          (* a child's relaxation is a subset of the root's: an unbounded
+             ray in any node is a ray of the root relaxation *)
+          unbounded := true
+        | Simplex.Optimal -> (
+          let bound = key r.Simplex.objective in
+          if node.n_depth = 0 then root_bound := bound;
+          if bound >= !inc_key -. gap_abs () then ()
+          else
+            match
+              pick_branch ~int_eps:options.int_eps ~priorities:options.priorities
+                int_vars r.Simplex.x
+            with
+            | None ->
+              (* integer feasible: snap integers and accept *)
+              let x = Array.copy r.Simplex.x in
+              List.iter (fun v -> x.(v) <- Float.round x.(v)) int_vars;
+              let obj_key = key (Lp.objective_value lp x) in
+              if obj_key < !inc_key then begin
+                inc_key := obj_key;
+                inc_x := Some x;
+                match options.log with
+                | Some f -> f (Printf.sprintf "incumbent %.6f (node %d)" (unkey obj_key) !nodes)
+                | None -> ()
+              end
+            | Some v ->
+              let f = r.Simplex.x.(v) in
+              let fl = Float.round (floor (f +. options.int_eps)) in
+              let down () =
+                let ub = Array.copy node.n_ub in
+                ub.(v) <- min ub.(v) fl;
+                { n_lb = Array.copy node.n_lb; n_ub = ub; n_bound = bound; n_depth = node.n_depth + 1 }
+              and up () =
+                let lb = Array.copy node.n_lb in
+                lb.(v) <- max lb.(v) (fl +. 1.);
+                { n_lb = lb; n_ub = Array.copy node.n_ub; n_bound = bound; n_depth = node.n_depth + 1 }
+              in
+              (* explore the child nearest to the LP value first *)
+              let first, second = if frac f <= 0. then (down (), up ()) else (up (), down ()) in
+              stack := first :: second :: !stack)
+      end
+  done;
+  (* A sound dual bound: if the search completed, the incumbent key;
+     otherwise the min over open-node parent bounds (or the root bound if
+     an open node predates its first LP solve). *)
+  let bound_key =
+    if !unbounded then neg_infinity
+    else if !stack = [] && not !incomplete then !inc_key
+    else
+      List.fold_left
+        (fun acc nd ->
+          min acc (if nd.n_bound = neg_infinity then !root_bound else nd.n_bound))
+        !inc_key !stack
+  in
+  let elapsed = Sys.time () -. t0 in
+  let status =
+    if !unbounded then Unbounded
+    else
+      match (!inc_x, !stack = [] && not !incomplete) with
+      | Some _, true -> Optimal
+      | Some _, false -> Feasible
+      | None, true -> Infeasible
+      | None, false -> Unknown
+  in
+  {
+    status;
+    incumbent = (match !inc_x with Some x -> Some (unkey !inc_key, x) | None -> None);
+    best_bound = unkey bound_key;
+    nodes = !nodes;
+    simplex_iterations = !iters;
+    elapsed;
+  }

@@ -1,0 +1,48 @@
+(** Branch-and-bound for mixed-integer linear programs.
+
+    LP relaxations are solved with {!Simplex}; branching is on the most
+    fractional integer variable (optionally weighted by user priorities),
+    depth-first with best-child-first ordering so feasible incumbents
+    appear early.  Supports time/node limits, a relative MIP gap, warm
+    incumbents, and lexicographic re-optimization via {!val:solve}. *)
+
+type status =
+  | Optimal  (** incumbent proven optimal (within the MIP gap) *)
+  | Feasible  (** stopped early with an incumbent *)
+  | Infeasible
+  | Unbounded
+  | Unknown  (** stopped early without an incumbent *)
+
+type result = {
+  status : status;
+  incumbent : (float * float array) option;
+      (** Objective (original direction, with constant) and variable values. *)
+  best_bound : float;
+      (** Valid dual bound on the optimum, original direction. *)
+  nodes : int;
+  simplex_iterations : int;
+  elapsed : float;  (** CPU seconds. *)
+}
+
+type options = {
+  time_limit : float option;  (** CPU seconds *)
+  node_limit : int option;
+  mip_gap : float;  (** relative gap for pruning/termination, default 1e-6 *)
+  int_eps : float;  (** integrality tolerance, default 1e-6 *)
+  priorities : float array option;
+      (** Branching priorities per variable; higher branches first. *)
+  log : (string -> unit) option;
+  log_every : int;  (** nodes between log lines *)
+  gomory_rounds : int;
+      (** rounds of root-node Gomory cuts (branch and cut); default 0 *)
+}
+
+val default_options : options
+
+val solve : ?options:options -> ?incumbent:float array -> Lp.t -> result
+(** [solve lp] optimizes the MILP.  [incumbent], if given, must be an
+    integer-feasible assignment; it seeds the primal bound. *)
+
+val objective_key : Lp.dir -> float -> float
+(** Normalizes an objective value to minimization order (used by callers
+    comparing bounds across directions). *)

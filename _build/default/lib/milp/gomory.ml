@@ -1,0 +1,197 @@
+type cut = { terms : Lp.term list; rhs : float }
+
+let frac x = x -. floor x
+
+(* Dense inverse of the basis matrix (columns: structural sparse, slack
+   and artificial unit vectors).  None if singular. *)
+let invert_basis lp basis =
+  let m = Lp.num_constrs lp and n = Lp.num_vars lp in
+  let cols = Array.make n [] in
+  Lp.iter_constrs lp (fun i terms _ _ ->
+      List.iter (fun (c, v) -> cols.(v) <- (i, c) :: cols.(v)) terms);
+  let a = Array.init m (fun _ -> Array.make m 0.) in
+  for i = 0 to m - 1 do
+    let j = basis.(i) in
+    if j < n then List.iter (fun (r, c) -> a.(r).(i) <- c) cols.(j)
+    else if j < n + m then a.(j - n).(i) <- 1.
+    else a.(j - n - m).(i) <- 1.
+  done;
+  let inv = Array.init m (fun i -> Array.init m (fun k -> if i = k then 1. else 0.)) in
+  let ok = ref true in
+  for col = 0 to m - 1 do
+    if !ok then begin
+      let piv = ref col in
+      for i = col + 1 to m - 1 do
+        if abs_float a.(i).(col) > abs_float a.(!piv).(col) then piv := i
+      done;
+      if abs_float a.(!piv).(col) < 1e-10 then ok := false
+      else begin
+        if !piv <> col then begin
+          let t = a.(col) in a.(col) <- a.(!piv); a.(!piv) <- t;
+          let t = inv.(col) in inv.(col) <- inv.(!piv); inv.(!piv) <- t
+        end;
+        let d = a.(col).(col) in
+        for k = 0 to m - 1 do
+          a.(col).(k) <- a.(col).(k) /. d;
+          inv.(col).(k) <- inv.(col).(k) /. d
+        done;
+        for i = 0 to m - 1 do
+          if i <> col then begin
+            let f = a.(i).(col) in
+            if f <> 0. then
+              for k = 0 to m - 1 do
+                a.(i).(k) <- a.(i).(k) -. (f *. a.(col).(k));
+                inv.(i).(k) <- inv.(i).(k) -. (f *. inv.(col).(k))
+              done
+          end
+        done
+      end
+    end
+  done;
+  if !ok then Some inv else None
+
+let cuts ?(max_cuts = 16) lp ~basis ~at_upper ~values =
+  let m = Lp.num_constrs lp and n = Lp.num_vars lp in
+  let is_int = Array.make n false in
+  List.iter (fun v -> is_int.(v) <- true) (Lp.integer_vars lp);
+  let cols = Array.make n [] in
+  let rhs_of = Array.make m 0. in
+  Lp.iter_constrs lp (fun i terms _ rhs ->
+      rhs_of.(i) <- rhs;
+      List.iter (fun (c, v) -> cols.(v) <- (i, c) :: cols.(v)) terms);
+  match invert_basis lp basis with
+  | None -> []
+  | Some binv ->
+    let in_basis = Array.make (n + (2 * m)) false in
+    Array.iter (fun j -> in_basis.(j) <- true) basis;
+    let out = ref [] and count = ref 0 in
+    (* nonbasic structural + slack columns *)
+    let nonbasic =
+      List.filter (fun j -> not in_basis.(j)) (List.init (n + m) Fun.id)
+    in
+    let col_dot y j =
+      if j < n then
+        List.fold_left (fun acc (r, c) -> acc +. (y.(r) *. c)) 0. cols.(j)
+      else y.(j - n)
+    in
+    let bounds j =
+      if j < n then (Lp.var_lb lp j, Lp.var_ub lp j)
+      else
+        match Lp.constr_sense lp (j - n) with
+        | Lp.Le -> (0., infinity)
+        | Lp.Ge -> (neg_infinity, 0.)
+        | Lp.Eq -> (0., 0.)
+    in
+    for i = 0 to m - 1 do
+      let jb = basis.(i) in
+      if !count < max_cuts && jb < n && is_int.(jb) then begin
+        let v = values.(jb) in
+        let f0 = frac v in
+        if f0 > 1e-4 && f0 < 1. -. 1e-4 then begin
+          let y = binv.(i) in
+          (* gamma per nonbasic variable; accumulate the cut in t-space
+             then substitute the bound shifts and slacks back *)
+          let usable = ref true in
+          let gammas =
+            List.filter_map
+              (fun j ->
+                if not !usable then None
+                else begin
+                  let lb, ub = bounds j in
+                  if lb = ub then None (* fixed: t_j = 0 *)
+                  else begin
+                    let abar = col_dot y j in
+                    if abs_float abar < 1e-10 then None
+                    else if abs_float abar > 1e7 then begin
+                      usable := false;
+                      None
+                    end
+                    else begin
+                      let up = at_upper.(j) in
+                      if (up && not (Float.is_finite ub))
+                         || ((not up) && not (Float.is_finite lb))
+                      then begin
+                        (* nonbasic not at a finite bound: skip the row *)
+                        usable := false;
+                        None
+                      end
+                      else begin
+                        let a_sh = if up then -.abar else abar in
+                        let integral = j < n && is_int.(j) in
+                        let gamma =
+                          if integral then begin
+                            let fj = frac a_sh in
+                            if fj <= f0 then fj else f0 *. (1. -. fj) /. (1. -. f0)
+                          end
+                          else if a_sh >= 0. then a_sh
+                          else f0 *. -.a_sh /. (1. -. f0)
+                        in
+                        if gamma < 1e-11 then None else Some (j, up, gamma)
+                      end
+                    end
+                  end
+                end)
+              nonbasic
+          in
+          if !usable && gammas <> [] then begin
+            (* sum gamma_j t_j >= f0; expand t_j and slacks *)
+            let terms = Hashtbl.create 16 in
+            let add v c =
+              Hashtbl.replace terms v (c +. try Hashtbl.find terms v with Not_found -> 0.)
+            in
+            let rhs = ref f0 in
+            List.iter
+              (fun (j, up, gamma) ->
+                let lb, ub = bounds j in
+                let coef, const =
+                  (* t = x - lb  or  t = ub - x *)
+                  if up then (-.gamma, gamma *. ub) else (gamma, -.(gamma *. lb))
+                in
+                (* gamma * t = coef * x_j + const *)
+                rhs := !rhs -. const;
+                if j < n then add j coef
+                else begin
+                  (* slack: s = b - row . x *)
+                  let row_i = j - n in
+                  rhs := !rhs -. (coef *. rhs_of.(row_i));
+                  List.iter
+                    (fun (c, v) -> add v (-.coef *. c))
+                    (Lp.constr_terms lp row_i)
+                end)
+              gammas;
+            let term_list =
+              Hashtbl.fold
+                (fun v c acc -> if abs_float c > 1e-11 then (c, v) :: acc else acc)
+                terms []
+            in
+            if term_list <> [] then begin
+              incr count;
+              out := { terms = term_list; rhs = !rhs } :: !out
+            end
+          end
+        end
+      end
+    done;
+    List.rev !out
+
+let add_root_cuts ?(rounds = 3) ?(max_cuts_per_round = 16) lp =
+  let added = ref 0 in
+  let continue_ = ref true in
+  let round = ref 0 in
+  while !continue_ && !round < rounds do
+    incr round;
+    let core = Simplex.Core.of_lp lp in
+    match Simplex.Core.solve_with_basis core with
+    | { Simplex.status = Simplex.Optimal; _ }, Some (basis, at_upper, values)
+      when not (Lp.is_integral lp values) ->
+      let cs = cuts ~max_cuts:max_cuts_per_round lp ~basis ~at_upper ~values in
+      if cs = [] then continue_ := false
+      else
+        List.iter
+          (fun { terms; rhs } ->
+            incr added;
+            Lp.add_constr lp ~name:(Printf.sprintf "gmi%d" !added) terms Lp.Ge rhs)
+          cs
+    | _ -> continue_ := false
+  done;
+  !added

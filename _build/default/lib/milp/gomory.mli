@@ -1,0 +1,31 @@
+(** Gomory mixed-integer (GMI) cuts.
+
+    Derived from an optimal simplex basis: for each basic integer
+    variable with a fractional value, the tableau row yields a valid
+    inequality that cuts off the current fractional vertex but no
+    integer-feasible point.  Used by {!Branch_bound} at the root node
+    ("branch and cut").  All cuts are returned over structural variables
+    only (slacks are substituted out). *)
+
+type cut = { terms : Lp.term list; rhs : float }
+(** The inequality [terms >= rhs]. *)
+
+val cuts :
+  ?max_cuts:int ->
+  Lp.t ->
+  basis:int array ->
+  at_upper:bool array ->
+  values:float array ->
+  cut list
+(** [cuts lp ~basis ~at_upper ~values] derives GMI cuts from the state
+    returned by {!Simplex.Core.solve_with_basis}.  Rows whose basic
+    variable is continuous, integral-valued, artificial, or whose
+    nonbasic support includes a free variable are skipped; numerically
+    fragile rows are skipped too. *)
+
+val add_root_cuts :
+  ?rounds:int -> ?max_cuts_per_round:int -> Lp.t -> int
+(** Iteratively strengthens [lp] in place: solve the relaxation, add
+    GMI cuts, repeat (default 3 rounds, 16 cuts each).  Returns the
+    number of cuts added.  Solutions of the original MILP are preserved
+    (cuts are valid inequalities). *)

@@ -1,0 +1,404 @@
+let fprintf = Format.fprintf
+
+(* LP format restricts identifier characters; sanitize what we emit so
+   names coming from problem descriptions (spaces, '#', ...) stay legal. *)
+let sanitize name =
+  let ok c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '.' || c = '[' || c = ']'
+  in
+  let b = Bytes.of_string name in
+  for i = 0 to Bytes.length b - 1 do
+    if not (ok (Bytes.get b i)) then Bytes.set b i '_'
+  done;
+  let s = Bytes.to_string b in
+  if s = "" then "_"
+  else
+    match s.[0] with
+    | '0' .. '9' | '.' -> "_" ^ s
+    | _ -> s
+
+let var_label lp v = Printf.sprintf "%s" (sanitize (Lp.var_name lp v))
+
+let pp_coeff ppf ~first c name =
+  let sign, mag = if c < 0. then ("-", -.c) else ((if first then "" else "+"), c) in
+  if mag = 1. then fprintf ppf " %s %s" sign name
+  else fprintf ppf " %s %.12g %s" sign mag name
+
+let pp_terms ppf lp terms =
+  match terms with
+  | [] -> fprintf ppf " 0 %s" (var_label lp 0)
+  | _ ->
+    List.iteri
+      (fun i (c, v) -> pp_coeff ppf ~first:(i = 0) c (var_label lp v))
+      terms
+
+let write ppf lp =
+  fprintf ppf "\\ %s@." (Lp.name lp);
+  (match Lp.objective_dir lp with
+  | Lp.Minimize -> fprintf ppf "Minimize@."
+  | Lp.Maximize -> fprintf ppf "Maximize@.");
+  fprintf ppf " obj:";
+  pp_terms ppf lp (Lp.objective_terms lp);
+  (let c = Lp.objective_constant lp in
+   if c <> 0. then
+     if c < 0. then fprintf ppf " - %.12g CONST_ONE" (-.c)
+     else fprintf ppf " + %.12g CONST_ONE" c);
+  fprintf ppf "@.Subject To@.";
+  Lp.iter_constrs lp (fun i terms sense rhs ->
+      fprintf ppf " %s:" (sanitize (Lp.constr_name lp i));
+      pp_terms ppf lp terms;
+      let op = match sense with Lp.Le -> "<=" | Lp.Ge -> ">=" | Lp.Eq -> "=" in
+      fprintf ppf " %s %.12g@." op rhs);
+  if Lp.objective_constant lp <> 0. then fprintf ppf " fix_const: CONST_ONE = 1@.";
+  fprintf ppf "Bounds@.";
+  for v = 0 to Lp.num_vars lp - 1 do
+    let lb = Lp.var_lb lp v and ub = Lp.var_ub lp v in
+    let name = var_label lp v in
+    if Lp.var_kind lp v = Lp.Binary && lb = 0. && ub = 1. then ()
+    else if lb = ub then fprintf ppf " %s = %.12g@." name lb
+    else begin
+      if lb = neg_infinity && ub = infinity then fprintf ppf " %s free@." name
+      else begin
+        if lb <> 0. then
+          if lb = neg_infinity then fprintf ppf " -inf <= %s@." name
+          else fprintf ppf " %.12g <= %s@." lb name;
+        if ub <> infinity then fprintf ppf " %s <= %.12g@." name ub
+      end
+    end
+  done;
+  let generals, binaries =
+    List.partition
+      (fun v -> Lp.var_kind lp v = Lp.Integer)
+      (Lp.integer_vars lp)
+  in
+  if generals <> [] then begin
+    fprintf ppf "General@.";
+    List.iter (fun v -> fprintf ppf " %s@." (var_label lp v)) generals
+  end;
+  if binaries <> [] then begin
+    fprintf ppf "Binary@.";
+    List.iter (fun v -> fprintf ppf " %s@." (var_label lp v)) binaries
+  end;
+  fprintf ppf "End@."
+
+let to_string lp =
+  let b = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer b in
+  write ppf lp;
+  Format.pp_print_flush ppf ();
+  Buffer.contents b
+
+let to_file path lp =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let ppf = Format.formatter_of_out_channel oc in
+      write ppf lp;
+      Format.pp_print_flush ppf ())
+
+(* ------------------------------------------------------------------ *)
+(* Parser for the subset we emit.                                      *)
+
+type token = Word of string | Num of float | Op of string
+
+let tokenize text =
+  let toks = ref [] in
+  let n = String.length text in
+  let i = ref 0 in
+  let in_comment = ref false in
+  while !i < n do
+    let c = text.[!i] in
+    if !in_comment then begin
+      if c = '\n' then in_comment := false;
+      incr i
+    end
+    else
+      match c with
+      | '\\' -> in_comment := true; incr i
+      | ' ' | '\t' | '\n' | '\r' -> incr i
+      | '<' | '>' | '=' ->
+        let j = if !i + 1 < n && text.[!i + 1] = '=' then !i + 2 else !i + 1 in
+        let s = String.sub text !i (j - !i) in
+        let s = match s with "<" -> "<=" | ">" -> ">=" | s -> s in
+        toks := Op s :: !toks;
+        i := j
+      | '+' | '-' ->
+        toks := Op (String.make 1 c) :: !toks;
+        incr i
+      | ':' -> toks := Op ":" :: !toks; incr i
+      | '0' .. '9' | '.' ->
+        let j = ref !i in
+        while
+          !j < n
+          && (match text.[!j] with
+             | '0' .. '9' | '.' | 'e' | 'E' -> true
+             | '+' | '-' ->
+               (* exponent sign *)
+               !j > !i && (text.[!j - 1] = 'e' || text.[!j - 1] = 'E')
+             | _ -> false)
+        do
+          incr j
+        done;
+        toks := Num (float_of_string (String.sub text !i (!j - !i))) :: !toks;
+        i := !j
+      | _ ->
+        let j = ref !i in
+        while
+          !j < n
+          &&
+          match text.[!j] with
+          | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | '[' | ']' -> true
+          | _ -> false
+        do
+          incr j
+        done;
+        if !j = !i then incr i (* skip unknown char *)
+        else begin
+          toks := Word (String.sub text !i (!j - !i)) :: !toks;
+          i := !j
+        end
+  done;
+  List.rev !toks
+
+let lower s = String.lowercase_ascii s
+
+let is_section = function
+  | Word w -> (
+    match lower w with
+    | "minimize" | "maximize" | "min" | "max" | "subject" | "st" | "s.t." | "bounds"
+    | "general" | "generals" | "gen" | "binary" | "binaries" | "bin" | "end" | "free" ->
+      true
+    | _ -> false)
+  | _ -> false
+
+exception Parse_error of string
+
+let parse text =
+  try
+    let toks = ref (tokenize text) in
+    let peek () = match !toks with [] -> None | t :: _ -> Some t in
+    let next () =
+      match !toks with
+      | [] -> raise (Parse_error "unexpected end of input")
+      | t :: rest ->
+        toks := rest;
+        t
+    in
+    let lp = Lp.create ~name:"parsed" () in
+    let vars = Hashtbl.create 64 in
+    let var name =
+      match Hashtbl.find_opt vars name with
+      | Some v -> v
+      | None ->
+        let v = Lp.add_var lp ~name ~lb:0. ~ub:infinity () in
+        Hashtbl.replace vars name v;
+        v
+    in
+    (* parse a linear expression: [+-] [num] word ... ; stops at an
+       operator other than +/- or at a section keyword *)
+    let parse_expr () =
+      let terms = ref [] and constant = ref 0. in
+      let continue_ = ref true in
+      while !continue_ do
+        match peek () with
+        | Some (Op ("+" | "-")) | Some (Num _) | Some (Word _)
+          when not (match peek () with Some t -> is_section t | None -> true) -> (
+          let sign =
+            match peek () with
+            | Some (Op "+") -> ignore (next ()); 1.
+            | Some (Op "-") -> ignore (next ()); -1.
+            | _ -> 1.
+          in
+          let coeff, name =
+            match next () with
+            | Num c -> (
+              match peek () with
+              | Some (Word w) when not (is_section (Word w)) ->
+                ignore (next ());
+                (c, Some w)
+              | _ -> (c, None))
+            | Word w -> (1., Some w)
+            | Op o -> raise (Parse_error ("unexpected operator " ^ o))
+          in
+          match name with
+          | Some w -> terms := (sign *. coeff, var w) :: !terms
+          | None -> constant := !constant +. (sign *. coeff))
+        | _ -> continue_ := false
+      done;
+      (List.rev !terms, !constant)
+    in
+    let dir =
+      match next () with
+      | Word w when lower w = "minimize" || lower w = "min" -> Lp.Minimize
+      | Word w when lower w = "maximize" || lower w = "max" -> Lp.Maximize
+      | _ -> raise (Parse_error "expected Minimize/Maximize")
+    in
+    (* optional label *)
+    let skip_label () =
+      match !toks with
+      | Word _ :: Op ":" :: rest -> toks := rest
+      | _ -> ()
+    in
+    skip_label ();
+    let obj_terms, obj_const = parse_expr () in
+    (match next () with
+    | Word w when lower w = "subject" -> (
+      match next () with
+      | Word w2 when lower w2 = "to" -> ()
+      | _ -> raise (Parse_error "expected 'Subject To'"))
+    | Word w when lower w = "st" || lower w = "s.t." -> ()
+    | _ -> raise (Parse_error "expected 'Subject To'"));
+    (* rows until Bounds/General/Binary/End *)
+    let in_rows = ref true in
+    let row_specs = ref [] in
+    while !in_rows do
+      match peek () with
+      | Some (Word w)
+        when List.mem (lower w)
+               [ "bounds"; "general"; "generals"; "gen"; "binary"; "binaries"; "bin"; "end" ]
+        ->
+        in_rows := false
+      | None -> in_rows := false
+      | _ ->
+        let name =
+          match !toks with
+          | Word w :: Op ":" :: rest ->
+            toks := rest;
+            Some w
+          | _ -> None
+        in
+        let lhs, lconst = parse_expr () in
+        let op =
+          match next () with
+          | Op (("<=" | ">=" | "=") as o) -> o
+          | _ -> raise (Parse_error "expected <=, >= or = in row")
+        in
+        let rhs =
+          let sign = match peek () with
+            | Some (Op "-") -> ignore (next ()); -1.
+            | Some (Op "+") -> ignore (next ()); 1.
+            | _ -> 1.
+          in
+          match next () with
+          | Num x -> sign *. x
+          | _ -> raise (Parse_error "expected numeric rhs")
+        in
+        let sense =
+          match op with "<=" -> Lp.Le | ">=" -> Lp.Ge | _ -> Lp.Eq
+        in
+        row_specs := (name, lhs, sense, rhs -. lconst) :: !row_specs
+    done;
+    List.iter
+      (fun (name, lhs, sense, rhs) -> Lp.add_constr lp ?name lhs sense rhs)
+      (List.rev !row_specs);
+    (* remaining sections *)
+    let finished = ref false in
+    while not !finished do
+      match peek () with
+      | None -> finished := true
+      | Some (Word w) when lower w = "end" ->
+        ignore (next ());
+        finished := true
+      | Some (Word w) when lower w = "bounds" ->
+        ignore (next ());
+        let in_bounds = ref true in
+        while !in_bounds do
+          match peek () with
+          | Some t when is_section t && (match t with Word w -> lower w <> "free" | _ -> true) ->
+            in_bounds := false
+          | None -> in_bounds := false
+          | _ -> (
+            (* forms: n <= x ; x <= n ; n <= x <= n ; x = n ; x free ; -inf <= x *)
+            let read_num () =
+              let sign = match peek () with
+                | Some (Op "-") -> ignore (next ()); -1.
+                | Some (Op "+") -> ignore (next ()); 1.
+                | _ -> 1.
+              in
+              match next () with
+              | Num x -> sign *. x
+              | Word w when lower w = "inf" || lower w = "infinity" -> sign *. infinity
+              | _ -> raise (Parse_error "expected number in bounds")
+            in
+            match peek () with
+            | Some (Word w) when lower w <> "inf" && lower w <> "infinity" -> (
+              ignore (next ());
+              let v = var w in
+              match peek () with
+              | Some (Word f) when lower f = "free" ->
+                ignore (next ());
+                Lp.set_bounds lp v ~lb:neg_infinity ~ub:infinity
+              | Some (Op "<=") ->
+                ignore (next ());
+                let u = read_num () in
+                Lp.set_bounds lp v ~lb:(Lp.var_lb lp v) ~ub:u
+              | Some (Op ">=") ->
+                ignore (next ());
+                let l = read_num () in
+                Lp.set_bounds lp v ~lb:l ~ub:(Lp.var_ub lp v)
+              | Some (Op "=") ->
+                ignore (next ());
+                let x = read_num () in
+                Lp.set_bounds lp v ~lb:x ~ub:x
+              | _ -> raise (Parse_error ("bad bound for " ^ w)))
+            | _ -> (
+              let l = read_num () in
+              (match next () with
+              | Op "<=" -> ()
+              | _ -> raise (Parse_error "expected <= in bound"));
+              match next () with
+              | Word w -> (
+                let v = var w in
+                Lp.set_bounds lp v ~lb:l ~ub:(Lp.var_ub lp v);
+                match peek () with
+                | Some (Op "<=") ->
+                  ignore (next ());
+                  let u = read_num () in
+                  Lp.set_bounds lp v ~lb:l ~ub:u
+                | _ -> ())
+              | _ -> raise (Parse_error "expected variable in bound")))
+        done
+      | Some (Word w)
+        when List.mem (lower w) [ "general"; "generals"; "gen" ] ->
+        ignore (next ());
+        let in_sec = ref true in
+        while !in_sec do
+          match peek () with
+          | Some (Word w) when is_section (Word w) -> in_sec := false
+          | Some (Word w) ->
+            ignore (next ());
+            Lp.set_kind lp (var w) Lp.Integer
+          | _ -> in_sec := false
+        done
+      | Some (Word w) when List.mem (lower w) [ "binary"; "binaries"; "bin" ] ->
+        ignore (next ());
+        let in_sec = ref true in
+        while !in_sec do
+          match peek () with
+          | Some (Word w) when is_section (Word w) -> in_sec := false
+          | Some (Word w) ->
+            ignore (next ());
+            let v = var w in
+            Lp.set_kind lp v Lp.Binary;
+            Lp.set_bounds lp v ~lb:(max 0. (Lp.var_lb lp v)) ~ub:(min 1. (Lp.var_ub lp v))
+          | _ -> in_sec := false
+        done
+      | Some _ -> raise (Parse_error "unexpected token after rows")
+    done;
+    Lp.set_objective lp dir ~constant:obj_const obj_terms;
+    Ok lp
+  with
+  | Parse_error msg -> Error msg
+  | Failure msg -> Error msg
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      parse (really_input_string ic len))

@@ -1,0 +1,22 @@
+(** CPLEX-LP file format writer and (subset) parser.
+
+    The writer emits models solvable by CPLEX, Gurobi, SCIP, HiGHS or
+    lp_solve, so the floorplanning MILPs built by this repository can be
+    handed to an external solver.  The parser accepts the subset the
+    writer produces (objective, subject-to rows, bounds, general/binary
+    sections) and is used for round-trip tests. *)
+
+val sanitize : string -> string
+(** Restricts a name to LP/MPS-legal identifier characters. *)
+
+val write : Format.formatter -> Lp.t -> unit
+
+val to_string : Lp.t -> string
+
+val to_file : string -> Lp.t -> unit
+
+val parse : string -> (Lp.t, string) result
+(** Parses LP-format text.  Variables are created in first-appearance
+    order.  Returns [Error msg] on malformed input. *)
+
+val parse_file : string -> (Lp.t, string) result

@@ -1,0 +1,78 @@
+let fprintf = Format.fprintf
+
+let sanitize = Lp_format.sanitize
+
+let write ppf lp =
+  let n = Lp.num_vars lp in
+  let vname = Array.init n (fun v -> sanitize (Lp.var_name lp v)) in
+  let rname = Array.init (Lp.num_constrs lp) (fun i -> sanitize (Lp.constr_name lp i)) in
+  fprintf ppf "NAME %s@." (sanitize (Lp.name lp));
+  (match Lp.objective_dir lp with
+  | Lp.Minimize -> fprintf ppf "OBJSENSE@. MIN@."
+  | Lp.Maximize -> fprintf ppf "OBJSENSE@. MAX@.");
+  fprintf ppf "ROWS@. N obj@.";
+  Lp.iter_constrs lp (fun i _ sense _ ->
+      let tag = match sense with Lp.Le -> "L" | Lp.Ge -> "G" | Lp.Eq -> "E" in
+      fprintf ppf " %s %s@." tag rname.(i));
+  fprintf ppf "COLUMNS@.";
+  (* column-wise: gather each variable's rows *)
+  let cols = Array.make n [] in
+  Lp.iter_constrs lp (fun i terms _ _ ->
+      List.iter (fun (c, v) -> cols.(v) <- (rname.(i), c) :: cols.(v)) terms);
+  let integer_marker = ref false in
+  let set_marker ppf want =
+    if want && not !integer_marker then begin
+      fprintf ppf " MARKER 'MARKER' 'INTORG'@.";
+      integer_marker := true
+    end
+    else if (not want) && !integer_marker then begin
+      fprintf ppf " MARKER 'MARKER' 'INTEND'@.";
+      integer_marker := false
+    end
+  in
+  for v = 0 to n - 1 do
+    let is_int = Lp.var_kind lp v <> Lp.Continuous in
+    set_marker ppf is_int;
+    let c = Lp.objective_coeff lp v in
+    if c <> 0. then fprintf ppf " %s obj %.12g@." vname.(v) c;
+    List.iter
+      (fun (rn, coef) -> fprintf ppf " %s %s %.12g@." vname.(v) rn coef)
+      (List.rev cols.(v))
+  done;
+  set_marker ppf false;
+  fprintf ppf "RHS@.";
+  Lp.iter_constrs lp (fun i _ _ rhs ->
+      if rhs <> 0. then fprintf ppf " RHS %s %.12g@." rname.(i) rhs);
+  if Lp.objective_constant lp <> 0. then
+    (* MPS convention: the RHS of the objective row is the negated constant *)
+    fprintf ppf " RHS obj %.12g@." (-.Lp.objective_constant lp);
+  fprintf ppf "BOUNDS@.";
+  for v = 0 to n - 1 do
+    let lb = Lp.var_lb lp v and ub = Lp.var_ub lp v in
+    if lb = ub then fprintf ppf " FX BND %s %.12g@." vname.(v) lb
+    else begin
+      if lb = neg_infinity && ub = infinity then fprintf ppf " FR BND %s@." vname.(v)
+      else begin
+        if lb = neg_infinity then fprintf ppf " MI BND %s@." vname.(v)
+        else if lb <> 0. then fprintf ppf " LO BND %s %.12g@." vname.(v) lb;
+        if ub <> infinity then fprintf ppf " UP BND %s %.12g@." vname.(v) ub
+      end
+    end
+  done;
+  fprintf ppf "ENDATA@."
+
+let to_string lp =
+  let b = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer b in
+  write ppf lp;
+  Format.pp_print_flush ppf ();
+  Buffer.contents b
+
+let to_file path lp =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let ppf = Format.formatter_of_out_channel oc in
+      write ppf lp;
+      Format.pp_print_flush ppf ())

@@ -1,0 +1,7 @@
+(** Fixed-format-free MPS writer (modern free MPS accepted by CPLEX,
+    Gurobi, HiGHS, SCIP).  Complements {!Lp_format} for toolchains that
+    prefer MPS. *)
+
+val write : Format.formatter -> Lp.t -> unit
+val to_string : Lp.t -> string
+val to_file : string -> Lp.t -> unit

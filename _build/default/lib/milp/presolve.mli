@@ -1,0 +1,16 @@
+(** Lightweight MILP presolve: iterated bound tightening.
+
+    Works in place on variable bounds only (rows are never removed or
+    rewritten), so solutions of the presolved problem are exactly
+    solutions of the original.  Detects some infeasibilities early and
+    shrinks big-M boxes, which directly helps {!Branch_bound}. *)
+
+type outcome =
+  | Tightened of int  (** number of bound changes applied *)
+  | Proven_infeasible
+
+val tighten : ?max_rounds:int -> Lp.t -> outcome
+(** Activity-based bound tightening.  For each row, the residual
+    activity range implies bounds on each participating variable;
+    integer variables additionally have fractional bounds rounded.
+    Iterates to a fixed point or [max_rounds] (default 10). *)

@@ -1,0 +1,48 @@
+(** Bounded-variable revised primal simplex.
+
+    Solves the continuous relaxation of an {!Lp.t}: all variable kinds are
+    ignored, only bounds matter.  Two-phase method with artificial
+    variables, Dantzig pricing with a Bland's-rule fallback against
+    cycling, and periodic basis refactorization for numerical hygiene. *)
+
+type status = Optimal | Infeasible | Unbounded | Iter_limit
+
+type outcome = {
+  status : status;
+  objective : float;
+      (** Objective in the problem's own direction, including the
+          constant.  Meaningful only when [status = Optimal]. *)
+  x : float array;  (** Structural variable values (length [Lp.num_vars]). *)
+  iterations : int;
+}
+
+val solve : ?max_iters:int -> Lp.t -> outcome
+(** One-shot solve of the LP relaxation. *)
+
+module Core : sig
+  (** Preprocessed problem reusable across many solves that differ only
+      in variable bounds — the branch-and-bound workhorse. *)
+
+  type t
+
+  val of_lp : Lp.t -> t
+  val num_vars : t -> int
+  val num_rows : t -> int
+
+  val solve :
+    ?max_iters:int -> ?lb:float array -> ?ub:float array -> t -> outcome
+  (** [solve ~lb ~ub core] solves with structural variable bounds
+      overridden by [lb]/[ub] (full arrays of length [num_vars]). *)
+
+  val solve_with_basis :
+    ?max_iters:int ->
+    ?lb:float array ->
+    ?ub:float array ->
+    t ->
+    outcome * (int array * bool array * float array) option
+  (** Like {!solve}; on an optimal finish additionally returns
+      [(basis, at_upper, values)]: the basic column of each row, whether
+      each structural/slack column rests at its upper bound, and the
+      structural+slack values — what {!Gomory} needs to derive cuts.
+      Columns are numbered structurals first, then one slack per row. *)
+end

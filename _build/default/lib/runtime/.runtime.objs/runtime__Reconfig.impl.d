@@ -1,0 +1,1 @@
+lib/runtime/reconfig.ml: Compat Device Floorplan Grid Hashtbl List Partition Printf Rect Resource Spec

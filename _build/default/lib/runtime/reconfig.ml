@@ -1,0 +1,150 @@
+open Device
+
+type config = {
+  words_per_frame : int;
+  port_words_per_us : float;
+  swap_overhead_us : float;
+}
+
+let default_config =
+  { words_per_frame = 41; port_words_per_us = 100.; swap_overhead_us = 1. }
+
+type policy = Reload_in_place | Relocate_prefetch
+
+type request = { at : float; r_region : string; r_mode : string }
+
+type event = {
+  e_request : request;
+  e_port_start : float;
+  e_active : float;
+  e_downtime : float;
+  e_area : Rect.t;
+  e_relocated : bool;
+}
+
+type stats = {
+  switches : int;
+  relocations : int;
+  total_downtime : float;
+  worst_downtime : float;
+  port_busy : float;
+  makespan : float;
+}
+
+let frames_of_area part rect =
+  let frames = Grid.frames part.Partition.grid in
+  Resource.demand_frames ~frames (Compat.covered_demand part rect)
+
+let write_time config ~frames =
+  float_of_int (frames * config.words_per_frame) /. config.port_words_per_us
+
+(* Per-region run-time state: the active area and the pool of reserved
+   compatible areas currently free. *)
+type region_state = { mutable active : Rect.t; mutable free_pool : Rect.t list }
+
+let simulate ?(config = default_config) part (spec : Spec.t) plan policy
+    requests =
+  let states = Hashtbl.create 8 in
+  let missing = ref None in
+  List.iter
+    (fun (r : Spec.region) ->
+      match Floorplan.rect_of plan r.Spec.r_name with
+      | Some rect ->
+        let pool =
+          List.map
+            (fun f -> f.Floorplan.fc_rect)
+            (Floorplan.fc_for plan r.Spec.r_name)
+        in
+        Hashtbl.replace states r.Spec.r_name { active = rect; free_pool = pool }
+      | None ->
+        if !missing = None then missing := Some r.Spec.r_name)
+    spec.Spec.regions;
+  let bad_request = ref None in
+  List.iter
+    (fun req ->
+      if (not (Hashtbl.mem states req.r_region)) && !bad_request = None then
+        bad_request := Some req.r_region)
+    requests;
+  match (!missing, !bad_request) with
+  | Some r, _ -> Error (Printf.sprintf "region %s is not placed" r)
+  | _, Some r -> Error (Printf.sprintf "request for unknown region %s" r)
+  | None, None ->
+    let requests = List.sort (fun a b -> compare a.at b.at) requests in
+    let port_free = ref 0. in
+    let events = ref [] in
+    let port_busy = ref 0. in
+    List.iter
+      (fun req ->
+        let st = Hashtbl.find states req.r_region in
+        let start = max req.at !port_free in
+        let use_area, relocated =
+          match policy with
+          | Reload_in_place -> (st.active, false)
+          | Relocate_prefetch -> (
+            match st.free_pool with
+            | a :: rest ->
+              st.free_pool <- rest;
+              (a, true)
+            | [] -> (st.active, false))
+        in
+        let frames = frames_of_area part use_area in
+        let wt = write_time config ~frames in
+        let write_done = start +. wt in
+        port_busy := !port_busy +. wt;
+        port_free := write_done;
+        let active_at, downtime =
+          if relocated then begin
+            (* the module keeps running during the write; it only stalls
+               for the handover, then its old area becomes free *)
+            let t = write_done +. config.swap_overhead_us in
+            let old_area = st.active in
+            st.active <- use_area;
+            st.free_pool <- st.free_pool @ [ old_area ];
+            (t, config.swap_overhead_us)
+          end
+          else
+            (* the module is stopped while its own area is rewritten *)
+            (write_done, write_done -. req.at)
+        in
+        events :=
+          {
+            e_request = req;
+            e_port_start = start;
+            e_active = active_at;
+            e_downtime = downtime;
+            e_area = use_area;
+            e_relocated = relocated;
+          }
+          :: !events)
+      requests;
+    let events = List.rev !events in
+    let stats =
+      List.fold_left
+        (fun acc e ->
+          {
+            acc with
+            switches = acc.switches + 1;
+            relocations = (acc.relocations + if e.e_relocated then 1 else 0);
+            total_downtime = acc.total_downtime +. e.e_downtime;
+            worst_downtime = max acc.worst_downtime e.e_downtime;
+            makespan = max acc.makespan e.e_active;
+          })
+        {
+          switches = 0;
+          relocations = 0;
+          total_downtime = 0.;
+          worst_downtime = 0.;
+          port_busy = !port_busy;
+          makespan = 0.;
+        }
+        events
+    in
+    Ok (events, stats)
+
+let stored_bitstreams part plan ~modes_per_region ~relocatable =
+  ignore part;
+  List.fold_left
+    (fun acc (region, nmodes) ->
+      let locations = 1 + List.length (Floorplan.fc_for plan region) in
+      acc + (nmodes * if relocatable then 1 else locations))
+    0 modes_per_region

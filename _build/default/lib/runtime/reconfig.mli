@@ -1,0 +1,83 @@
+(** Run-time reconfiguration simulator.
+
+    Models the benefit the paper's introduction claims for bitstream
+    relocation: with free-compatible areas reserved by the
+    floorplanner, the next mode of a module can be {e prefetched} into a
+    compatible free area through the configuration port while the
+    current mode keeps running, hiding (re)configuration latency; and a
+    single bitstream per mode suffices for every compatible location
+    (design re-use), instead of one bitstream per (mode, location).
+
+    The simulator is a small discrete-event model: one configuration
+    port (ICAP-like, fixed bandwidth), mode-switch requests over time,
+    and two policies to compare. *)
+
+type config = {
+  words_per_frame : int;  (** payload words per configuration frame *)
+  port_words_per_us : float;  (** configuration port bandwidth *)
+  swap_overhead_us : float;
+      (** handover time when activating a prefetched area *)
+}
+
+val default_config : config
+(** 41-word frames through a 400 MB/s-class 32-bit port (100 words/us),
+    1 us handover. *)
+
+type policy =
+  | Reload_in_place
+      (** no relocation: every switch rewrites the region's own area and
+          stalls the module for the whole write *)
+  | Relocate_prefetch
+      (** load the new mode into a reserved free-compatible area, then
+          swap; the module only stalls for the handover *)
+
+type request = { at : float; r_region : string; r_mode : string }
+(** "switch [r_region] to [r_mode]" issued at time [at] (microseconds). *)
+
+type event = {
+  e_request : request;
+  e_port_start : float;  (** when the port begins writing *)
+  e_active : float;  (** when the new mode starts executing *)
+  e_downtime : float;  (** time the module was stalled *)
+  e_area : Device.Rect.t;  (** area the mode was written into *)
+  e_relocated : bool;  (** used a free-compatible area *)
+}
+
+type stats = {
+  switches : int;
+  relocations : int;
+  total_downtime : float;
+  worst_downtime : float;
+  port_busy : float;
+  makespan : float;
+}
+
+val frames_of_area : Device.Partition.t -> Device.Rect.t -> int
+(** Configuration frames of an area (what a full write costs). *)
+
+val write_time : config -> frames:int -> float
+
+val simulate :
+  ?config:config ->
+  Device.Partition.t ->
+  Device.Spec.t ->
+  Device.Floorplan.t ->
+  policy ->
+  request list ->
+  (event list * stats, string) result
+(** Replays the requests (sorted by time) against the floorplan.
+    [Error] if a request names an unplaced region.  Under
+    [Relocate_prefetch], regions without reserved areas fall back to
+    in-place reloads; after a swap the previous active area joins the
+    region's free pool (it is compatible by symmetry). *)
+
+val stored_bitstreams :
+  Device.Partition.t ->
+  Device.Floorplan.t ->
+  modes_per_region:(string * int) list ->
+  relocatable:bool ->
+  int
+(** Design re-use metric: bitstream files that must be generated and
+    stored.  With a relocation filter ([relocatable = true]) one per
+    mode; without, one per mode per distinct area the region may occupy
+    (its own placement plus every reserved free-compatible area). *)

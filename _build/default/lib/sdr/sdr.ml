@@ -1,0 +1,60 @@
+open Device
+
+let matched_filter = "Matched Filter"
+let carrier_recovery = "Carrier Recovery"
+let demodulator = "Demodulator"
+let signal_decoder = "Signal Decoder"
+let video_decoder = "Video Decoder"
+
+let module_names =
+  [ matched_filter; carrier_recovery; demodulator; signal_decoder; video_decoder ]
+
+let relocatable = [ carrier_recovery; demodulator; signal_decoder ]
+
+(* Table I resource requirements, in tiles *)
+let requirements =
+  [
+    (matched_filter, 25, 0, 5);
+    (carrier_recovery, 7, 0, 1);
+    (demodulator, 5, 2, 0);
+    (signal_decoder, 12, 1, 0);
+    (video_decoder, 55, 2, 5);
+  ]
+
+let demand_of (c, b, d) =
+  List.filter
+    (fun (_, n) -> n > 0)
+    [ (Resource.Clb, c); (Resource.Bram, b); (Resource.Dsp, d) ]
+
+let regions =
+  List.map
+    (fun (name, c, b, d) ->
+      { Spec.r_name = name; demand = demand_of (c, b, d) })
+    requirements
+
+let bus_nets = Spec.chain_nets ~weight:64. module_names
+
+let design = Spec.make ~nets:bus_nets ~name:"SDR" regions
+
+let with_copies ?(mode = Spec.Hard) n =
+  let relocs =
+    List.map (fun r -> { Spec.target = r; copies = n; mode }) relocatable
+  in
+  let name = Printf.sprintf "SDR%d" (n + 0) in
+  Spec.make ~nets:bus_nets ~relocs ~name regions
+
+let sdr2 = with_copies 2
+let sdr3 = with_copies 3
+
+let feasibility_variant region =
+  Spec.make ~nets:bus_nets
+    ~relocs:[ { Spec.target = region; copies = 1; mode = Spec.Hard } ]
+    ~name:(Printf.sprintf "SDR+1fc(%s)" region)
+    regions
+
+let table1 ~frames =
+  List.map
+    (fun (name, c, b, d) ->
+      let fr = Resource.demand_frames ~frames (demand_of (c, b, d)) in
+      (name, c, b, d, fr))
+    requirements

@@ -1,0 +1,1 @@
+lib/search/candidates.ml: Array Device Grid List Partition Rect Resource

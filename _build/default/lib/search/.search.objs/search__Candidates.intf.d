@@ -1,0 +1,1 @@
+lib/search/candidates.mli: Device

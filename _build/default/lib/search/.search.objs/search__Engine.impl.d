@@ -1,0 +1,1 @@
+lib/search/engine.ml: Array Candidates Compat Device Floorplan Grid List Option Partition Printf Rect Resource Spec Sys

@@ -1,0 +1,102 @@
+open Device
+
+type candidate = { rect : Rect.t; waste : int }
+
+(* Per-column kind prefix sums: cols.(k_idx).(x) = number of columns of
+   kind k among columns 1..x. *)
+let kind_index = function
+  | Resource.Clb -> 0
+  | Resource.Bram -> 1
+  | Resource.Dsp -> 2
+  | Resource.Io -> 3
+
+let prefix_counts part =
+  let w = Partition.width part in
+  let pref = Array.make_matrix 4 (w + 1) 0 in
+  for x = 1 to w do
+    let k = kind_index (Partition.column_type part x).Resource.kind in
+    for ki = 0 to 3 do
+      pref.(ki).(x) <- pref.(ki).(x - 1) + if ki = k then 1 else 0
+    done
+  done;
+  pref
+
+let window_kind_counts pref x w =
+  Array.init 4 (fun ki -> pref.(ki).(x + w - 1) - pref.(ki).(x - 1))
+
+let demand_by_index demand =
+  let d = Array.make 4 0 in
+  List.iter
+    (fun (k, n) -> d.(kind_index k) <- d.(kind_index k) + n)
+    demand;
+  d
+
+(* Minimal height such that h * cols(k) >= demand(k) for all kinds;
+   None if some demanded kind has no column in the window. *)
+let min_height_for d counts =
+  let h = ref 1 and ok = ref true in
+  for ki = 0 to 3 do
+    if d.(ki) > 0 then
+      if counts.(ki) = 0 then ok := false
+      else h := max !h ((d.(ki) + counts.(ki) - 1) / counts.(ki))
+  done;
+  if !ok then Some !h else None
+
+let frames_by_index part =
+  let frames = Grid.frames part.Partition.grid in
+  [|
+    frames Resource.Clb; frames Resource.Bram; frames Resource.Dsp;
+    frames Resource.Io;
+  |]
+
+let waste_of part_frames d counts h =
+  let acc = ref 0 in
+  for ki = 0 to 3 do
+    acc := !acc + (part_frames.(ki) * ((h * counts.(ki)) - d.(ki)))
+  done;
+  !acc
+
+let enumerate part demand =
+  let width = Partition.width part and height = Partition.height part in
+  let pref = prefix_counts part in
+  let d = demand_by_index demand in
+  let fr = frames_by_index part in
+  let out = ref [] in
+  for x = 1 to width do
+    for w = 1 to width - x + 1 do
+      let counts = window_kind_counts pref x w in
+      match min_height_for d counts with
+      | None -> ()
+      | Some hmin ->
+        for h = hmin to height do
+          let waste = waste_of fr d counts h in
+          for y = 1 to height - h + 1 do
+            let rect = Rect.make ~x ~y ~w ~h in
+            if not (Grid.rect_hits_forbidden part.Partition.grid rect) then
+              out := { rect; waste } :: !out
+          done
+        done
+    done
+  done;
+  List.sort
+    (fun a b ->
+      match compare a.waste b.waste with 0 -> Rect.compare a.rect b.rect | c -> c)
+    !out
+
+let min_waste part demand =
+  match enumerate part demand with [] -> None | c :: _ -> Some c.waste
+
+let shapes part demand =
+  let width = Partition.width part and height = Partition.height part in
+  let pref = prefix_counts part in
+  let d = demand_by_index demand in
+  let out = ref [] in
+  for x = width downto 1 do
+    for w = width - x + 1 downto 1 do
+      let counts = window_kind_counts pref x w in
+      match min_height_for d counts with
+      | Some hmin when hmin <= height -> out := (x, w, hmin) :: !out
+      | Some _ | None -> ()
+    done
+  done;
+  !out

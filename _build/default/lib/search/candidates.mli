@@ -1,0 +1,21 @@
+(** Candidate rectangle enumeration for the combinatorial placer.
+
+    For a region with a given tile demand on a columnar device, every
+    rectangle that covers the demand and avoids forbidden areas is a
+    candidate.  Candidates are produced sorted by increasing wasted
+    frames, which lets the branch-and-bound search find cheap incumbents
+    first and prune by waste bounds. *)
+
+type candidate = { rect : Device.Rect.t; waste : int }
+
+val enumerate : Device.Partition.t -> Device.Resource.demand -> candidate list
+(** All candidate rectangles for the demand, waste-ascending.  Empty if
+    the region cannot be placed at all. *)
+
+val min_waste : Device.Partition.t -> Device.Resource.demand -> int option
+(** Waste of the cheapest candidate, [None] if unplaceable. *)
+
+val shapes : Device.Partition.t -> Device.Resource.demand -> (int * int * int) list
+(** Distinct [(x, w, h)] horizontal windows (before vertical placement)
+    that can cover the demand, with minimal height per window.  Used by
+    heuristics. *)

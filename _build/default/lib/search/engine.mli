@@ -1,0 +1,42 @@
+(** Exact combinatorial floorplanner.
+
+    Branch-and-bound over explicit candidate rectangles.  Independent of
+    the MILP formulation, it serves both as a cross-check (both engines
+    must find equal optima) and as the fast engine for full-size
+    devices.  Optimizes the paper's evaluation objective
+    lexicographically: minimal wasted frames first, then minimal wire
+    length among minimal-waste floorplans.
+
+    Hard relocation requests (Section IV) are honoured during the
+    search: a solution is complete only when every requested
+    free-compatible area is placed.  Soft requests (Section V) are
+    satisfied best-effort on the optimal floorplan afterwards; the MILP
+    engine handles them natively. *)
+
+type options = {
+  time_limit : float option;  (** CPU seconds *)
+  node_limit : int option;
+  optimize_wirelength : bool;  (** run the second, wire-length phase *)
+  region_order : string list option;
+      (** placement order; default: decreasing frame demand *)
+  log : (string -> unit) option;
+}
+
+val default_options : options
+
+type outcome = {
+  plan : Device.Floorplan.t option;
+  wasted : int option;  (** wasted frames of [plan] *)
+  wirelength : float option;
+  optimal : bool;  (** proven optimal (not stopped by a budget) *)
+  nodes : int;
+  elapsed : float;
+}
+
+val solve : ?options:options -> Device.Partition.t -> Device.Spec.t -> outcome
+(** Full lexicographic optimization. *)
+
+val feasible :
+  ?options:options -> Device.Partition.t -> Device.Spec.t -> outcome
+(** Stops at the first complete solution (the paper's feasibility test);
+    [optimal = true] with [plan = None] is a proof of infeasibility. *)

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Device Devices Floorplan Fun Lazy List Option Partition QCheck2 QCheck_alcotest Random Rect Resource Sdr Seq Spec

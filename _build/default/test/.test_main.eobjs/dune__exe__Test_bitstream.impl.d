@@ -1,0 +1,1 @@
+test/test_bitstream.ml: Alcotest Bitstream Bytes Char Compat Device Devices Format Lazy List Partition Printf QCheck2 QCheck_alcotest Random Rect Seq

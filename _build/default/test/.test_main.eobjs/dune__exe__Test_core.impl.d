@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Device Devices Floorplan Lazy List Milp Option Partition QCheck2 QCheck_alcotest Random Resource Rfloor Search Seq Spec String

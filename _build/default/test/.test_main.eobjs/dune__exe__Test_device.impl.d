@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Array Compat Device Devices Floorplan Grid Lazy List Partition QCheck2 QCheck_alcotest Random Rect Resource Seq Spec String

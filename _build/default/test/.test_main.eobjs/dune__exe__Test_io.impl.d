@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Device Floorplan Grid Io List Partition Resource Search Spec

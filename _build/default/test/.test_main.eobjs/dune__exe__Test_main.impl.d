@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_baselines Test_bitstream Test_core Test_device Test_io Test_milp Test_runtime Test_sdr Test_search

@@ -1,0 +1,1 @@
+test/test_milp.ml: Alcotest Array Branch_bound Float Gomory List Lp Lp_format Milp Mps Presolve Printf QCheck2 QCheck_alcotest Random Seq Simplex String

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Device Devices Lazy List Partition Rect Resource Runtime Search Spec

@@ -1,0 +1,1 @@
+test/test_sdr.ml: Alcotest Device Devices Grid List Resource Sdr Spec

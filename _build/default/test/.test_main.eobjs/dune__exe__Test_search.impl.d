@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Compat Device Devices Floorplan Grid Lazy List Partition Printf QCheck2 QCheck_alcotest Random Rect Resource Sdr Search Seq Spec

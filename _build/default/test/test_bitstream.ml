@@ -1,0 +1,199 @@
+(* Tests for the bitstream substrate: CRC vectors, wire-format round
+   trips, and the central relocation property — relocating a bitstream
+   to a compatible area is equivalent to synthesizing it there. *)
+
+open Device
+
+let mini_part = lazy (Partition.columnar_exn Devices.mini)
+
+let test_crc32_vectors () =
+  (* standard check value *)
+  Alcotest.(check int32) "123456789" 0xCBF43926l
+    (Bitstream.Crc32.digest_string "123456789");
+  Alcotest.(check int32) "empty" 0l (Bitstream.Crc32.digest_string "");
+  Alcotest.(check int32) "a" 0xE8B7BE43l (Bitstream.Crc32.digest_string "a")
+
+let test_crc32_incremental () =
+  let s = "relocation-aware floorplanning" in
+  let b = Bytes.of_string s in
+  let whole = Bitstream.Crc32.digest b in
+  let part1 = Bitstream.Crc32.update 0l b 0 10 in
+  let part2 = Bitstream.Crc32.update part1 b 10 (Bytes.length b - 10) in
+  Alcotest.(check int32) "incremental = whole" whole part2
+
+let test_frame_address_pack () =
+  let a = { Bitstream.Frame.column = 513; region_row = 7; minor = 35 } in
+  let packed = Bitstream.Frame.pack_address a in
+  let a' = Bitstream.Frame.unpack_address packed in
+  Alcotest.(check int) "column" a.Bitstream.Frame.column a'.Bitstream.Frame.column;
+  Alcotest.(check int) "row" a.Bitstream.Frame.region_row a'.Bitstream.Frame.region_row;
+  Alcotest.(check int) "minor" a.Bitstream.Frame.minor a'.Bitstream.Frame.minor
+
+let test_frame_address_invalid () =
+  Alcotest.check_raises "bad column" (Invalid_argument "Frame.pack_address: column")
+    (fun () ->
+      ignore
+        (Bitstream.Frame.pack_address
+           { Bitstream.Frame.column = 0; region_row = 1; minor = 0 }))
+
+let test_synthesize_frame_count () =
+  let part = Lazy.force mini_part in
+  (* cols 1-3 of mini are C,C,B: (36+36+30) frames per row, 2 rows *)
+  let img =
+    Bitstream.Image.synthesize ~seed:1 part (Rect.make ~x:1 ~y:1 ~w:3 ~h:2)
+  in
+  Alcotest.(check int) "frames" (2 * (36 + 36 + 30))
+    (Bitstream.Image.frame_count img)
+
+let test_serialize_roundtrip () =
+  let part = Lazy.force mini_part in
+  let img =
+    Bitstream.Image.synthesize ~seed:9 part (Rect.make ~x:4 ~y:2 ~w:3 ~h:2)
+  in
+  let bytes = Bitstream.Image.serialize img in
+  match Bitstream.Image.parse bytes with
+  | Ok img' -> Alcotest.(check bool) "equal" true (Bitstream.Image.equal img img')
+  | Error e -> Alcotest.fail e
+
+let test_corruption_detected () =
+  let part = Lazy.force mini_part in
+  let img =
+    Bitstream.Image.synthesize ~seed:9 part (Rect.make ~x:4 ~y:2 ~w:2 ~h:1)
+  in
+  let bytes = Bitstream.Image.serialize img in
+  Bytes.set bytes (Bytes.length bytes / 2)
+    (Char.chr (Char.code (Bytes.get bytes (Bytes.length bytes / 2)) lxor 1));
+  match Bitstream.Image.parse bytes with
+  | Error "CRC mismatch" -> ()
+  | Error e -> Alcotest.fail ("wrong error: " ^ e)
+  | Ok _ -> Alcotest.fail "corruption not detected"
+
+let test_parse_garbage () =
+  (match Bitstream.Image.parse (Bytes.of_string "short") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "short input accepted");
+  match Bitstream.Image.parse (Bytes.make 32 'x') with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted"
+
+(* The relocation property (Definition .1 made executable): relocating
+   the source bitstream into any compatible area produces exactly the
+   bitstream one would synthesize there. *)
+let test_relocation_equals_resynthesis () =
+  let part = Lazy.force mini_part in
+  let src = Rect.make ~x:1 ~y:1 ~w:2 ~h:2 in
+  let img = Bitstream.Image.synthesize ~seed:3 part src in
+  let sites = Compat.relocation_sites part src in
+  Alcotest.(check bool) "several sites" true (List.length sites > 1);
+  List.iter
+    (fun dst ->
+      match Bitstream.Relocate.relocate part ~src ~dst img with
+      | Ok img' ->
+        let direct = Bitstream.Image.synthesize ~seed:3 part dst in
+        Alcotest.(check bool)
+          (Printf.sprintf "relocated to %s equals direct synthesis"
+             (Rect.to_string dst))
+          true
+          (Bitstream.Image.equal img' direct)
+      | Error e -> Alcotest.fail (Format.asprintf "%a" Bitstream.Relocate.pp_error e))
+    sites
+
+let test_relocation_rejects_incompatible () =
+  let part = Lazy.force mini_part in
+  let src = Rect.make ~x:1 ~y:1 ~w:2 ~h:2 in
+  (* cols 2-3 are C,B: incompatible with cols 1-2 = C,C *)
+  let dst = Rect.make ~x:2 ~y:3 ~w:2 ~h:2 in
+  let img = Bitstream.Image.synthesize ~seed:3 part src in
+  match Bitstream.Relocate.relocate part ~src ~dst img with
+  | Error (Bitstream.Relocate.Incompatible _) -> ()
+  | Error e -> Alcotest.fail (Format.asprintf "wrong error: %a" Bitstream.Relocate.pp_error e)
+  | Ok _ -> Alcotest.fail "incompatible relocation accepted"
+
+let test_relocation_rejects_wrong_device () =
+  let mini = Lazy.force mini_part in
+  let fig1 = Partition.columnar_exn Devices.fig1 in
+  let src = Rect.make ~x:1 ~y:1 ~w:1 ~h:1 in
+  let img = Bitstream.Image.synthesize ~seed:3 fig1 src in
+  match Bitstream.Relocate.relocate mini ~src ~dst:src img with
+  | Error (Bitstream.Relocate.Wrong_device _) -> ()
+  | _ -> Alcotest.fail "wrong-device image accepted"
+
+let test_relocate_serialized_end_to_end () =
+  let part = Lazy.force mini_part in
+  let src = Rect.make ~x:4 ~y:1 ~w:2 ~h:2 in
+  let dst = Rect.make ~x:4 ~y:3 ~w:2 ~h:2 in
+  let wire = Bitstream.Image.serialize (Bitstream.Image.synthesize ~seed:5 part src) in
+  match Bitstream.Relocate.relocate_serialized part ~src ~dst wire with
+  | Ok wire' -> (
+    match Bitstream.Image.parse wire' with
+    | Ok img ->
+      Alcotest.(check bool) "payload preserved" true
+        (Bitstream.Image.payload_equal img
+           (Bitstream.Image.synthesize ~seed:5 part src));
+      (* CRC of the relocated stream is fresh and correct: parse above
+         validated it; also the addresses moved *)
+      List.iter
+        (fun (f : Bitstream.Frame.t) ->
+          Alcotest.(check bool) "address in target" true
+            (Rect.contains_point dst f.Bitstream.Frame.addr.Bitstream.Frame.column
+               f.Bitstream.Frame.addr.Bitstream.Frame.region_row))
+        img.Bitstream.Image.frames
+    | Error e -> Alcotest.fail e)
+  | Error e -> Alcotest.fail e
+
+let prop_relocation_roundtrip =
+  QCheck2.Test.make ~name:"relocation round-trips (src -> dst -> src)" ~count:60
+    (QCheck2.Gen.make_primitive
+       ~gen:(fun rng ->
+         let g = Devices.random ~max_width:8 ~max_height:4 rng in
+         let part = Partition.columnar_exn g in
+         let w = 1 + Random.State.int rng 2 and h = 1 + Random.State.int rng 2 in
+         let x = 1 + Random.State.int rng (Partition.width part - w + 1) in
+         let y = 1 + Random.State.int rng (Partition.height part - h + 1) in
+         let src = Rect.make ~x ~y ~w ~h in
+         let sites = Compat.relocation_sites ~avoid_forbidden:false part src in
+         let dst = List.nth sites (Random.State.int rng (List.length sites)) in
+         (part, src, dst, Random.State.int rng 1000))
+       ~shrink:(fun _ -> Seq.empty))
+    (fun (part, src, dst, seed) ->
+      let img = Bitstream.Image.synthesize ~seed part src in
+      match Bitstream.Relocate.relocate part ~src ~dst img with
+      | Error _ -> false
+      | Ok img' -> (
+        match Bitstream.Relocate.relocate part ~src:dst ~dst:src img' with
+        | Error _ -> false
+        | Ok img'' -> Bitstream.Image.equal img img''))
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suites =
+  [
+    ( "bitstream.crc",
+      [
+        Alcotest.test_case "known vectors" `Quick test_crc32_vectors;
+        Alcotest.test_case "incremental" `Quick test_crc32_incremental;
+      ] );
+    ( "bitstream.frame",
+      [
+        Alcotest.test_case "address pack/unpack" `Quick test_frame_address_pack;
+        Alcotest.test_case "address validation" `Quick test_frame_address_invalid;
+      ] );
+    ( "bitstream.image",
+      [
+        Alcotest.test_case "frame count" `Quick test_synthesize_frame_count;
+        Alcotest.test_case "serialize round trip" `Quick test_serialize_roundtrip;
+        Alcotest.test_case "corruption detected" `Quick test_corruption_detected;
+        Alcotest.test_case "garbage rejected" `Quick test_parse_garbage;
+      ] );
+    ( "bitstream.relocate",
+      [
+        Alcotest.test_case "equals resynthesis" `Quick test_relocation_equals_resynthesis;
+        Alcotest.test_case "rejects incompatible" `Quick
+          test_relocation_rejects_incompatible;
+        Alcotest.test_case "rejects wrong device" `Quick
+          test_relocation_rejects_wrong_device;
+        Alcotest.test_case "serialized end to end" `Quick
+          test_relocate_serialized_end_to_end;
+      ]
+      @ qsuite [ prop_relocation_roundtrip ] );
+  ]

@@ -1,0 +1,123 @@
+(* Tests for the run-time reconfiguration simulator. *)
+
+open Device
+module R = Runtime.Reconfig
+
+let mini_part = lazy (Partition.columnar_exn Devices.mini)
+
+let spec =
+  Spec.make ~name:"rt"
+    ~relocs:[ { Spec.target = "A"; copies = 1; mode = Spec.Hard } ]
+    [
+      { Spec.r_name = "A"; demand = [ (Resource.Clb, 2) ] };
+      { Spec.r_name = "B"; demand = [ (Resource.Dsp, 1) ] };
+    ]
+
+let plan part =
+  match (Search.Engine.solve part spec).Search.Engine.plan with
+  | Some p -> p
+  | None -> Alcotest.fail "no plan"
+
+let req at region mode = { R.at; r_region = region; r_mode = mode }
+
+let test_write_time () =
+  (* 2 CLB tiles = 72 frames x 41 words / 100 words/us *)
+  let part = Lazy.force mini_part in
+  let rect = Rect.make ~x:1 ~y:1 ~w:2 ~h:1 in
+  Alcotest.(check int) "frames" 72 (R.frames_of_area part rect);
+  Alcotest.(check (float 1e-9)) "write time" (72. *. 41. /. 100.)
+    (R.write_time R.default_config ~frames:72)
+
+let test_in_place_downtime () =
+  let part = Lazy.force mini_part in
+  let plan = plan part in
+  match R.simulate part spec plan R.Reload_in_place [ req 0. "A" "m1" ] with
+  | Ok ([ e ], stats) ->
+    Alcotest.(check bool) "not relocated" false e.R.e_relocated;
+    let frames = R.frames_of_area part e.R.e_area in
+    let expect = R.write_time R.default_config ~frames in
+    Alcotest.(check (float 1e-6)) "downtime = full write" expect e.R.e_downtime;
+    Alcotest.(check (float 1e-6)) "stats agree" expect stats.R.total_downtime
+  | Ok _ -> Alcotest.fail "expected one event"
+  | Error e -> Alcotest.fail e
+
+let test_prefetch_hides_latency () =
+  let part = Lazy.force mini_part in
+  let plan = plan part in
+  match R.simulate part spec plan R.Relocate_prefetch [ req 0. "A" "m1" ] with
+  | Ok ([ e ], stats) ->
+    Alcotest.(check bool) "relocated" true e.R.e_relocated;
+    Alcotest.(check (float 1e-9)) "downtime = handover only"
+      R.default_config.R.swap_overhead_us e.R.e_downtime;
+    Alcotest.(check int) "one relocation" 1 stats.R.relocations
+  | Ok _ -> Alcotest.fail "expected one event"
+  | Error e -> Alcotest.fail e
+
+let test_area_swap_reusable () =
+  (* after a swap the old area joins the pool, so back-to-back switches
+     on the same region keep relocating *)
+  let part = Lazy.force mini_part in
+  let plan = plan part in
+  let reqs = [ req 0. "A" "m1"; req 1000. "A" "m2"; req 2000. "A" "m3" ] in
+  match R.simulate part spec plan R.Relocate_prefetch reqs with
+  | Ok (events, stats) ->
+    Alcotest.(check int) "three relocations" 3 stats.R.relocations;
+    List.iter
+      (fun (e : R.event) ->
+        Alcotest.(check bool) "every switch relocated" true e.R.e_relocated)
+      events
+  | Error e -> Alcotest.fail e
+
+let test_fallback_without_areas () =
+  (* region B has no reserved area: prefetch falls back to in-place *)
+  let part = Lazy.force mini_part in
+  let plan = plan part in
+  match R.simulate part spec plan R.Relocate_prefetch [ req 0. "B" "m1" ] with
+  | Ok ([ e ], _) -> Alcotest.(check bool) "fallback" false e.R.e_relocated
+  | Ok _ -> Alcotest.fail "expected one event"
+  | Error e -> Alcotest.fail e
+
+let test_port_serializes () =
+  let part = Lazy.force mini_part in
+  let plan = plan part in
+  match
+    R.simulate part spec plan R.Reload_in_place [ req 0. "A" "m"; req 0. "B" "m" ]
+  with
+  | Ok ([ e1; e2 ], _) ->
+    Alcotest.(check bool) "second waits for the port" true
+      (e2.R.e_port_start >= e1.R.e_port_start +. 1e-9
+      || e2.R.e_port_start >= e1.R.e_active -. 1e-9)
+  | Ok _ -> Alcotest.fail "expected two events"
+  | Error e -> Alcotest.fail e
+
+let test_unknown_region () =
+  let part = Lazy.force mini_part in
+  let plan = plan part in
+  match R.simulate part spec plan R.Reload_in_place [ req 0. "Z" "m" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown region accepted"
+
+let test_stored_bitstreams () =
+  let part = Lazy.force mini_part in
+  let plan = plan part in
+  (* A has 1 reserved area -> 2 locations; 3 modes *)
+  let modes = [ ("A", 3) ] in
+  Alcotest.(check int) "without filter" 6
+    (R.stored_bitstreams part plan ~modes_per_region:modes ~relocatable:false);
+  Alcotest.(check int) "with filter" 3
+    (R.stored_bitstreams part plan ~modes_per_region:modes ~relocatable:true)
+
+let suites =
+  [
+    ( "runtime",
+      [
+        Alcotest.test_case "write time" `Quick test_write_time;
+        Alcotest.test_case "in-place downtime" `Quick test_in_place_downtime;
+        Alcotest.test_case "prefetch hides latency" `Quick test_prefetch_hides_latency;
+        Alcotest.test_case "swapped areas reusable" `Quick test_area_swap_reusable;
+        Alcotest.test_case "fallback without areas" `Quick test_fallback_without_areas;
+        Alcotest.test_case "port serializes" `Quick test_port_serializes;
+        Alcotest.test_case "unknown region" `Quick test_unknown_region;
+        Alcotest.test_case "stored bitstreams" `Quick test_stored_bitstreams;
+      ] );
+  ]

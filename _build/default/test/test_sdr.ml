@@ -1,0 +1,86 @@
+(* Tests for the SDR case study: Table I values and the design specs. *)
+
+open Device
+
+let frames = Grid.frames Devices.virtex5_fx70t
+
+let test_table1_rows () =
+  let rows = Sdr.table1 ~frames in
+  let expect =
+    [
+      ("Matched Filter", 25, 0, 5, 1040);
+      ("Carrier Recovery", 7, 0, 1, 280);
+      ("Demodulator", 5, 2, 0, 240);
+      ("Signal Decoder", 12, 1, 0, 462);
+      ("Video Decoder", 55, 2, 5, 2180);
+    ]
+  in
+  List.iter2
+    (fun (n, c, b, d, f) (n', c', b', d', f') ->
+      Alcotest.(check string) "name" n n';
+      Alcotest.(check int) (n ^ " clb") c c';
+      Alcotest.(check int) (n ^ " bram") b b';
+      Alcotest.(check int) (n ^ " dsp") d d';
+      Alcotest.(check int) (n ^ " frames") f f')
+    expect rows
+
+let test_table1_totals () =
+  let rows = Sdr.table1 ~frames in
+  let tc, tb, td, tf =
+    List.fold_left
+      (fun (c, b, d, f) (_, c', b', d', f') -> (c + c', b + b', d + d', f + f'))
+      (0, 0, 0, 0) rows
+  in
+  Alcotest.(check int) "total clb" 104 tc;
+  Alcotest.(check int) "total bram" 5 tb;
+  Alcotest.(check int) "total dsp" 11 td;
+  Alcotest.(check int) "total frames" 4202 tf
+
+let test_design_structure () =
+  Alcotest.(check int) "5 regions" 5 (List.length Sdr.design.Spec.regions);
+  Alcotest.(check int) "4 bus nets" 4 (List.length Sdr.design.Spec.nets);
+  List.iter
+    (fun (n : Spec.net) ->
+      Alcotest.(check (float 1e-9)) "64-bit bus" 64. n.Spec.weight)
+    Sdr.design.Spec.nets;
+  Alcotest.(check int) "no relocs in base design" 0
+    (List.length Sdr.design.Spec.relocs)
+
+let test_sdr_variants () =
+  Alcotest.(check int) "sdr2 copies" 6 (Spec.total_fc_copies Sdr.sdr2);
+  Alcotest.(check int) "sdr3 copies" 9 (Spec.total_fc_copies Sdr.sdr3);
+  List.iter
+    (fun (rr : Spec.reloc_req) ->
+      Alcotest.(check bool) "relocatable target" true
+        (List.mem rr.Spec.target Sdr.relocatable);
+      Alcotest.(check bool) "hard" true (rr.Spec.mode = Spec.Hard))
+    Sdr.sdr2.Spec.relocs
+
+let test_feasibility_variant () =
+  let s = Sdr.feasibility_variant Sdr.matched_filter in
+  Alcotest.(check int) "one request" 1 (List.length s.Spec.relocs);
+  Alcotest.(check int) "one copy" 1 (Spec.total_fc_copies s)
+
+let test_device_can_host_design () =
+  (* sanity: the FX70T census covers the total SDR demand *)
+  let total = Grid.total_tiles Devices.virtex5_fx70t in
+  List.iter
+    (fun (k, n) ->
+      Alcotest.(check bool)
+        (Resource.kind_to_string k ^ " capacity")
+        true
+        (Resource.demand_get total k >= n))
+    (Spec.total_demand Sdr.design)
+
+let suites =
+  [
+    ( "sdr",
+      [
+        Alcotest.test_case "table 1 rows" `Quick test_table1_rows;
+        Alcotest.test_case "table 1 totals" `Quick test_table1_totals;
+        Alcotest.test_case "design structure" `Quick test_design_structure;
+        Alcotest.test_case "sdr2/sdr3 variants" `Quick test_sdr_variants;
+        Alcotest.test_case "feasibility variant" `Quick test_feasibility_variant;
+        Alcotest.test_case "device capacity" `Quick test_device_can_host_design;
+      ] );
+  ]

@@ -1,0 +1,251 @@
+(* Tests for the combinatorial engine: candidate enumeration invariants,
+   optimality against brute force on tiny instances, and the Section VI
+   results on the FX70T model. *)
+
+open Device
+
+let mini_part = lazy (Partition.columnar_exn Devices.mini)
+let fx_part = lazy (Partition.columnar_exn Devices.virtex5_fx70t)
+
+let test_candidates_satisfy_demand () =
+  let part = Lazy.force mini_part in
+  let demand = [ (Resource.Clb, 3); (Resource.Bram, 1) ] in
+  let cands = Search.Candidates.enumerate part demand in
+  Alcotest.(check bool) "non-empty" true (cands <> []);
+  List.iter
+    (fun (c : Search.Candidates.candidate) ->
+      Alcotest.(check bool) "satisfies" true
+        (Compat.satisfies part c.Search.Candidates.rect demand);
+      Alcotest.(check int) "waste agrees"
+        (Compat.wasted_frames part c.Search.Candidates.rect demand)
+        c.Search.Candidates.waste;
+      Alcotest.(check bool) "no forbidden" true
+        (not (Grid.rect_hits_forbidden part.Partition.grid c.Search.Candidates.rect)))
+    cands;
+  (* sorted by waste *)
+  let rec sorted = function
+    | (a : Search.Candidates.candidate) :: (b :: _ as rest) ->
+      a.Search.Candidates.waste <= b.Search.Candidates.waste && sorted rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "waste ascending" true (sorted cands)
+
+let test_candidates_unplaceable () =
+  let part = Lazy.force mini_part in
+  (* mini has 4 DSP tiles in one column; 5 are impossible *)
+  Alcotest.(check (option int)) "unplaceable" None
+    (Search.Candidates.min_waste part [ (Resource.Dsp, 5) ]);
+  Alcotest.(check (option int)) "placeable zero waste" (Some 0)
+    (Search.Candidates.min_waste part [ (Resource.Clb, 2) ])
+
+let prop_candidates_complete =
+  QCheck2.Test.make ~name:"candidate enumeration is complete" ~count:60
+    (QCheck2.Gen.make_primitive
+       ~gen:(fun rng ->
+         let g = Devices.random ~max_width:7 ~max_height:4 rng in
+         let demand =
+           [ (Resource.Clb, 1 + Random.State.int rng 3) ]
+           @ (if Random.State.bool rng then [ (Resource.Bram, 1) ] else [])
+         in
+         (Partition.columnar_exn g, demand))
+       ~shrink:(fun _ -> Seq.empty))
+    (fun (part, demand) ->
+      let cands = Search.Candidates.enumerate part demand in
+      let member r =
+        List.exists
+          (fun (c : Search.Candidates.candidate) ->
+            Rect.equal c.Search.Candidates.rect r)
+          cands
+      in
+      let ok = ref true in
+      let w = Partition.width part and h = Partition.height part in
+      for x = 1 to w do
+        for y = 1 to h do
+          for rw = 1 to w - x + 1 do
+            for rh = 1 to h - y + 1 do
+              let r = Rect.make ~x ~y ~w:rw ~h:rh in
+              let expected =
+                Compat.satisfies part r demand
+                && not (Grid.rect_hits_forbidden part.Partition.grid r)
+              in
+              if expected <> member r then ok := false
+            done
+          done
+        done
+      done;
+      !ok)
+
+(* brute-force optimal waste for tiny specs: enumerate all placements *)
+let brute_force_best part (spec : Spec.t) =
+  let cands =
+    List.map
+      (fun (r : Spec.region) ->
+        (r, Search.Candidates.enumerate part r.Spec.demand))
+      spec.Spec.regions
+  in
+  let best = ref None in
+  let rec go acc waste = function
+    | [] ->
+      (match !best with
+      | Some b when b <= waste -> ()
+      | _ -> best := Some waste)
+    | ((_ : Spec.region), cs) :: rest ->
+      List.iter
+        (fun (c : Search.Candidates.candidate) ->
+          let rect = c.Search.Candidates.rect in
+          if not (List.exists (Rect.overlaps rect) acc) then
+            go (rect :: acc) (waste + c.Search.Candidates.waste) rest)
+        cs
+  in
+  go [] 0 cands;
+  !best
+
+let prop_engine_matches_bruteforce =
+  QCheck2.Test.make ~name:"engine optimum matches brute force" ~count:40
+    (QCheck2.Gen.make_primitive
+       ~gen:(fun rng ->
+         let g = Devices.random ~max_width:6 ~max_height:3 rng in
+         let nregions = 1 + Random.State.int rng 2 in
+         let region i =
+           {
+             Spec.r_name = Printf.sprintf "R%d" i;
+             demand = [ (Resource.Clb, 1 + Random.State.int rng 2) ];
+           }
+         in
+         let spec =
+           Spec.make ~name:"rand" (List.init nregions region)
+         in
+         (Partition.columnar_exn g, spec))
+       ~shrink:(fun _ -> Seq.empty))
+    (fun (part, spec) ->
+      let opts =
+        { Search.Engine.default_options with optimize_wirelength = false }
+      in
+      let r = Search.Engine.solve ~options:opts part spec in
+      match (r.Search.Engine.wasted, brute_force_best part spec) with
+      | Some a, Some b -> a = b && r.Search.Engine.optimal
+      | None, None -> r.Search.Engine.optimal
+      | _ -> false)
+
+let prop_engine_plans_valid =
+  QCheck2.Test.make ~name:"engine plans validate" ~count:40
+    (QCheck2.Gen.make_primitive
+       ~gen:(fun rng ->
+         let g = Devices.random ~max_width:8 ~max_height:4 rng in
+         let spec =
+           Spec.make ~name:"rand"
+             ~relocs:
+               (if Random.State.bool rng then
+                  [ { Spec.target = "R0"; copies = 1; mode = Spec.Hard } ]
+                else [])
+             [
+               { Spec.r_name = "R0"; demand = [ (Resource.Clb, 2) ] };
+               { Spec.r_name = "R1"; demand = [ (Resource.Clb, 1) ] };
+             ]
+         in
+         (Partition.columnar_exn g, spec))
+       ~shrink:(fun _ -> Seq.empty))
+    (fun (part, spec) ->
+      let r = Search.Engine.solve part spec in
+      match r.Search.Engine.plan with
+      | None -> true
+      | Some plan -> Floorplan.is_valid part spec plan)
+
+(* ------------------------------------------------------------------ *)
+(* Section VI results on the FX70T model *)
+
+let test_sdr_optimum () =
+  let part = Lazy.force fx_part in
+  let opts =
+    { Search.Engine.default_options with optimize_wirelength = false }
+  in
+  let r = Search.Engine.solve ~options:opts part Sdr.design in
+  Alcotest.(check bool) "optimal" true r.Search.Engine.optimal;
+  Alcotest.(check (option int)) "wasted" (Some 90) r.Search.Engine.wasted
+
+let test_sdr2_same_cost () =
+  let part = Lazy.force fx_part in
+  let opts =
+    { Search.Engine.default_options with optimize_wirelength = false }
+  in
+  let r = Search.Engine.solve ~options:opts part Sdr.sdr2 in
+  Alcotest.(check (option int)) "wasted" (Some 90) r.Search.Engine.wasted;
+  match r.Search.Engine.plan with
+  | Some plan ->
+    Alcotest.(check int) "6 areas" 6 (Floorplan.fc_count plan);
+    Alcotest.(check bool) "valid" true (Floorplan.is_valid part Sdr.sdr2 plan)
+  | None -> Alcotest.fail "no plan"
+
+let test_sdr3_feasible_nine_areas () =
+  let part = Lazy.force fx_part in
+  let r = Search.Engine.feasible part Sdr.sdr3 in
+  match r.Search.Engine.plan with
+  | Some plan ->
+    Alcotest.(check int) "9 areas" 9 (Floorplan.fc_count plan);
+    Alcotest.(check bool) "valid" true (Floorplan.is_valid part Sdr.sdr3 plan)
+  | None -> Alcotest.fail "SDR3 should be feasible"
+
+let test_feasibility_analysis () =
+  let part = Lazy.force fx_part in
+  let expect = function
+    | name when List.mem name Sdr.relocatable -> true
+    | _ -> false
+  in
+  List.iter
+    (fun name ->
+      let spec = Sdr.feasibility_variant name in
+      let r =
+        Search.Engine.feasible
+          ~options:
+            { Search.Engine.default_options with time_limit = Some 60. }
+          part spec
+      in
+      match (r.Search.Engine.plan, r.Search.Engine.optimal) with
+      | Some plan, _ ->
+        Alcotest.(check bool) (name ^ " expected feasible") true (expect name);
+        Alcotest.(check bool) (name ^ " plan valid") true
+          (Floorplan.is_valid part spec plan)
+      | None, proven ->
+        Alcotest.(check bool) (name ^ " expected infeasible") false (expect name);
+        Alcotest.(check bool) (name ^ " infeasibility proven") true proven)
+    Sdr.module_names
+
+let test_soft_areas_best_effort () =
+  let part = Lazy.force mini_part in
+  let spec =
+    Spec.make ~name:"soft"
+      ~relocs:[ { Spec.target = "A"; copies = 2; mode = Spec.Soft 1. } ]
+      [ { Spec.r_name = "A"; demand = [ (Resource.Clb, 2) ] } ]
+  in
+  let r = Search.Engine.solve part spec in
+  match r.Search.Engine.plan with
+  | Some plan ->
+    Alcotest.(check bool) "some areas found" true (Floorplan.fc_count plan >= 1);
+    Alcotest.(check bool) "valid" true (Floorplan.is_valid part spec plan)
+  | None -> Alcotest.fail "no plan"
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suites =
+  [
+    ( "search.candidates",
+      [
+        Alcotest.test_case "satisfy demand" `Quick test_candidates_satisfy_demand;
+        Alcotest.test_case "unplaceable" `Quick test_candidates_unplaceable;
+      ]
+      @ qsuite [ prop_candidates_complete ] );
+    ( "search.engine",
+      qsuite [ prop_engine_matches_bruteforce; prop_engine_plans_valid ]
+      @ [
+          Alcotest.test_case "soft areas best effort" `Quick
+            test_soft_areas_best_effort;
+        ] );
+    ( "search.sdr",
+      [
+        Alcotest.test_case "SDR optimum 90" `Quick test_sdr_optimum;
+        Alcotest.test_case "SDR2 same cost, 6 areas" `Quick test_sdr2_same_cost;
+        Alcotest.test_case "SDR3 feasible, 9 areas" `Quick
+          test_sdr3_feasible_nine_areas;
+        Alcotest.test_case "feasibility analysis" `Slow test_feasibility_analysis;
+      ] );
+  ]
