@@ -1,0 +1,18 @@
+#!/bin/sh
+# Tier-1 gate: warning-free compilation, the test suite, and a clean
+# lint of the SDR case study on the FX70T device (exit 1 on any
+# Error-severity RFxxx finding).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== dune build --profile lint @check (warnings as errors)"
+dune build --profile lint @check
+
+echo "== dune build && dune runtest"
+dune build
+dune runtest
+
+echo "== rfloor_cli lint (fx70t / sdr)"
+dune exec bin/rfloor_cli.exe -- lint --device fx70t --design sdr
+
+echo "lint.sh: all gates passed"

@@ -137,6 +137,12 @@ let solve_cmd =
         }
       in
       let r = Rfloor.Solver.solve ~options:opts part spec in
+      (* preflight/audit errors explain an infeasible verdict; show them
+         even without -v *)
+      List.iter
+        (fun d ->
+          Format.printf "%a@." Rfloor_analysis.Diagnostic.pp d)
+        (Rfloor_analysis.Diagnostic.errors r.Rfloor.Solver.diagnostics);
       print_plan part spec
         (if engine = "milp" then "MILP (O)" else "MILP (HO)")
         r.Rfloor.Solver.plan r.Rfloor.Solver.wasted r.Rfloor.Solver.wirelength
@@ -224,6 +230,62 @@ let export_cmd =
       const run $ device_arg $ device_file_arg $ design_arg $ design_file_arg
       $ out_arg)
 
+(* ---------------- lint ---------------- *)
+
+let lint_cmd =
+  let module D = Rfloor_analysis.Diagnostic in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("human", `Human); ("sexp", `Sexp) ]) `Human
+      & info [ "format" ] ~docv:"FORMAT" ~doc:"Report format: human or sexp.")
+  in
+  let no_model_arg =
+    Arg.(
+      value & flag
+      & info [ "no-model" ] ~doc:"Skip building and linting the MILP model.")
+  in
+  let codes_arg =
+    Arg.(
+      value & flag
+      & info [ "codes" ] ~doc:"Print the RFxxx diagnostic code table and exit.")
+  in
+  let run device device_file design design_file format no_model codes =
+    if codes then
+      List.iter
+        (fun (code, sev, doc) ->
+          Format.printf "%s %-7s %s@." code (D.severity_to_string sev) doc)
+        D.all_codes
+    else begin
+      let grid = load_device device device_file in
+      let spec = load_design design design_file in
+      let part = partition_of grid in
+      let spec_diags = Rfloor_analysis.Spec_lint.run part spec in
+      (* a broken spec makes the generated model meaningless; lint it
+         only when the spec pass found no errors *)
+      let diags =
+        if no_model || D.has_errors spec_diags then spec_diags
+        else
+          spec_diags
+          @ Rfloor_analysis.Model_lint.run
+              (Rfloor.Model.lp (Rfloor.Model.build part spec))
+      in
+      (match format with
+      | `Human -> Format.printf "%a" D.pp_report diags
+      | `Sexp -> print_endline (D.report_to_sexp diags));
+      if D.has_errors diags then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static analysis: lint the device partition, the design spec and the \
+          generated MILP model without solving.  Exits non-zero on \
+          error-severity findings.")
+    Term.(
+      const run $ device_arg $ device_file_arg $ design_arg $ design_file_arg
+      $ format_arg $ no_model_arg $ codes_arg)
+
 (* ---------------- relocate ---------------- *)
 
 let rect_conv =
@@ -285,6 +347,9 @@ let main_cmd =
   let doc = "relocation-aware floorplanning for partially-reconfigurable FPGAs" in
   Cmd.group
     (Cmd.info "rfloor" ~version:"1.0.0" ~doc)
-    [ partition_cmd; solve_cmd; feasibility_cmd; export_cmd; relocate_cmd; sites_cmd ]
+    [
+      partition_cmd; solve_cmd; feasibility_cmd; export_cmd; lint_cmd;
+      relocate_cmd; sites_cmd;
+    ]
 
 let () = exit (Cmd.eval main_cmd)

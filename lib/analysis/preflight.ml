@@ -1,0 +1,8 @@
+let spec = Spec_lint.run
+
+let model lp = Model_lint.run lp
+
+let run part sp lp = spec part sp @ model lp
+
+let verdict ds =
+  match Diagnostic.errors ds with [] -> Ok () | errs -> Error errs

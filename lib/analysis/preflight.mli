@@ -1,0 +1,20 @@
+(** Combined pre-solve gate: spec/partition lint plus model lint.
+
+    {!Rfloor.Solver.solve} runs {!spec} before building any model and
+    {!model} on each generated MILP; error-severity findings prove the
+    instance infeasible, so the solver can short-circuit a
+    branch-and-bound run that would otherwise end in an unexplained
+    [Infeasible] (or burn its whole budget to [Unknown]). *)
+
+val spec : Device.Partition.t -> Device.Spec.t -> Diagnostic.t list
+(** Alias of {!Spec_lint.run}. *)
+
+val model : Milp.Lp.t -> Diagnostic.t list
+(** Alias of {!Model_lint.run} with default thresholds. *)
+
+val run : Device.Partition.t -> Device.Spec.t -> Milp.Lp.t -> Diagnostic.t list
+(** Both passes, spec findings first. *)
+
+val verdict : Diagnostic.t list -> (unit, Diagnostic.t list) result
+(** [Ok ()] when no error-severity finding is present; otherwise
+    [Error] with just the errors. *)

@@ -1,0 +1,161 @@
+open Device
+module D = Diagnostic
+
+(* Left-to-right tile counts per covered portion: the quantities of
+   Eq. 7 (length) and Eq. 9 (elements). *)
+let portion_tiles part (r : Rect.t) =
+  Array.to_list part.Partition.portions
+  |> List.filter_map (fun (p : Partition.portion) ->
+         let lo = max r.Rect.x p.Partition.x1
+         and hi = min (Rect.x2 r) p.Partition.x2 in
+         if lo > hi then None else Some (hi - lo + 1, (hi - lo + 1) * r.Rect.h))
+
+let run part (spec : Spec.t) (plan : Floorplan.t) =
+  let out = ref [] in
+  let add d = out := d :: !out in
+  let width = Partition.width part and height = Partition.height part in
+  let inside r = Rect.within ~width ~height r in
+  let grid = part.Partition.grid in
+  (* placements (RF208) *)
+  List.iter
+    (fun (r : Spec.region) ->
+      let placed =
+        List.filter
+          (fun (p : Floorplan.placement) -> p.Floorplan.p_region = r.Spec.r_name)
+          plan.Floorplan.placements
+      in
+      match placed with
+      | [] ->
+        add
+          (D.diagf ~code:"RF208" D.Error (D.Region r.Spec.r_name) "not placed")
+      | _ :: _ :: _ ->
+        add
+          (D.diagf ~code:"RF208" D.Error (D.Region r.Spec.r_name)
+             "placed %d times" (List.length placed))
+      | [ p ] ->
+        let rect = p.Floorplan.p_rect in
+        if not (inside rect) then
+          add
+            (D.diagf ~code:"RF208" D.Error (D.Region r.Spec.r_name)
+               "placement %s outside the %dx%d device" (Rect.to_string rect)
+               width height)
+        else begin
+          if Grid.rect_hits_forbidden grid rect then
+            add
+              (D.diagf ~code:"RF208" D.Error (D.Region r.Spec.r_name)
+                 "placement %s overlaps a forbidden area" (Rect.to_string rect));
+          if not (Compat.satisfies part rect r.Spec.demand) then
+            add
+              (D.diagf ~code:"RF208" D.Error (D.Region r.Spec.r_name)
+                 "placement %s covers %s, demand is %s" (Rect.to_string rect)
+                 (Format.asprintf "%a" Resource.pp_demand
+                    (Compat.covered_demand part rect))
+                 (Format.asprintf "%a" Resource.pp_demand r.Spec.demand))
+        end)
+    spec.Spec.regions;
+  List.iter
+    (fun (p : Floorplan.placement) ->
+      if Spec.find_region spec p.Floorplan.p_region = None then
+        add
+          (D.diagf ~code:"RF208" D.Error (D.Region p.Floorplan.p_region)
+             "places a region the spec does not define"))
+    plan.Floorplan.placements;
+  (* pairwise overlaps *)
+  let entities =
+    List.map
+      (fun (p : Floorplan.placement) ->
+        (`Region, D.Region p.Floorplan.p_region, p.Floorplan.p_rect))
+      plan.Floorplan.placements
+    @ List.map
+        (fun (a : Floorplan.fc_area) ->
+          (`Area, D.Area (a.Floorplan.fc_region, a.Floorplan.fc_index),
+           a.Floorplan.fc_rect))
+        plan.Floorplan.fc_areas
+  in
+  let rec pairs = function
+    | [] -> ()
+    | (k1, loc1, r1) :: rest ->
+      List.iter
+        (fun (k2, loc2, r2) ->
+          if Rect.overlaps r1 r2 then
+            let code, loc =
+              match (k1, k2) with
+              | `Region, `Region -> ("RF208", loc1)
+              | `Area, _ -> ("RF205", loc1)
+              | _, `Area -> ("RF205", loc2)
+            in
+            add
+              (D.diagf ~code D.Error loc "%s overlaps %s: %s vs %s"
+                 (D.location_to_string loc1) (D.location_to_string loc2)
+                 (Rect.to_string r1) (Rect.to_string r2)))
+        rest;
+      pairs rest
+  in
+  pairs entities;
+  (* free-compatible areas: Eq. 6-10 re-verified from the partition *)
+  List.iter
+    (fun (a : Floorplan.fc_area) ->
+      let loc = D.Area (a.Floorplan.fc_region, a.Floorplan.fc_index) in
+      let ar = a.Floorplan.fc_rect in
+      match Floorplan.rect_of plan a.Floorplan.fc_region with
+      | None ->
+        add
+          (D.diagf ~code:"RF205" D.Error loc
+             "claims compatibility with unplaced region %s" a.Floorplan.fc_region)
+      | Some rr ->
+        if not (inside ar) then
+          add
+            (D.diagf ~code:"RF205" D.Error loc "area %s outside the device"
+               (Rect.to_string ar))
+        else begin
+          if Grid.rect_hits_forbidden grid ar then
+            add
+              (D.diagf ~code:"RF205" D.Error loc
+                 "area %s overlaps a forbidden area" (Rect.to_string ar));
+          if inside rr then begin
+            if ar.Rect.h <> rr.Rect.h then
+              add
+                (D.diagf ~code:"RF201" D.Error loc
+                   "height %d differs from region height %d (Eq. 6)" ar.Rect.h
+                   rr.Rect.h);
+            let pa = portion_tiles part ar and pr = portion_tiles part rr in
+            if List.length pa <> List.length pr then
+              add
+                (D.diagf ~code:"RF202" D.Error loc
+                   "covers %d portions, region covers %d (Eq. 7)"
+                   (List.length pa) (List.length pr));
+            if
+              ar.Rect.w <> rr.Rect.w
+              || not
+                   (Compat.equal_signature
+                      (Compat.signature part ar)
+                      (Compat.signature part rr))
+            then
+              add
+                (D.diagf ~code:"RF203" D.Error loc
+                   "tile-type sequence differs from the region's (Eq. 8/10)")
+            else if List.map snd pa <> List.map snd pr then
+              add
+                (D.diagf ~code:"RF204" D.Error loc
+                   "per-portion tile counts differ from the region's (Eq. 9)")
+          end
+        end)
+    plan.Floorplan.fc_areas;
+  (* relocation request counts *)
+  List.iter
+    (fun (rq : Spec.reloc_req) ->
+      let got = List.length (Floorplan.fc_for plan rq.Spec.target) in
+      if got < rq.Spec.copies then
+        match rq.Spec.mode with
+        | Spec.Hard ->
+          add
+            (D.diagf ~code:"RF206" D.Error (D.Reloc rq.Spec.target)
+               "hard request for %d free-compatible areas, floorplan has %d"
+               rq.Spec.copies got)
+        | Spec.Soft _ ->
+          add
+            (D.diagf ~code:"RF207" D.Info (D.Reloc rq.Spec.target)
+               "soft request for %d free-compatible areas, floorplan has %d"
+               rq.Spec.copies got))
+    spec.Spec.relocs;
+  List.rev !out

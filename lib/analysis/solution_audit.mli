@@ -1,0 +1,15 @@
+(** Pass 3: audit a decoded floorplan against the paper's compatibility
+    equations, independently of the solver (codes RF201-RF208).
+
+    Re-verifies, from the columnar partition alone, that each claimed
+    free-compatible area matches its region in height (Eq. 6), portion
+    count (Eq. 7), tile-type sequence (Eq. 8/10) and per-portion tile
+    counts (Eq. 9); that every area is actually free (no overlap with
+    placements, other areas, or forbidden blocks); that placements are
+    valid; and that relocation requests are satisfied in number. *)
+
+val run :
+  Device.Partition.t ->
+  Device.Spec.t ->
+  Device.Floorplan.t ->
+  Diagnostic.t list

@@ -1,5 +1,6 @@
 open Device
 module Bb = Milp.Branch_bound
+module Diag = Rfloor_analysis.Diagnostic
 
 type engine = O | Ho of Floorplan.t option
 
@@ -15,6 +16,7 @@ type options = {
   node_limit : int option;
   paper_literal_l : bool;
   warm_start : bool;
+  preflight : bool;
   log : (string -> unit) option;
 }
 
@@ -26,6 +28,7 @@ let default_options =
     node_limit = None;
     paper_literal_l = false;
     warm_start = true;
+    preflight = true;
     log = None;
   }
 
@@ -41,6 +44,7 @@ type outcome = {
   nodes : int;
   simplex_iterations : int;
   elapsed : float;
+  diagnostics : Diag.t list;
 }
 
 let log options fmt =
@@ -82,9 +86,27 @@ let warm_plan options part spec =
     in
     (Search.Engine.solve ~options:sopts part spec).Search.Engine.plan
 
-(* Run branch-and-bound on a model, optionally warm-started. *)
-let run_stage options model ~stage_time ~warm =
+(* Run branch-and-bound on a model, optionally warm-started.  The
+   model-lint preflight runs first: an error-severity finding (e.g. a
+   bound-infeasible row) proves the stage infeasible without a single
+   branch-and-bound node. *)
+let run_stage options model ~stage_time ~warm ~add_diags =
   let lp = Model.lp model in
+  let lint = if options.preflight then Rfloor_analysis.Preflight.model lp else [] in
+  add_diags lint;
+  if Diag.has_errors lint then
+    {
+      Bb.status = Bb.Infeasible;
+      incumbent = None;
+      best_bound =
+        (match Milp.Lp.objective_dir lp with
+        | Milp.Lp.Minimize -> infinity
+        | Milp.Lp.Maximize -> neg_infinity);
+      nodes = 0;
+      simplex_iterations = 0;
+      elapsed = 0.;
+    }
+  else begin
   (match Milp.Presolve.tighten lp with
   | Milp.Presolve.Proven_infeasible -> ()
   | Milp.Presolve.Tightened n -> log options "presolve: %d bound changes" n);
@@ -100,6 +122,7 @@ let run_stage options model ~stage_time ~warm =
         None)
   in
   Bb.solve ~options:(bb_options options model stage_time) ?incumbent lp
+  end
 
 let status_of_bb = function
   | Bb.Optimal -> Optimal
@@ -107,7 +130,8 @@ let status_of_bb = function
   | Bb.Infeasible -> Infeasible
   | Bb.Unbounded | Bb.Unknown -> Unknown
 
-let finish part spec model (r : Bb.result) extra_nodes extra_iters extra_time =
+let finish options part spec model (r : Bb.result) extra_nodes extra_iters
+    extra_time diags =
   let plan, fc =
     match r.Bb.incumbent with
     | Some (_, x) -> (Some (Model.decode model x), Model.fc_identified model x)
@@ -117,6 +141,16 @@ let finish part spec model (r : Bb.result) extra_nodes extra_iters extra_time =
     Option.map (fun p -> Floorplan.wasted_frames part spec p) plan
   in
   let wirelength = Option.map (fun p -> Floorplan.wirelength spec p) plan in
+  (* independent re-check of the decoded plan (Eq. 6-10 and validity);
+     findings here would point at a model or decoder bug *)
+  let audit =
+    match plan with
+    | Some p when options.preflight ->
+      let ds = Rfloor_analysis.Solution_audit.run part spec p in
+      List.iter (fun d -> log options "audit: %s" (Format.asprintf "%a" Diag.pp d)) ds;
+      ds
+    | _ -> []
+  in
   {
     plan;
     wasted;
@@ -127,9 +161,34 @@ let finish part spec model (r : Bb.result) extra_nodes extra_iters extra_time =
     nodes = r.Bb.nodes + extra_nodes;
     simplex_iterations = r.Bb.simplex_iterations + extra_iters;
     elapsed = r.Bb.elapsed +. extra_time;
+    diagnostics = diags @ audit;
   }
 
 let solve ?(options = default_options) part (spec : Spec.t) =
+  (* spec/partition preflight: error findings prove infeasibility before
+     any model is built or any node is explored *)
+  let diags = ref [] in
+  let add_diags ds =
+    List.iter
+      (fun d -> log options "preflight: %s" (Format.asprintf "%a" Diag.pp d))
+      ds;
+    diags := !diags @ ds
+  in
+  if options.preflight then add_diags (Rfloor_analysis.Preflight.spec part spec);
+  if Diag.has_errors !diags then
+    {
+      plan = None;
+      wasted = None;
+      wirelength = None;
+      fc_identified = 0;
+      status = Infeasible;
+      objective_value = None;
+      nodes = 0;
+      simplex_iterations = 0;
+      elapsed = 0.;
+      diagnostics = !diags;
+    }
+  else begin
   let seed = resolve_seed options part spec in
   let relations = pair_relations spec seed in
   let warm =
@@ -146,20 +205,24 @@ let solve ?(options = default_options) part (spec : Spec.t) =
   match options.objective_mode with
   | Feasibility_only ->
     let model = Model.build ~options:(model_options Model.Feasibility None) part spec in
-    finish part spec model (run_stage options model ~stage_time:options.time_limit ~warm) 0 0 0.
+    finish options part spec model
+      (run_stage options model ~stage_time:options.time_limit ~warm ~add_diags)
+      0 0 0. !diags
   | Weighted w ->
     let model =
       Model.build ~options:(model_options (Model.Weighted w) None) part spec
     in
-    finish part spec model (run_stage options model ~stage_time:options.time_limit ~warm) 0 0 0.
+    finish options part spec model
+      (run_stage options model ~stage_time:options.time_limit ~warm ~add_diags)
+      0 0 0. !diags
   | Lexicographic -> (
     let split f = Option.map (fun t -> t *. f) options.time_limit in
     let m1 =
       Model.build ~options:(model_options Model.Wasted_frames_only None) part spec
     in
-    let r1 = run_stage options m1 ~stage_time:(split 0.6) ~warm in
+    let r1 = run_stage options m1 ~stage_time:(split 0.6) ~warm ~add_diags in
     match r1.Bb.incumbent with
-    | None -> finish part spec m1 r1 0 0 0.
+    | None -> finish options part spec m1 r1 0 0 0. !diags
     | Some (w1, x1) ->
       log options "stage 1: wasted frames = %.0f (%s)" w1
         (match r1.Bb.status with Bb.Optimal -> "optimal" | _ -> "best found");
@@ -185,14 +248,15 @@ let solve ?(options = default_options) part (spec : Spec.t) =
         | best :: _ -> Some best
         | [] -> Some plan1
       in
-      let r2 = run_stage options m2 ~stage_time:(split 0.4) ~warm:warm2 in
+      let r2 = run_stage options m2 ~stage_time:(split 0.4) ~warm:warm2 ~add_diags in
       let r2 =
         match r2.Bb.incumbent with
         | Some _ -> r2
         | None -> { r2 with Bb.incumbent = r1.Bb.incumbent }
       in
       let out =
-        finish part spec m2 r2 r1.Bb.nodes r1.Bb.simplex_iterations r1.Bb.elapsed
+        finish options part spec m2 r2 r1.Bb.nodes r1.Bb.simplex_iterations
+          r1.Bb.elapsed !diags
       in
       (* stage-2 optimality only refines wire length; overall optimality
          additionally needs stage 1 proven *)
@@ -203,6 +267,7 @@ let solve ?(options = default_options) part (spec : Spec.t) =
         | _, s -> (match s with Optimal -> Feasible | s -> s)
       in
       { out with status })
+  end
 
 let export_lp ?(options = default_options) part spec =
   let relations = pair_relations spec (resolve_seed options part spec) in
@@ -234,4 +299,8 @@ let pp_outcome ppf o =
     | Unknown -> "unknown")
     (match o.wasted with Some w -> string_of_int w | None -> "-")
     (match o.wirelength with Some w -> Printf.sprintf "%.1f" w | None -> "-")
-    o.fc_identified o.nodes o.elapsed
+    o.fc_identified o.nodes o.elapsed;
+  let nerr = Diag.count Diag.Error o.diagnostics
+  and nwarn = Diag.count Diag.Warning o.diagnostics in
+  if nerr > 0 || nwarn > 0 then
+    Format.fprintf ppf " diagnostics=%dE/%dW" nerr nwarn

@@ -26,6 +26,11 @@ type options = {
   node_limit : int option;
   paper_literal_l : bool;
   warm_start : bool;
+  preflight : bool;
+      (** Run the {!Rfloor_analysis} spec and model lints before
+          solving and audit the decoded plan after (default [true]).
+          Error-severity findings short-circuit to [Infeasible] with
+          the diagnostics attached to the outcome. *)
   log : (string -> unit) option;
 }
 
@@ -43,6 +48,9 @@ type outcome = {
   nodes : int;
   simplex_iterations : int;
   elapsed : float;
+  diagnostics : Rfloor_analysis.Diagnostic.t list;
+      (** Preflight lint findings plus the post-solve solution audit;
+          on a preflight [Infeasible] these explain the verdict. *)
 }
 
 val solve :

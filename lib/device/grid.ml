@@ -96,6 +96,19 @@ let count_tiles g rect =
 let total_tiles g =
   count_tiles g (Rect.make ~x:1 ~y:1 ~w:g.g_width ~h:g.g_height)
 
+let usable_tiles g =
+  let counts = List.map (fun k -> (k, ref 0)) Resource.all_kinds in
+  for row = 1 to g.g_height do
+    for col = 1 to g.g_width do
+      if not (in_forbidden g col row) then
+        let { Resource.kind; _ } = tile g col row in
+        incr (List.assoc kind counts)
+    done
+  done;
+  List.filter_map
+    (fun (k, r) -> if !r > 0 then Some (k, !r) else None)
+    counts
+
 let render ?(marks = []) g =
   let b = Buffer.create ((g.g_width + 1) * g.g_height) in
   for row = 1 to g.g_height do

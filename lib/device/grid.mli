@@ -58,6 +58,10 @@ val count_tiles : t -> Rect.t -> Resource.demand
 val total_tiles : t -> Resource.demand
 (** Whole-device tile census. *)
 
+val usable_tiles : t -> Resource.demand
+(** Whole-device tile census excluding tiles under forbidden areas —
+    the resources a placement can actually cover. *)
+
 val render : ?marks:(Rect.t * char) list -> t -> string
 (** ASCII picture of the device, one row per line, top row first.
     Tiles covered by a mark rectangle show the mark character;

@@ -142,6 +142,16 @@ let check_adjacent_types_differ t =
   done;
   !ok
 
+let check_ordered t =
+  let n = Array.length t.portions in
+  let ok = ref (n > 0) in
+  for i = 0 to n - 1 do
+    let p = t.portions.(i) in
+    if p.index <> i + 1 || p.x1 > p.x2 then ok := false;
+    if i > 0 && t.portions.(i - 1).x2 + 1 <> p.x1 then ok := false
+  done;
+  !ok && t.portions.(0).x1 = 1 && t.portions.(n - 1).x2 = width t
+
 let check_cover_disjoint t =
   let w = width t in
   let covered = Array.make w 0 in

@@ -47,6 +47,10 @@ val frames_of_demand : t -> Resource.demand -> int
 val check_adjacent_types_differ : t -> bool
 (** Property .3: adjacent columnar portions have different types. *)
 
+val check_ordered : t -> bool
+(** Property .4: portions are indexed [1..n] left to right, contiguous,
+    starting at column 1 and ending at the device width. *)
+
 val check_cover_disjoint : t -> bool
 (** Portions tile the device: every column in exactly one portion. *)
 

@@ -163,6 +163,14 @@ let iter_constrs t f =
     f i r.c_terms r.c_sense r.c_rhs
   done
 
+let fold_constrs t ~init f =
+  let acc = ref init in
+  for i = 0 to t.nrows - 1 do
+    let r = t.rows.(i) in
+    acc := f !acc i r.c_terms r.c_sense r.c_rhs
+  done;
+  !acc
+
 let integer_vars t =
   let acc = ref [] in
   for v = t.nvars - 1 downto 0 do

@@ -64,6 +64,12 @@ val set_rhs : t -> int -> float -> unit
 
 val iter_constrs : t -> (int -> term list -> sense -> float -> unit) -> unit
 
+val fold_constrs :
+  t -> init:'a -> ('a -> int -> term list -> sense -> float -> 'a) -> 'a
+(** [fold_constrs t ~init f] folds [f] over the rows in index order —
+    the iteration primitive for analysis passes, so they need no index
+    loops over {!constr_terms}. *)
+
 val integer_vars : t -> var list
 (** Variables of kind [Integer] or [Binary], ascending. *)
 

@@ -1,5 +1,6 @@
 let () =
   Alcotest.run "rfloor"
     (Test_milp.suites @ Test_device.suites @ Test_search.suites
-   @ Test_core.suites @ Test_baselines.suites @ Test_bitstream.suites
+   @ Test_core.suites @ Test_analysis.suites @ Test_baselines.suites
+   @ Test_bitstream.suites
    @ Test_sdr.suites @ Test_runtime.suites @ Test_io.suites)

@@ -239,6 +239,28 @@ let test_bb_infeasible () =
   Alcotest.(check bool) "infeasible" true
     (r.Branch_bound.status = Branch_bound.Infeasible)
 
+let test_presolve_proven_infeasible () =
+  (* x + y >= 10 with x, y in [0, 1]: activity-based bound propagation
+     alone proves infeasibility, no simplex needed *)
+  let lp = Lp.create () in
+  let x = Lp.add_var lp ~name:"x" ~ub:1. () in
+  let y = Lp.add_var lp ~name:"y" ~ub:1. () in
+  Lp.add_constr lp ~name:"cover" [ (1., x); (1., y) ] Lp.Ge 10.;
+  Lp.set_objective lp Lp.Minimize [ (1., x); (1., y) ];
+  (* the model-lint preflight must reach the same verdict independently
+     (RF106: row infeasible under the variable bounds) *)
+  let ds = Rfloor_analysis.Preflight.model (Lp.copy lp) in
+  Alcotest.(check bool) "preflight flags RF106" true
+    (List.exists
+       (fun d ->
+         d.Rfloor_analysis.Diagnostic.code = "RF106"
+         && d.Rfloor_analysis.Diagnostic.severity
+            = Rfloor_analysis.Diagnostic.Error)
+       ds);
+  match Presolve.tighten lp with
+  | Presolve.Proven_infeasible -> ()
+  | Presolve.Tightened _ -> Alcotest.fail "presolve missed the infeasibility"
+
 let test_bb_mixed () =
   (* min 2i + f st i + f >= 2.5, f <= 0.7, i integer -> i=2, f=0.5, obj 4.5 *)
   let lp = Lp.create () in
@@ -497,6 +519,8 @@ let suites =
         Alcotest.test_case "knapsack" `Quick test_bb_knapsack;
         Alcotest.test_case "rounding matters" `Quick test_bb_integer_rounding_matters;
         Alcotest.test_case "integer infeasible" `Quick test_bb_infeasible;
+        Alcotest.test_case "presolve proves infeasible" `Quick
+          test_presolve_proven_infeasible;
         Alcotest.test_case "mixed integer" `Quick test_bb_mixed;
         Alcotest.test_case "warm incumbent" `Quick test_bb_warm_incumbent;
       ] );
