@@ -4,7 +4,9 @@
      dune exec bench/main.exe                 -- benches + all reports
      dune exec bench/main.exe -- --report X   -- one report (see --list)
      dune exec bench/main.exe -- --bench-only
-     RFLOOR_BENCH_BUDGET=60 ...               -- per-solve budget, seconds *)
+     dune exec bench/main.exe -- --parallel-only
+     RFLOOR_BENCH_BUDGET=60 ...               -- per-solve budget, seconds
+     RFLOOR_WORKERS=4 ...                     -- parallel B&B worker domains *)
 
 open Bechamel
 open Toolkit
@@ -105,6 +107,67 @@ let run_benches () =
         results)
     tests
 
+(* Parallel branch-and-bound on the paper's evaluation workload: the
+   FX70T relocation instance (SDR with 2 requested free-compatible
+   areas per relocatable region), stage-1 objective.  Sequential and
+   parallel runs get the same node budget, so when both exhaust it the
+   wall-clock ratio is a direct speedup; if a run stops early (time
+   limit, or optimality first) the node-throughput ratio is reported,
+   which degenerates to the same number under equal node counts. *)
+let run_parallel_speedup () =
+  let workers = max 4 (Milp.Parallel_bb.workers_from_env ()) in
+  let budget =
+    match Sys.getenv_opt "RFLOOR_BENCH_BUDGET" with
+    | Some s -> ( try float_of_string s with _ -> 30.)
+    | None -> 30.
+  in
+  Printf.printf
+    "\n==== parallel branch-and-bound (FX70T relocation instance, sdr2) ====\n%!";
+  let part = Lazy.force fx70t in
+  let model =
+    Rfloor.Model.build
+      ~options:
+        {
+          Rfloor.Model.objective = Rfloor.Model.Wasted_frames_only;
+          paper_literal_l = false;
+          pair_relations = [];
+          extra_waste_cap = None;
+        }
+      part Sdr.sdr2
+  in
+  let lp = Rfloor.Model.lp model in
+  let opts =
+    {
+      Milp.Branch_bound.default_options with
+      time_limit = Some budget;
+      node_limit = Some 400;
+      priorities = Some (Rfloor.Model.branching_priorities model);
+    }
+  in
+  let seq = Milp.Branch_bound.solve ~options:opts lp in
+  let par = Milp.Parallel_bb.solve ~options:opts ~workers lp in
+  let show label (r : Milp.Branch_bound.result) =
+    Printf.printf "  %-12s nodes %5d  simplex iters %8d  elapsed %6.2fs\n%!"
+      label r.Milp.Branch_bound.nodes r.Milp.Branch_bound.simplex_iterations
+      r.Milp.Branch_bound.elapsed
+  in
+  show "sequential" seq;
+  show (Printf.sprintf "%d workers" workers) par;
+  let rate (r : Milp.Branch_bound.result) =
+    float_of_int r.Milp.Branch_bound.nodes /. max 1e-9 r.Milp.Branch_bound.elapsed
+  in
+  let speedup = rate par /. rate seq in
+  Printf.printf "  wall-clock speedup with %d workers: %.2fx%s\n%!" workers speedup
+    (if speedup <= 1.0 then
+       Printf.sprintf " (no gain: host exposes %d core%s)"
+         (Domain.recommended_domain_count ())
+         (if Domain.recommended_domain_count () = 1 then "" else "s")
+     else "");
+  match (seq.Milp.Branch_bound.incumbent, par.Milp.Branch_bound.incumbent) with
+  | Some (a, _), Some (b, _) ->
+    Printf.printf "  objectives agree: %.4f vs %.4f\n%!" a b
+  | _ -> ()
+
 let () =
   let args = Array.to_list Sys.argv in
   let rec find_report = function
@@ -123,5 +186,11 @@ let () =
         Printf.eprintf "unknown report %s; use --list\n" name;
         exit 1)
     | None ->
-      if not (List.mem "--report-only" args) then run_benches ();
-      if not (List.mem "--bench-only" args) then Reports.all ()
+      if List.mem "--parallel-only" args then run_parallel_speedup ()
+      else begin
+        if not (List.mem "--report-only" args) then begin
+          run_benches ();
+          run_parallel_speedup ()
+        end;
+        if not (List.mem "--bench-only" args) then Reports.all ()
+      end

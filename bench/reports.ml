@@ -10,6 +10,9 @@ let budget () =
   | Some s -> ( try float_of_string s with _ -> 30.)
   | None -> 30.
 
+(* RFLOOR_WORKERS parallelizes every MILP solve in the reports. *)
+let workers () = Milp.Parallel_bb.workers_from_env ()
+
 let line fmt = Printf.printf (fmt ^^ "\n%!")
 
 let header title =
@@ -229,6 +232,7 @@ let milp () =
     {
       Rfloor.Solver.default_options with
       time_limit = Some (budget ());
+      workers = workers ();
     }
   in
   let m = Rfloor.Solver.solve ~options:opts part spec in
@@ -256,7 +260,9 @@ let ablation () =
     let o = Rfloor.Solver.solve ~options part spec in
     line "  %-28s %s" label (Format.asprintf "%a" Rfloor.Solver.pp_outcome o)
   in
-  let base = { Rfloor.Solver.default_options with time_limit = Some b } in
+  let base =
+    { Rfloor.Solver.default_options with time_limit = Some b; workers = workers () }
+  in
   run "O, relocation constraint" base;
   run "HO (search seed)" { base with engine = Rfloor.Solver.Ho None };
   let soft =
@@ -381,7 +387,7 @@ let scaling () =
         Rfloor.Solver.solve
           ~options:
             { Rfloor.Solver.default_options with
-              time_limit = Some (budget ()); engine }
+              time_limit = Some (budget ()); workers = workers (); engine }
           partm toy
       in
       line "    %-4s nodes %6d simplex iters %8d  %6.2fs" label

@@ -2,8 +2,25 @@
 # Tier-1 gate: warning-free compilation, the test suite, and a clean
 # lint of the SDR case study on the FX70T device (exit 1 on any
 # Error-severity RFxxx finding).
+#
+#   bin/lint.sh               -- the full gate
+#   bin/lint.sh test-matrix   -- the test suite only, once per worker
+#                                count (RFLOOR_WORKERS in {1, 2, 4})
+#                                under a fixed RFLOOR_TEST_SEED, so the
+#                                randomized differential suite replays
+#                                the same instances on every axis
 set -eu
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "test-matrix" ]; then
+    seed="${RFLOOR_TEST_SEED:-2015}"
+    for workers in 1 2 4; do
+        echo "== dune runtest (RFLOOR_WORKERS=$workers RFLOOR_TEST_SEED=$seed)"
+        RFLOOR_WORKERS="$workers" RFLOOR_TEST_SEED="$seed" dune runtest --force
+    done
+    echo "lint.sh: test matrix passed (workers 1/2/4, seed $seed)"
+    exit 0
+fi
 
 echo "== dune build --profile lint @check (warnings as errors)"
 dune build --profile lint @check

@@ -73,6 +73,15 @@ let time_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log solver progress.")
 
+let workers_arg =
+  Arg.(
+    value
+    & opt int (Milp.Parallel_bb.workers_from_env ())
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Branch-and-bound worker domains for the MILP engines (default from \
+           \\$(b,RFLOOR_WORKERS), else 1 = sequential).")
+
 (* ---------------- partition ---------------- *)
 
 let partition_cmd =
@@ -113,7 +122,7 @@ let print_plan part spec label plan wasted wirelength proven =
     print_endline (Floorplan.render part plan)
 
 let solve_cmd =
-  let run device device_file design design_file engine time verbose =
+  let run device device_file design design_file engine time verbose workers =
     let grid = load_device device device_file in
     let spec = load_design design design_file in
     let part = partition_of grid in
@@ -133,6 +142,7 @@ let solve_cmd =
           Rfloor.Solver.default_options with
           time_limit = Some time;
           log;
+          workers = max 1 workers;
           engine = (if engine = "milp" then Rfloor.Solver.O else Rfloor.Solver.Ho None);
         }
       in
@@ -161,7 +171,7 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Floorplan a design on a device.")
     Term.(
       const run $ device_arg $ device_file_arg $ design_arg $ design_file_arg
-      $ engine_arg $ time_arg $ verbose_arg)
+      $ engine_arg $ time_arg $ verbose_arg $ workers_arg)
 
 (* ---------------- feasibility ---------------- *)
 

@@ -17,6 +17,7 @@ type options = {
   paper_literal_l : bool;
   warm_start : bool;
   preflight : bool;
+  workers : int;
   log : (string -> unit) option;
 }
 
@@ -29,6 +30,7 @@ let default_options =
     paper_literal_l = false;
     warm_start = true;
     preflight = true;
+    workers = 1;
     log = None;
   }
 
@@ -86,10 +88,18 @@ let warm_plan options part spec =
     in
     (Search.Engine.solve ~options:sopts part spec).Search.Engine.plan
 
+(* Sequential solver for workers <= 1, the domain-parallel one above
+   that.  Both consume the same options and produce the same result
+   type, so everything downstream is solver-agnostic. *)
+let bb_solve options bbopts ?incumbent lp =
+  if options.workers <= 1 then Bb.solve ~options:bbopts ?incumbent lp
+  else Milp.Parallel_bb.solve ~options:bbopts ~workers:options.workers ?incumbent lp
+
 (* Run branch-and-bound on a model, optionally warm-started.  The
-   model-lint preflight runs first: an error-severity finding (e.g. a
-   bound-infeasible row) proves the stage infeasible without a single
-   branch-and-bound node. *)
+   model-lint preflight runs first — once, on the root model; workers
+   of a parallel run share that single vetted LP, they never re-lint.
+   An error-severity finding (e.g. a bound-infeasible row) proves the
+   stage infeasible without a single branch-and-bound node. *)
 let run_stage options model ~stage_time ~warm ~add_diags =
   let lp = Model.lp model in
   let lint = if options.preflight then Rfloor_analysis.Preflight.model lp else [] in
@@ -121,7 +131,7 @@ let run_stage options model ~stage_time ~warm ~add_diags =
         log options "warm start rejected: %s" msg;
         None)
   in
-  Bb.solve ~options:(bb_options options model stage_time) ?incumbent lp
+  bb_solve options (bb_options options model stage_time) ?incumbent lp
   end
 
 let status_of_bb = function

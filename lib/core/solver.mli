@@ -30,7 +30,13 @@ type options = {
       (** Run the {!Rfloor_analysis} spec and model lints before
           solving and audit the decoded plan after (default [true]).
           Error-severity findings short-circuit to [Infeasible] with
-          the diagnostics attached to the outcome. *)
+          the diagnostics attached to the outcome.  The model lint runs
+          once on the root model regardless of [workers]. *)
+  workers : int;
+      (** Branch-and-bound worker domains (default [1] = the sequential
+          {!Milp.Branch_bound}; [> 1] = {!Milp.Parallel_bb}).  Both
+          report aggregated [nodes]/[simplex_iterations] and wall-clock
+          [elapsed]. *)
   log : (string -> unit) option;
 }
 

@@ -57,7 +57,7 @@ let pick_branch ~int_eps ~priorities int_vars x =
   match !best with None -> None | Some (v, _) -> Some v
 
 let solve ?(options = default_options) ?incumbent lp =
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
   (* root-node branch-and-cut: strengthen a private copy with GMI cuts *)
   let lp =
     if options.gomory_rounds <= 0 then lp
@@ -107,7 +107,7 @@ let solve ?(options = default_options) ?incumbent lp =
   let gap_abs () = options.mip_gap *. max 1. (abs_float !inc_key) in
   let out_of_budget () =
     (match options.time_limit with
-    | Some tl -> Sys.time () -. t0 > tl
+    | Some tl -> Unix.gettimeofday () -. t0 > tl
     | None -> false)
     || match options.node_limit with Some nl -> !nodes >= nl | None -> false
   in
@@ -194,7 +194,7 @@ let solve ?(options = default_options) ?incumbent lp =
           min acc (if nd.n_bound = neg_infinity then !root_bound else nd.n_bound))
         !inc_key !stack
   in
-  let elapsed = Sys.time () -. t0 in
+  let elapsed = Unix.gettimeofday () -. t0 in
   let status =
     if !unbounded then Unbounded
     else

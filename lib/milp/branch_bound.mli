@@ -21,11 +21,14 @@ type result = {
       (** Valid dual bound on the optimum, original direction. *)
   nodes : int;
   simplex_iterations : int;
-  elapsed : float;  (** CPU seconds. *)
+  elapsed : float;
+      (** Wall-clock seconds ([Unix.gettimeofday]-based).  Wall clock —
+          not CPU time — so that a parallel run ({!Parallel_bb}) reports
+          the time the caller actually waited. *)
 }
 
 type options = {
-  time_limit : float option;  (** CPU seconds *)
+  time_limit : float option;  (** wall-clock seconds *)
   node_limit : int option;
   mip_gap : float;  (** relative gap for pruning/termination, default 1e-6 *)
   int_eps : float;  (** integrality tolerance, default 1e-6 *)

@@ -76,3 +76,204 @@ let to_file path lp =
       let ppf = Format.formatter_of_out_channel oc in
       write ppf lp;
       Format.pp_print_flush ppf ())
+
+(* ------------------------------------------------------------------ *)
+(* Parser for the free-MPS subset the writer emits (plus the common
+   variations: data pairs two-per-line, PL/BV bound types, OBJSENSE on
+   one line).  Any structural violation returns [Error], never an
+   exception — the fuzz suite feeds this deliberately broken files. *)
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type psection = S_none | S_rows | S_columns | S_rhs | S_bounds
+
+let parse text =
+  try
+    let lines =
+      String.split_on_char '\n' text
+      |> List.filter_map (fun l ->
+             let l = String.trim l in
+             if l = "" || l.[0] = '*' then None
+             else
+               Some
+                 (String.split_on_char ' ' l
+                 |> List.concat_map (String.split_on_char '\t')
+                 |> List.filter (fun t -> t <> "")))
+    in
+    let num s =
+      match float_of_string_opt s with
+      | Some f -> f
+      | None -> fail "expected a number, got %S" s
+    in
+    let name = ref "parsed" in
+    let dir = ref Lp.Minimize in
+    (* rows in declaration order; obj row name; terms accumulated per row *)
+    let obj_row = ref None in
+    let row_order = ref [] (* reversed (name, sense) *) in
+    let row_tbl = Hashtbl.create 64 (* name -> terms ref (reversed) *) in
+    let row_rhs = Hashtbl.create 64 in
+    let obj_terms = ref [] and obj_constant = ref 0. in
+    (* columns in first-appearance order *)
+    let col_order = ref [] (* reversed names *) in
+    let col_tbl = Hashtbl.create 64 (* name -> is_integer *) in
+    let col_bounds = Hashtbl.create 64 (* name -> (lb option, ub option, fixed/free markers applied) *) in
+    let integer_marker = ref false in
+    let expect_objsense = ref false in
+    let section = ref S_none in
+    let ended = ref false in
+    let declare_col c =
+      match Hashtbl.find_opt col_tbl c with
+      | None ->
+        Hashtbl.replace col_tbl c !integer_marker;
+        col_order := c :: !col_order
+      | Some was_integer ->
+        if was_integer <> !integer_marker then
+          fail "column %s appears both inside and outside INTORG markers" c
+    in
+    let add_entry c r v =
+      declare_col c;
+      match !obj_row with
+      | Some o when r = o -> obj_terms := (v, c) :: !obj_terms
+      | _ -> (
+        match Hashtbl.find_opt row_tbl r with
+        | Some terms -> terms := (v, c) :: !terms
+        | None -> fail "COLUMNS references undeclared row %s" r)
+    in
+    let add_rhs r v =
+      match !obj_row with
+      | Some o when r = o ->
+        (* MPS convention: objective RHS is the negated constant *)
+        obj_constant := -.v
+      | _ ->
+        if not (Hashtbl.mem row_tbl r) then fail "RHS references undeclared row %s" r;
+        Hashtbl.replace row_rhs r v
+    in
+    let rec pairs f = function
+      | [] -> ()
+      | [ t ] -> fail "dangling field %S (expected name/value pairs)" t
+      | a :: b :: rest ->
+        f a (num b);
+        pairs f rest
+    in
+    let bound_of c = try Hashtbl.find col_bounds c with Not_found -> (None, None) in
+    let set_bound c lb ub =
+      if not (Hashtbl.mem col_tbl c) then
+        fail "BOUNDS references undeclared column %s" c;
+      Hashtbl.replace col_bounds c (lb, ub)
+    in
+    List.iter
+      (fun tokens ->
+        if not !ended then
+          match tokens with
+          | [] -> ()
+          | first :: rest -> (
+            let kw = String.uppercase_ascii first in
+            if !expect_objsense && rest = [] && (kw = "MIN" || kw = "MAX") then begin
+              dir := (if kw = "MIN" then Lp.Minimize else Lp.Maximize);
+              expect_objsense := false
+            end
+            else begin
+              expect_objsense := false;
+              match kw with
+              | "NAME" ->
+                (match rest with n :: _ -> name := n | [] -> ())
+              | "OBJSENSE" -> (
+                match rest with
+                | [] -> expect_objsense := true
+                | s :: _ -> (
+                  match String.uppercase_ascii s with
+                  | "MIN" | "MINIMIZE" -> dir := Lp.Minimize
+                  | "MAX" | "MAXIMIZE" -> dir := Lp.Maximize
+                  | s -> fail "bad OBJSENSE %S" s))
+              | "ROWS" -> section := S_rows
+              | "COLUMNS" -> section := S_columns
+              | "RHS" when rest = [] -> section := S_rhs
+              | "BOUNDS" -> section := S_bounds
+              | "RANGES" -> fail "RANGES section not supported"
+              | "ENDATA" -> ended := true
+              | _ -> (
+                match !section with
+                | S_none -> fail "data line %S before any section" first
+                | S_rows -> (
+                  let rname =
+                    match rest with
+                    | [ r ] -> r
+                    | _ -> fail "ROWS line needs exactly 'sense name'"
+                  in
+                  if Hashtbl.mem row_tbl rname || !obj_row = Some rname then
+                    fail "duplicate row name %s" rname;
+                  match kw with
+                  | "N" ->
+                    if !obj_row = None then obj_row := Some rname
+                    else fail "multiple objective (N) rows"
+                  | "L" | "G" | "E" ->
+                    let sense =
+                      match kw with "L" -> Lp.Le | "G" -> Lp.Ge | _ -> Lp.Eq
+                    in
+                    Hashtbl.replace row_tbl rname (ref []);
+                    row_order := (rname, sense) :: !row_order
+                  | s -> fail "bad row sense %S" s)
+                | S_columns ->
+                  if List.exists (fun t -> t = "'INTORG'") tokens then
+                    integer_marker := true
+                  else if List.exists (fun t -> t = "'INTEND'") tokens then
+                    integer_marker := false
+                  else pairs (add_entry first) rest
+                | S_rhs ->
+                  (* first token is the RHS set label; the rest are pairs *)
+                  pairs add_rhs rest
+                | S_bounds -> (
+                  (* kw = bound type, rest = set-label col [value] *)
+                  match (kw, rest) with
+                  | "FR", [ _; c ] -> set_bound c (Some neg_infinity) (Some infinity)
+                  | "MI", [ _; c ] -> set_bound c (Some neg_infinity) (snd (bound_of c))
+                  | "PL", [ _; c ] -> set_bound c (fst (bound_of c)) (Some infinity)
+                  | "BV", [ _; c ] -> set_bound c (Some 0.) (Some 1.)
+                  | "FX", [ _; c; v ] ->
+                    let v = num v in
+                    set_bound c (Some v) (Some v)
+                  | "LO", [ _; c; v ] -> set_bound c (Some (num v)) (snd (bound_of c))
+                  | "UP", [ _; c; v ] -> set_bound c (fst (bound_of c)) (Some (num v))
+                  | t, _ -> fail "bad bound line (type %S)" t))
+            end))
+      lines;
+    if !obj_row = None && !row_order = [] && !col_order = [] then
+      fail "no ROWS/COLUMNS data found";
+    let lp = Lp.create ~name:!name () in
+    let vars = Hashtbl.create 64 in
+    List.iter
+      (fun c ->
+        let is_int = Hashtbl.find col_tbl c in
+        let lb, ub = try Hashtbl.find col_bounds c with Not_found -> (None, None) in
+        let lb = Option.value lb ~default:0. in
+        let ub = Option.value ub ~default:infinity in
+        if lb > ub then fail "column %s has lb %g > ub %g" c lb ub;
+        let kind = if is_int then Lp.Integer else Lp.Continuous in
+        Hashtbl.replace vars c (Lp.add_var lp ~name:c ~lb ~ub ~kind ()))
+      (List.rev !col_order);
+    let var c = Hashtbl.find vars c in
+    List.iter
+      (fun (rname, sense) ->
+        let terms =
+          List.rev_map (fun (v, c) -> (v, var c)) !(Hashtbl.find row_tbl rname)
+        in
+        let rhs = try Hashtbl.find row_rhs rname with Not_found -> 0. in
+        Lp.add_constr lp ~name:rname terms sense rhs)
+      (List.rev !row_order);
+    Lp.set_objective lp !dir ~constant:!obj_constant
+      (List.rev_map (fun (v, c) -> (v, var c)) !obj_terms);
+    Ok lp
+  with
+  | Parse_error msg -> Error msg
+  | Failure msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      parse (really_input_string ic len))

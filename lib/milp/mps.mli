@@ -1,7 +1,19 @@
-(** Fixed-format-free MPS writer (modern free MPS accepted by CPLEX,
-    Gurobi, HiGHS, SCIP).  Complements {!Lp_format} for toolchains that
-    prefer MPS. *)
+(** Fixed-format-free MPS writer and (subset) parser (modern free MPS
+    accepted by CPLEX, Gurobi, HiGHS, SCIP).  Complements {!Lp_format}
+    for toolchains that prefer MPS. *)
 
 val write : Format.formatter -> Lp.t -> unit
 val to_string : Lp.t -> string
 val to_file : string -> Lp.t -> unit
+
+val parse : string -> (Lp.t, string) result
+(** Parses the free-MPS subset the writer produces: NAME, OBJSENSE,
+    ROWS, COLUMNS with INTORG/INTEND markers, RHS (objective RHS read
+    as the negated constant), BOUNDS (FX/FR/MI/PL/LO/UP/BV).  Variables
+    are created in first-appearance order, rows in declaration order,
+    so [write (parse (write lp))] is a fixpoint after one round trip.
+    Structural violations — truncated data pairs, undeclared row or
+    column references, duplicate row names, a column redeclared across
+    integrality markers, RANGES — return [Error msg], never raise. *)
+
+val parse_file : string -> (Lp.t, string) result

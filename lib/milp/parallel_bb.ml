@@ -1,0 +1,316 @@
+module Bb = Branch_bound
+
+let workers_from_env ?(default = 1) () =
+  match Sys.getenv_opt "RFLOOR_WORKERS" with
+  | None -> default
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | _ -> default)
+
+(* An open subproblem, serialized as a bound overlay on the root LP.
+   Carrying the full arrays (not deltas) keeps claiming O(1) for the
+   thief: the shared Simplex.Core is immutable, so a worker can solve
+   any overlay without rebuilding anything. *)
+type task = { t_lb : float array; t_ub : float array; t_bound : float; t_depth : int }
+
+(* The shared incumbent: primal key (minimization order) plus the
+   point.  A single immutable record per update makes the CAS loop
+   race-free — readers always see a consistent (key, x) pair. *)
+type inc = { i_key : float; i_x : float array option }
+
+let frac x = x -. Float.round x
+
+(* Same branching rule as Branch_bound.pick_branch: highest priority,
+   then most fractional.  Duplicated rather than exported so the two
+   solvers stay independently readable. *)
+let pick_branch ~int_eps ~priorities int_vars x =
+  let best = ref None in
+  List.iter
+    (fun v ->
+      let f = abs_float (frac x.(v)) in
+      if f > int_eps then begin
+        let prio = match priorities with Some p -> p.(v) | None -> 0. in
+        let score = (prio, f) in
+        match !best with
+        | Some (_, s) when s >= score -> ()
+        | _ -> best := Some (v, score)
+      end)
+    int_vars;
+  match !best with None -> None | Some (v, _) -> Some v
+
+let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
+  let workers = max 1 workers in
+  let t0 = Unix.gettimeofday () in
+  (* Root branch-and-cut runs once, before any worker exists; ditto any
+     caller-side preflight (Core.Solver lints the root model exactly
+     once and hands us the vetted LP). *)
+  let lp =
+    if options.Bb.gomory_rounds <= 0 then lp
+    else begin
+      let lp' = Lp.copy lp in
+      let added = Gomory.add_root_cuts ~rounds:options.Bb.gomory_rounds lp' in
+      (match options.Bb.log with
+      | Some f when added > 0 -> f (Printf.sprintf "gomory: %d root cuts" added)
+      | _ -> ());
+      lp'
+    end
+  in
+  let dir = Lp.objective_dir lp in
+  let key = Bb.objective_key dir in
+  let unkey k = match dir with Lp.Minimize -> k | Lp.Maximize -> -.k in
+  let core = Simplex.Core.of_lp lp in
+  let n = Lp.num_vars lp in
+  let int_vars = Lp.integer_vars lp in
+  let root_lb = Array.init n (fun v -> Lp.var_lb lp v) in
+  let root_ub = Array.init n (fun v -> Lp.var_ub lp v) in
+  List.iter
+    (fun v ->
+      if Float.is_finite root_lb.(v) then root_lb.(v) <- Float.round (ceil (root_lb.(v) -. 1e-9));
+      if Float.is_finite root_ub.(v) then root_ub.(v) <- Float.round (floor (root_ub.(v) +. 1e-9)))
+    int_vars;
+  (* ---- shared state ---- *)
+  let inc = Atomic.make { i_key = infinity; i_x = None } in
+  let nodes = Atomic.make 0 and iters = Atomic.make 0 in
+  let unbounded = Atomic.make false in
+  let incomplete = Atomic.make false in
+  let over_budget = Atomic.make false in
+  let root_bound = Atomic.make neg_infinity in
+  (* Global deque of open subproblems.  Push/claim are mutex-guarded;
+     [qlen] is a racy size estimate that only steers the donation
+     heuristic, and [active] counts workers mid-dive so that an empty
+     deque plus zero active workers means the frontier is exhausted.
+     [active] is incremented inside the claim critical section, so no
+     worker can observe "empty and idle" while a task is in flight. *)
+  let qm = Mutex.create () in
+  let queue : task Queue.t = Queue.create () in
+  let qlen = Atomic.make 0 in
+  let active = Atomic.make 0 in
+  let push_tasks ts =
+    if ts <> [] then begin
+      Mutex.lock qm;
+      List.iter (fun t -> Queue.add t queue) ts;
+      Mutex.unlock qm;
+      ignore (Atomic.fetch_and_add qlen (List.length ts))
+    end
+  in
+  let try_claim () =
+    Mutex.lock qm;
+    let r =
+      if Queue.is_empty queue then None
+      else begin
+        Atomic.incr active;
+        ignore (Atomic.fetch_and_add qlen (-1));
+        Some (Queue.pop queue)
+      end
+    in
+    Mutex.unlock qm;
+    r
+  in
+  let log_mutex = Mutex.create () in
+  let log w msg =
+    match options.Bb.log with
+    | None -> ()
+    | Some f ->
+      Mutex.lock log_mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock log_mutex)
+        (fun () -> f (if workers = 1 then msg else Printf.sprintf "[w%d] %s" w msg))
+  in
+  (* Lock-free incumbent improvement: retry the CAS until we either
+     install the better point or observe someone else already did. *)
+  let rec improve k x =
+    let cur = Atomic.get inc in
+    if k < cur.i_key then
+      if Atomic.compare_and_set inc cur { i_key = k; i_x = Some x } then true
+      else improve k x
+    else false
+  in
+  (match incumbent with
+  | None -> ()
+  | Some x -> (
+    match Lp.validate ~eps:1e-5 lp x with
+    | Ok () -> ignore (improve (key (Lp.objective_value lp x)) (Array.copy x))
+    | Error msg -> log 0 (Printf.sprintf "warm incumbent rejected: %s" msg)));
+  let gap_abs inc_key = options.Bb.mip_gap *. max 1. (abs_float inc_key) in
+  let out_of_budget () =
+    Atomic.get over_budget
+    ||
+    let over =
+      (match options.Bb.time_limit with
+      | Some tl -> Unix.gettimeofday () -. t0 > tl
+      | None -> false)
+      || match options.Bb.node_limit with
+         | Some nl -> Atomic.get nodes >= nl
+         | None -> false
+    in
+    if over then Atomic.set over_budget true;
+    over
+  in
+  let stop_requested () = Atomic.get unbounded || Atomic.get over_budget in
+  (* Donate the shallowest (largest) open subtrees whenever the global
+     deque runs short — the stealing happens on the donor's side so the
+     deque never needs per-node locking on the hot dive path. *)
+  let donate stack =
+    if workers > 1 && Atomic.get qlen < workers then begin
+      let len = List.length !stack in
+      if len > 3 then begin
+        let keep = (len + 1) / 2 in
+        let rec split i acc rest =
+          if i >= keep then (List.rev acc, rest)
+          else
+            match rest with
+            | [] -> (List.rev acc, [])
+            | x :: tl -> split (i + 1) (x :: acc) tl
+        in
+        let mine, give = split 0 [] !stack in
+        stack := mine;
+        push_tasks give
+      end
+    end
+  in
+  let log_progress w =
+    let total = Atomic.get nodes in
+    if total mod options.Bb.log_every = 0 then begin
+      let k = (Atomic.get inc).i_key in
+      let s = if k = infinity then "-" else Printf.sprintf "%.4f" (unkey k) in
+      log w
+        (Printf.sprintf "node %d open %d incumbent %s iters %d" total
+           (max 0 (Atomic.get qlen)) s (Atomic.get iters))
+    end
+  in
+  (* One claimed subtree: a sequential depth-first dive, identical in
+     shape to Branch_bound's loop, pruning against the shared
+     incumbent.  On a budget stop the unexplored nodes go back to the
+     deque so the final dual bound still covers them. *)
+  let process w task =
+    let stack = ref [ task ] in
+    let running = ref true in
+    while !running do
+      match !stack with
+      | [] -> running := false
+      | node :: rest ->
+        stack := rest;
+        if Atomic.get unbounded then begin
+          stack := [];
+          running := false
+        end
+        else if out_of_budget () then begin
+          Atomic.set incomplete true;
+          push_tasks (node :: !stack);
+          stack := [];
+          running := false
+        end
+        else begin
+          let inc_key = (Atomic.get inc).i_key in
+          if node.t_bound >= inc_key -. gap_abs inc_key then () (* pruned by bound *)
+          else begin
+            ignore (Atomic.fetch_and_add nodes 1);
+            log_progress w;
+            let r = Simplex.Core.solve ~lb:node.t_lb ~ub:node.t_ub core in
+            ignore (Atomic.fetch_and_add iters r.Simplex.iterations);
+            match r.Simplex.status with
+            | Simplex.Infeasible -> ()
+            | Simplex.Iter_limit -> Atomic.set incomplete true
+            | Simplex.Unbounded ->
+              (* any node's ray is a ray of the root relaxation *)
+              Atomic.set unbounded true
+            | Simplex.Optimal -> (
+              let bound = key r.Simplex.objective in
+              if node.t_depth = 0 then Atomic.set root_bound bound;
+              let inc_key = (Atomic.get inc).i_key in
+              if bound >= inc_key -. gap_abs inc_key then ()
+              else
+                match
+                  pick_branch ~int_eps:options.Bb.int_eps
+                    ~priorities:options.Bb.priorities int_vars r.Simplex.x
+                with
+                | None ->
+                  let x = Array.copy r.Simplex.x in
+                  List.iter (fun v -> x.(v) <- Float.round x.(v)) int_vars;
+                  let obj_key = key (Lp.objective_value lp x) in
+                  if improve obj_key x then
+                    log w
+                      (Printf.sprintf "incumbent %.6f (node %d)" (unkey obj_key)
+                         (Atomic.get nodes))
+                | Some v ->
+                  let f = r.Simplex.x.(v) in
+                  let fl = Float.round (floor (f +. options.Bb.int_eps)) in
+                  let down () =
+                    let ub = Array.copy node.t_ub in
+                    ub.(v) <- min ub.(v) fl;
+                    { t_lb = Array.copy node.t_lb; t_ub = ub; t_bound = bound;
+                      t_depth = node.t_depth + 1 }
+                  and up () =
+                    let lb = Array.copy node.t_lb in
+                    lb.(v) <- max lb.(v) (fl +. 1.);
+                    { t_lb = lb; t_ub = Array.copy node.t_ub; t_bound = bound;
+                      t_depth = node.t_depth + 1 }
+                  in
+                  let first, second =
+                    if frac f <= 0. then (down (), up ()) else (up (), down ())
+                  in
+                  stack := first :: second :: !stack;
+                  donate stack)
+          end
+        end
+    done
+  in
+  let rec worker_loop w idle_spins =
+    if stop_requested () then ()
+    else
+      match try_claim () with
+      | Some t ->
+        Fun.protect
+          ~finally:(fun () -> Atomic.decr active)
+          (fun () -> process w t);
+        worker_loop w 0
+      | None ->
+        if Atomic.get active = 0 then () (* frontier exhausted *)
+        else begin
+          if idle_spins < 200 then Domain.cpu_relax () else Unix.sleepf 0.0002;
+          worker_loop w (idle_spins + 1)
+        end
+  in
+  push_tasks [ { t_lb = root_lb; t_ub = root_ub; t_bound = neg_infinity; t_depth = 0 } ];
+  let domains =
+    List.init (workers - 1) (fun i -> Domain.spawn (fun () -> worker_loop (i + 1) 0))
+  in
+  worker_loop 0 0;
+  List.iter Domain.join domains;
+  let leftover =
+    Mutex.lock qm;
+    let l = List.of_seq (Queue.to_seq queue) in
+    Mutex.unlock qm;
+    l
+  in
+  let final = Atomic.get inc in
+  let complete = leftover = [] && not (Atomic.get incomplete) in
+  let bound_key =
+    if Atomic.get unbounded then neg_infinity
+    else if complete then final.i_key
+    else
+      List.fold_left
+        (fun acc t ->
+          min acc
+            (if t.t_bound = neg_infinity then Atomic.get root_bound else t.t_bound))
+        final.i_key leftover
+  in
+  let status =
+    if Atomic.get unbounded then Bb.Unbounded
+    else
+      match (final.i_x, complete) with
+      | Some _, true -> Bb.Optimal
+      | Some _, false -> Bb.Feasible
+      | None, true -> Bb.Infeasible
+      | None, false -> Bb.Unknown
+  in
+  {
+    Bb.status;
+    incumbent =
+      (match final.i_x with Some x -> Some (unkey final.i_key, x) | None -> None);
+    best_bound = unkey bound_key;
+    nodes = Atomic.get nodes;
+    simplex_iterations = Atomic.get iters;
+    elapsed = Unix.gettimeofday () -. t0;
+  }

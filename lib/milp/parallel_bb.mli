@@ -1,0 +1,45 @@
+(** Work-stealing parallel branch-and-bound on OCaml 5 domains.
+
+    Same search as {!Branch_bound} — LP relaxations via {!Simplex},
+    most-fractional branching, depth-first dives — but the open-node
+    frontier is shared between [workers] domains:
+
+    - the incumbent lives in a single {!Atomic.t} cell updated by a
+      lock-free compare-and-set loop, so every worker prunes against
+      the globally best primal bound;
+    - open subproblems are serialized as bound-tightening overlays
+      (full lower/upper-bound arrays) on the root LP; a worker popping
+      one rebuilds nothing — the preprocessed {!Simplex.Core} is
+      immutable after construction and shared read-only by all domains;
+    - each worker dives depth-first on a private stack and periodically
+      donates the shallowest (largest) subtrees to the global deque
+      whenever it runs short, which is work stealing with the donor
+      paying the transfer;
+    - termination is cooperative: workers exit when the deque is empty
+      and no worker is mid-dive, or when a proven gap / time limit /
+      node limit fires (remaining open nodes are returned to the deque
+      so the reported dual bound stays sound).
+
+    Results are a {!Branch_bound.result}: [nodes] and
+    [simplex_iterations] are aggregated across workers and [elapsed] is
+    wall-clock.  Node counts and which optimal solution is returned
+    vary run to run; the objective value and status do not (within
+    [mip_gap]) — the differential test suite enforces exactly that
+    against the sequential solver. *)
+
+val solve :
+  ?options:Branch_bound.options ->
+  ?workers:int ->
+  ?incumbent:float array ->
+  Lp.t ->
+  Branch_bound.result
+(** [solve ~workers lp] optimizes the MILP with [workers] domains
+    (default 1: the parallel machinery on a single worker, no spawns).
+    [options.log], if given, is serialized behind a mutex and prefixed
+    with the worker id.  Root Gomory cuts ([options.gomory_rounds]) are
+    generated once on the root model before workers start. *)
+
+val workers_from_env : ?default:int -> unit -> int
+(** Worker count from the [RFLOOR_WORKERS] environment variable,
+    clamped to at least 1; [default] (1) when unset or unparsable.
+    Shared by [bin/rfloor_cli] and [bench/main]. *)

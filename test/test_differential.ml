@@ -1,0 +1,189 @@
+(* Randomized differential tests.
+
+   Sequential {!Branch_bound} vs {!Parallel_bb} across worker counts,
+   presolved vs raw solves, and end-to-end floorplans re-checked by the
+   independent {!Rfloor_analysis.Solution_audit}.  Every failure message
+   leads with the case seed: re-export it as RFLOOR_TEST_SEED to replay
+   the exact instance. *)
+
+open Milp
+module G = Generators
+module Bb = Branch_bound
+
+let status_name = function
+  | Bb.Optimal -> "Optimal"
+  | Bb.Feasible -> "Feasible"
+  | Bb.Infeasible -> "Infeasible"
+  | Bb.Unbounded -> "Unbounded"
+  | Bb.Unknown -> "Unknown"
+
+(* Both solvers prune within the relative MIP gap (default 1e-6), so on
+   these O(100)-objective instances agreement must be far tighter than
+   this. *)
+let obj_tol = 1e-4
+
+let check_incumbent ~seed ~what lp (obj, x) =
+  (match Lp.validate lp x with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "seed %d: %s incumbent infeasible: %s" seed what m);
+  let v = Lp.objective_value lp x in
+  if Float.abs (v -. obj) > 1e-6 *. Float.max 1. (Float.abs v) then
+    Alcotest.failf "seed %d: %s reports objective %g but its assignment evaluates to %g"
+      seed what obj v
+
+let check_case seed =
+  let case = G.milp_case ~seed in
+  let lp = case.G.c_lp in
+  let seq = Bb.solve lp in
+  (* known-optimal families: the sequential solver must hit the optimum *)
+  (match (case.G.c_optimum, seq.Bb.status, seq.Bb.incumbent) with
+  | Some opt, Bb.Optimal, Some (obj, _) ->
+    if Float.abs (obj -. opt) > obj_tol then
+      Alcotest.failf "seed %d (%s): sequential objective %.6f, known optimum %.6f"
+        seed case.G.c_family obj opt
+  | Some opt, st, _ ->
+    Alcotest.failf "seed %d (%s): expected Optimal (optimum %.6f), sequential says %s"
+      seed case.G.c_family opt (status_name st)
+  | None, _, _ -> ());
+  Option.iter (check_incumbent ~seed ~what:"sequential" lp) seq.Bb.incumbent;
+  List.iter
+    (fun w ->
+      let par = Parallel_bb.solve ~workers:w lp in
+      if par.Bb.status <> seq.Bb.status then
+        Alcotest.failf "seed %d (%s): status differs with %d workers: sequential %s, parallel %s"
+          seed case.G.c_family w (status_name seq.Bb.status) (status_name par.Bb.status);
+      (match (seq.Bb.incumbent, par.Bb.incumbent) with
+      | Some (a, _), Some (b, _) ->
+        if Float.abs (a -. b) > obj_tol then
+          Alcotest.failf "seed %d (%s): objective differs with %d workers: %.6f vs %.6f"
+            seed case.G.c_family w a b
+      | None, None -> ()
+      | Some _, None ->
+        Alcotest.failf "seed %d (%s): parallel (%d workers) lost the incumbent"
+          seed case.G.c_family w
+      | None, Some _ ->
+        Alcotest.failf
+          "seed %d (%s): parallel (%d workers) found an incumbent the sequential solver missed"
+          seed case.G.c_family w);
+      Option.iter
+        (check_incumbent ~seed ~what:(Printf.sprintf "parallel(%d workers)" w) lp)
+        par.Bb.incumbent)
+    (G.worker_counts ())
+
+let test_seq_vs_parallel () =
+  let base = G.base_seed () in
+  for i = 0 to 199 do
+    check_case (G.case_seed base i)
+  done
+
+let test_presolve_differential () =
+  let base = G.base_seed () in
+  for i = 0 to 99 do
+    let seed = G.case_seed base (1_000 + i) in
+    let case = G.milp_case ~seed in
+    let raw = Bb.solve case.G.c_lp in
+    let tightened = Lp.copy case.G.c_lp in
+    match Presolve.tighten tightened with
+    | Presolve.Proven_infeasible ->
+      if raw.Bb.status <> Bb.Infeasible then
+        Alcotest.failf "seed %d (%s): presolve proved infeasibility but raw solve says %s"
+          seed case.G.c_family (status_name raw.Bb.status)
+    | Presolve.Tightened _ -> (
+      let cooked = Bb.solve tightened in
+      if cooked.Bb.status <> raw.Bb.status then
+        Alcotest.failf "seed %d (%s): presolve changed status: raw %s, tightened %s"
+          seed case.G.c_family (status_name raw.Bb.status) (status_name cooked.Bb.status);
+      match (raw.Bb.incumbent, cooked.Bb.incumbent) with
+      | Some (a, _), Some (b, _) ->
+        if Float.abs (a -. b) > obj_tol then
+          Alcotest.failf "seed %d (%s): presolve changed objective: raw %.6f, tightened %.6f"
+            seed case.G.c_family a b
+      | None, None -> ()
+      | _ ->
+        Alcotest.failf "seed %d (%s): presolve changed incumbent presence" seed
+          case.G.c_family)
+  done
+
+let test_generated_partitions_properties () =
+  let base = G.base_seed () in
+  for i = 0 to 49 do
+    let seed = G.case_seed base (3_000 + i) in
+    let part = G.random_partition (G.Prng.make seed) in
+    if not (Device.Partition.check_adjacent_types_differ part) then
+      Alcotest.failf "seed %d: generated partition violates Property .3" seed;
+    if not (Device.Partition.check_ordered part) then
+      Alcotest.failf "seed %d: generated partition violates Property .4" seed;
+    if not (Device.Partition.check_cover_disjoint part) then
+      Alcotest.failf "seed %d: generated portions do not tile the device" seed
+  done
+
+(* End-to-end: solve randomized specs (alternating sequential / 2-worker
+   and feasibility-only / lexicographic), then re-audit every decoded
+   plan with the solver-independent checker. *)
+let test_random_floorplans_audit () =
+  let base = G.base_seed () in
+  let solved = ref 0 in
+  for i = 0 to 11 do
+    let seed = G.case_seed base (2_000 + i) in
+    let prng = G.Prng.make seed in
+    let part = G.random_partition prng in
+    let spec = G.random_spec prng part in
+    let options =
+      {
+        Rfloor.Solver.default_options with
+        objective_mode =
+          (if i mod 2 = 0 then Rfloor.Solver.Feasibility_only
+           else Rfloor.Solver.Lexicographic);
+        time_limit = Some 20.;
+        workers = (if i mod 2 = 0 then 2 else 1);
+      }
+    in
+    let out = Rfloor.Solver.solve ~options part spec in
+    match out.Rfloor.Solver.plan with
+    | None -> ()
+    | Some plan ->
+      incr solved;
+      let ds = Rfloor_analysis.Solution_audit.run part spec plan in
+      if Rfloor_analysis.Diagnostic.has_errors ds then
+        Alcotest.failf "seed %d: decoded floorplan fails the audit:@.%s" seed
+          (Format.asprintf "%a" Rfloor_analysis.Diagnostic.pp_report ds)
+  done;
+  Alcotest.(check bool) "at least one random spec solved" true (!solved > 0)
+
+(* Satellite: parallel wall clock should not exceed sequential on a
+   harder instance — a soft check (logged, not failed) because single-
+   core CI hosts cannot show a gain.  Objective agreement stays hard. *)
+let test_parallel_elapsed_soft () =
+  let seed = G.base_seed () in
+  let lp = G.hard_knapsack ~seed in
+  let opts = { Bb.default_options with time_limit = Some 30. } in
+  let seq = Bb.solve ~options:opts lp in
+  let par = Parallel_bb.solve ~options:opts ~workers:4 lp in
+  (match (seq.Bb.status, par.Bb.status, seq.Bb.incumbent, par.Bb.incumbent) with
+  | Bb.Optimal, Bb.Optimal, Some (a, _), Some (b, _) ->
+    if Float.abs (a -. b) > obj_tol then
+      Alcotest.failf "seed %d: hard knapsack objective differs: %.6f vs %.6f" seed a b
+  | _ -> ());
+  if par.Bb.elapsed > seq.Bb.elapsed then
+    Printf.eprintf
+      "[soft] parallel (4 workers) %.3fs vs sequential %.3fs on hard knapsack seed %d — logged, not failed (host exposes %d core(s))\n%!"
+      par.Bb.elapsed seq.Bb.elapsed seed
+      (Domain.recommended_domain_count ());
+  Alcotest.(check bool) "parallel elapsed is wall time >= 0" true (par.Bb.elapsed >= 0.)
+
+let suites =
+  [
+    ( "differential",
+      [
+        Alcotest.test_case "generated partitions satisfy Properties .3/.4" `Quick
+          test_generated_partitions_properties;
+        Alcotest.test_case "sequential vs parallel B&B on 200 random MILPs" `Quick
+          test_seq_vs_parallel;
+        Alcotest.test_case "presolve+solve vs raw solve on 100 random MILPs" `Quick
+          test_presolve_differential;
+        Alcotest.test_case "random floorplans pass the solution audit" `Quick
+          test_random_floorplans_audit;
+        Alcotest.test_case "parallel elapsed vs sequential (soft)" `Quick
+          test_parallel_elapsed_soft;
+      ] );
+  ]

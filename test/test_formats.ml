@@ -1,0 +1,164 @@
+(* Round-trip and fuzz tests for the LP and MPS serializers.
+
+   write -> parse -> write must reach a textual fixpoint (the second and
+   third generations are byte-identical), parsing must preserve the
+   optimum, and malformed inputs — truncated rows, duplicate names, bad
+   bounds, unsupported sections — must come back as [Error _], never as
+   an exception. *)
+
+open Milp
+module G = Generators
+module Bb = Branch_bound
+
+let fixpoint ~fmt ~to_string ~parse seed lp =
+  let s1 = to_string lp in
+  match parse s1 with
+  | Error m ->
+    Alcotest.failf "seed %d: %s parser rejected its own writer output: %s@.%s" seed fmt
+      m s1
+  | Ok lp2 -> (
+    if Lp.num_vars lp2 <> Lp.num_vars lp || Lp.num_constrs lp2 <> Lp.num_constrs lp
+    then
+      Alcotest.failf "seed %d: %s round trip changed shape: %d -> %d vars, %d -> %d rows"
+        seed fmt (Lp.num_vars lp) (Lp.num_vars lp2) (Lp.num_constrs lp)
+        (Lp.num_constrs lp2);
+    let s2 = to_string lp2 in
+    match parse s2 with
+    | Error m ->
+      Alcotest.failf "seed %d: %s parser rejected second-generation output: %s" seed fmt m
+    | Ok lp3 ->
+      let s3 = to_string lp3 in
+      if s2 <> s3 then
+        Alcotest.failf
+          "seed %d: %s write/parse is not a fixpoint@.--- second ---@.%s@.--- third ---@.%s"
+          seed fmt s2 s3)
+
+let test_lp_fixpoint () =
+  let base = G.base_seed () in
+  for i = 0 to 99 do
+    let seed = G.case_seed base (5_000 + i) in
+    fixpoint ~fmt:"LP" ~to_string:Lp_format.to_string ~parse:Lp_format.parse seed
+      (G.milp_case ~seed).G.c_lp
+  done
+
+let test_mps_fixpoint () =
+  let base = G.base_seed () in
+  for i = 0 to 99 do
+    let seed = G.case_seed base (6_000 + i) in
+    fixpoint ~fmt:"MPS" ~to_string:Mps.to_string ~parse:Mps.parse seed
+      (G.milp_case ~seed).G.c_lp
+  done
+
+(* Solving the parsed model must give the same status and objective as
+   solving the source model. *)
+let preserves_optimum ~fmt ~to_string ~parse seed lp =
+  let r1 = Bb.solve lp in
+  match parse (to_string lp) with
+  | Error m -> Alcotest.failf "seed %d: %s parse failed: %s" seed fmt m
+  | Ok lp2 -> (
+    let r2 = Bb.solve lp2 in
+    if r1.Bb.status <> r2.Bb.status then
+      Alcotest.failf "seed %d: %s round trip changed solver status" seed fmt;
+    match (r1.Bb.incumbent, r2.Bb.incumbent) with
+    | Some (a, _), Some (b, _) ->
+      if Float.abs (a -. b) > 1e-4 then
+        Alcotest.failf "seed %d: %s round trip changed optimum: %.6f vs %.6f" seed fmt a
+          b
+    | None, None -> ()
+    | _ -> Alcotest.failf "seed %d: %s round trip changed incumbent presence" seed fmt)
+
+let test_mps_preserves_optimum () =
+  let base = G.base_seed () in
+  for i = 0 to 39 do
+    let seed = G.case_seed base (7_000 + i) in
+    preserves_optimum ~fmt:"MPS" ~to_string:Mps.to_string ~parse:Mps.parse seed
+      (G.milp_case ~seed).G.c_lp
+  done
+
+let test_mps_objective_constant () =
+  let lp = Lp.create ~name:"const_rt" () in
+  let x = Lp.add_var lp ~name:"x" ~ub:4. ~kind:Lp.Integer () in
+  Lp.add_constr lp ~name:"r" [ (1., x) ] Lp.Ge 1.;
+  Lp.set_objective lp Lp.Minimize ~constant:2.5 [ (3., x) ];
+  match Mps.parse (Mps.to_string lp) with
+  | Error m -> Alcotest.failf "objective-constant round trip failed: %s" m
+  | Ok lp2 ->
+    Alcotest.(check (float 1e-9))
+      "objective constant survives the RHS-obj convention" 2.5
+      (Lp.objective_constant lp2);
+    Alcotest.(check bool) "direction" true (Lp.objective_dir lp2 = Lp.Minimize)
+
+(* ------------------------------------------------------------------ *)
+(* Malformed inputs: each case must return [Error _] without raising. *)
+
+let malformed_lp =
+  [
+    ("empty input", "");
+    ("no objective keyword", "hello world\n");
+    ("truncated row", "Minimize\n obj: x\nSubject To\n c1: x +\nEnd\n");
+    ("non-numeric rhs", "Minimize\n obj: x\nSubject To\n r: x <= twelve\nEnd\n");
+    ("dangling bound", "Minimize\n obj: x\nSubject To\n r: x >= 1\nBounds\n x <=\nEnd\n");
+  ]
+
+let malformed_mps =
+  [
+    ("empty input", "");
+    ( "data before any section",
+      "NAME t\n x obj 1\nENDATA\n" );
+    ( "duplicate row name",
+      "NAME t\nROWS\n N obj\n L c1\n L c1\nCOLUMNS\n x c1 1\nENDATA\n" );
+    ( "multiple objective rows",
+      "NAME t\nROWS\n N obj\n N obj2\nCOLUMNS\n x obj 1\nENDATA\n" );
+    ( "truncated column pair",
+      "NAME t\nROWS\n N obj\n L c1\nCOLUMNS\n x obj\nENDATA\n" );
+    ( "undeclared row in COLUMNS",
+      "NAME t\nROWS\n N obj\n L c1\nCOLUMNS\n x c9 1\nENDATA\n" );
+    ( "non-numeric coefficient",
+      "NAME t\nROWS\n N obj\n L c1\nCOLUMNS\n x c1 abc\nENDATA\n" );
+    ( "undeclared row in RHS",
+      "NAME t\nROWS\n N obj\n L c1\nCOLUMNS\n x c1 1\nRHS\n RHS c9 3\nENDATA\n" );
+    ( "undeclared column in BOUNDS",
+      "NAME t\nROWS\n N obj\n L c1\nCOLUMNS\n x c1 1\nBOUNDS\n UP BND zzz 5\nENDATA\n" );
+    ( "bad bound type",
+      "NAME t\nROWS\n N obj\n L c1\nCOLUMNS\n x c1 1\nBOUNDS\n XX BND x 1\nENDATA\n" );
+    ( "crossed bounds",
+      "NAME t\nROWS\n N obj\n L c1\nCOLUMNS\n x c1 1\nBOUNDS\n LO BND x 5\n UP BND x 2\nENDATA\n"
+    );
+    ( "column redeclared across integrality markers",
+      "NAME t\nROWS\n N obj\n L c1\nCOLUMNS\n x c1 1\n MARKER 'MARKER' 'INTORG'\n x obj 2\n MARKER 'MARKER' 'INTEND'\nENDATA\n"
+    );
+    ( "RANGES unsupported",
+      "NAME t\nROWS\n N obj\n L c1\nCOLUMNS\n x c1 1\nRANGES\n RNG c1 2\nENDATA\n" );
+    ( "bad row sense",
+      "NAME t\nROWS\n N obj\n Q c1\nCOLUMNS\n x c1 1\nENDATA\n" );
+    ( "bad OBJSENSE", "NAME t\nOBJSENSE FOO\nROWS\n N obj\nENDATA\n" );
+  ]
+
+let check_malformed ~fmt parse cases () =
+  List.iter
+    (fun (label, text) ->
+      match (try Ok (parse text) with e -> Error (Printexc.to_string e)) with
+      | Ok (Error _) -> ()
+      | Ok (Ok _) -> Alcotest.failf "%s: %S was accepted" fmt label
+      | Error exn ->
+        Alcotest.failf "%s: %S raised %s instead of returning Error" fmt label exn)
+    cases
+
+let suites =
+  [
+    ( "formats",
+      [
+        Alcotest.test_case "LP write/parse fixpoint on 100 random models" `Quick
+          test_lp_fixpoint;
+        Alcotest.test_case "MPS write/parse fixpoint on 100 random models" `Quick
+          test_mps_fixpoint;
+        Alcotest.test_case "MPS round trip preserves the optimum" `Quick
+          test_mps_preserves_optimum;
+        Alcotest.test_case "MPS objective constant round trip" `Quick
+          test_mps_objective_constant;
+        Alcotest.test_case "malformed LP inputs error cleanly" `Quick
+          (check_malformed ~fmt:"LP" Lp_format.parse malformed_lp);
+        Alcotest.test_case "malformed MPS inputs error cleanly" `Quick
+          (check_malformed ~fmt:"MPS" Mps.parse malformed_mps);
+      ] );
+  ]

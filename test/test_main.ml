@@ -3,4 +3,5 @@ let () =
     (Test_milp.suites @ Test_device.suites @ Test_search.suites
    @ Test_core.suites @ Test_analysis.suites @ Test_baselines.suites
    @ Test_bitstream.suites
-   @ Test_sdr.suites @ Test_runtime.suites @ Test_io.suites)
+   @ Test_sdr.suites @ Test_runtime.suites @ Test_io.suites
+   @ Test_differential.suites @ Test_formats.suites)
