@@ -114,7 +114,7 @@ let run_benches () =
    wall-clock ratio is a direct speedup; if a run stops early (time
    limit, or optimality first) the node-throughput ratio is reported,
    which degenerates to the same number under equal node counts. *)
-let run_parallel_speedup () =
+let run_parallel_speedup ?(trace_mode = `Off) () =
   let workers = max 4 (Milp.Parallel_bb.workers_from_env ()) in
   let budget =
     match Sys.getenv_opt "RFLOOR_BENCH_BUDGET" with
@@ -123,17 +123,29 @@ let run_parallel_speedup () =
   in
   Printf.printf
     "\n==== parallel branch-and-bound (FX70T relocation instance, sdr2) ====\n%!";
+  let sink, close_sink =
+    match trace_mode with
+    | `Off -> (Rfloor_trace.Sink.null, fun () -> ())
+    | `Text -> (Rfloor_trace.Sink.text stderr, fun () -> ())
+    | `Jsonl path -> Rfloor_trace.Sink.jsonl_file path
+  in
+  Fun.protect ~finally:close_sink @@ fun () ->
   let part = Lazy.force fx70t in
+  (* one tracer per run so the phase/worker breakdown of the parallel
+     run is not polluted by the sequential baseline *)
+  let tracer_seq = Rfloor_trace.create ~sink () in
+  let tracer_par = Rfloor_trace.create ~sink () in
   let model =
-    Rfloor.Model.build
-      ~options:
-        {
-          Rfloor.Model.objective = Rfloor.Model.Wasted_frames_only;
-          paper_literal_l = false;
-          pair_relations = [];
-          extra_waste_cap = None;
-        }
-      part Sdr.sdr2
+    Rfloor_trace.span tracer_par Rfloor_trace.Event.Build (fun () ->
+        Rfloor.Model.build
+          ~options:
+            {
+              Rfloor.Model.objective = Rfloor.Model.Wasted_frames_only;
+              paper_literal_l = false;
+              pair_relations = [];
+              extra_waste_cap = None;
+            }
+          part Sdr.sdr2)
   in
   let lp = Rfloor.Model.lp model in
   let opts =
@@ -144,8 +156,14 @@ let run_parallel_speedup () =
       priorities = Some (Rfloor.Model.branching_priorities model);
     }
   in
-  let seq = Milp.Branch_bound.solve ~options:opts lp in
-  let par = Milp.Parallel_bb.solve ~options:opts ~workers lp in
+  let seq =
+    Milp.Branch_bound.solve ~options:{ opts with trace = tracer_seq } lp
+  in
+  let par =
+    Milp.Parallel_bb.solve
+      ~options:{ opts with trace = tracer_par }
+      ~workers lp
+  in
   let show label (r : Milp.Branch_bound.result) =
     Printf.printf "  %-12s nodes %5d  simplex iters %8d  elapsed %6.2fs\n%!"
       label r.Milp.Branch_bound.nodes r.Milp.Branch_bound.simplex_iterations
@@ -163,10 +181,17 @@ let run_parallel_speedup () =
          (Domain.recommended_domain_count ())
          (if Domain.recommended_domain_count () = 1 then "" else "s")
      else "");
-  match (seq.Milp.Branch_bound.incumbent, par.Milp.Branch_bound.incumbent) with
+  (match (seq.Milp.Branch_bound.incumbent, par.Milp.Branch_bound.incumbent) with
   | Some (a, _), Some (b, _) ->
     Printf.printf "  objectives agree: %.4f vs %.4f\n%!" a b
-  | _ -> ()
+  | _ -> ());
+  (* machine-readable per-phase / per-worker breakdown of the parallel run *)
+  let report =
+    Rfloor_trace.report tracer_par ~nodes:par.Milp.Branch_bound.nodes
+      ~simplex_iterations:par.Milp.Branch_bound.simplex_iterations
+      ~elapsed:par.Milp.Branch_bound.elapsed
+  in
+  Printf.printf "  parallel-report: %s\n%!" (Rfloor_trace.Report.to_json report)
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -175,6 +200,20 @@ let () =
     | _ :: rest -> find_report rest
     | [] -> None
   in
+  let rec find_trace = function
+    | "--trace" :: v :: _ -> (
+      match v with
+      | "off" -> `Off
+      | "text" -> `Text
+      | v when String.length v > 6 && String.sub v 0 6 = "jsonl:" ->
+        `Jsonl (String.sub v 6 (String.length v - 6))
+      | v ->
+        Printf.eprintf "bad --trace %s (expected off, text or jsonl:FILE)\n" v;
+        exit 1)
+    | _ :: rest -> find_trace rest
+    | [] -> `Off
+  in
+  let trace_mode = find_trace args in
   if List.mem "--list" args then
     List.iter print_endline Reports.names
   else
@@ -186,11 +225,11 @@ let () =
         Printf.eprintf "unknown report %s; use --list\n" name;
         exit 1)
     | None ->
-      if List.mem "--parallel-only" args then run_parallel_speedup ()
+      if List.mem "--parallel-only" args then run_parallel_speedup ~trace_mode ()
       else begin
         if not (List.mem "--report-only" args) then begin
           run_benches ();
-          run_parallel_speedup ()
+          run_parallel_speedup ~trace_mode ()
         end;
         if not (List.mem "--bench-only" args) then Reports.all ()
       end

@@ -229,11 +229,8 @@ let milp () =
   let spec = Lazy.force toy_spec in
   let s = Search.Engine.solve part spec in
   let opts =
-    {
-      Rfloor.Solver.default_options with
-      time_limit = Some (budget ());
-      workers = workers ();
-    }
+    Rfloor.Solver.Options.make ~time_limit:(Some (budget ()))
+      ~workers:(workers ()) ()
   in
   let m = Rfloor.Solver.solve ~options:opts part spec in
   line "  search : wasted=%s wl=%s optimal=%b"
@@ -261,7 +258,7 @@ let ablation () =
     line "  %-28s %s" label (Format.asprintf "%a" Rfloor.Solver.pp_outcome o)
   in
   let base =
-    { Rfloor.Solver.default_options with time_limit = Some b; workers = workers () }
+    Rfloor.Solver.Options.make ~time_limit:(Some b) ~workers:(workers ()) ()
   in
   run "O, relocation constraint" base;
   run "HO (search seed)" { base with engine = Rfloor.Solver.Ho None };
@@ -386,8 +383,8 @@ let scaling () =
       let o =
         Rfloor.Solver.solve
           ~options:
-            { Rfloor.Solver.default_options with
-              time_limit = Some (budget ()); workers = workers (); engine }
+            (Rfloor.Solver.Options.make ~time_limit:(Some (budget ()))
+               ~workers:(workers ()) ~engine ())
           partm toy
       in
       line "    %-4s nodes %6d simplex iters %8d  %6.2fs" label

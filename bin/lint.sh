@@ -9,8 +9,56 @@
 #                                under a fixed RFLOOR_TEST_SEED, so the
 #                                randomized differential suite replays
 #                                the same instances on every axis
+#   bin/lint.sh trace-check   -- tracing gate only: solve a pinned tiny
+#                                instance with --trace jsonl, validate
+#                                the capture, and check the result is
+#                                byte-identical with tracing off
 set -eu
 cd "$(dirname "$0")/.."
+
+trace_check() {
+    echo "== trace-check (tiny pinned instance, milp, 2 workers)"
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT
+    cat > "$tmp/device.txt" <<'EOF'
+name: lintdev
+ccbccdccbc
+ccbccdccbc
+EOF
+    cat > "$tmp/design.txt" <<'EOF'
+name: lintdesign
+region filter clb=2 bram=1
+region decoder clb=2 dsp=1
+net filter decoder 32
+EOF
+    dune exec bin/rfloor_cli.exe -- solve \
+        --device-file "$tmp/device.txt" --design-file "$tmp/design.txt" \
+        --engine milp --workers 2 --time 30 \
+        --trace "jsonl:$tmp/trace.jsonl" > "$tmp/out.traced" 2> "$tmp/report.txt"
+    dune exec bin/rfloor_cli.exe -- trace-validate "$tmp/trace.jsonl"
+    grep -q 'phase breakdown:' "$tmp/report.txt" || {
+        echo "trace-check: no phase breakdown in the traced report" >&2; exit 1; }
+    dune exec bin/rfloor_cli.exe -- solve \
+        --device-file "$tmp/device.txt" --design-file "$tmp/design.txt" \
+        --engine milp --workers 2 --time 30 \
+        --trace off > "$tmp/out.plain"
+    for key in 'engine:' 'wasted frames:'; do
+        a=$(grep "$key" "$tmp/out.traced" || true)
+        b=$(grep "$key" "$tmp/out.plain" || true)
+        if [ "$a" != "$b" ] || [ -z "$a" ]; then
+            echo "trace-check: '$key' differs with tracing on/off:" >&2
+            echo "  traced: $a" >&2
+            echo "  plain : $b" >&2
+            exit 1
+        fi
+    done
+    echo "trace-check passed (schema valid, result identical with tracing off)"
+}
+
+if [ "${1:-}" = "trace-check" ]; then
+    trace_check
+    exit 0
+fi
 
 if [ "${1:-}" = "test-matrix" ]; then
     seed="${RFLOOR_TEST_SEED:-2015}"
@@ -31,5 +79,7 @@ dune runtest
 
 echo "== rfloor_cli lint (fx70t / sdr)"
 dune exec bin/rfloor_cli.exe -- lint --device fx70t --design sdr
+
+trace_check
 
 echo "lint.sh: all gates passed"

@@ -23,12 +23,14 @@ let builtin_designs =
 
 let die fmt = Format.kasprintf (fun s -> prerr_endline s; exit 1) fmt
 
+let pp_diag = Rfloor_analysis.Diagnostic.pp
+
 let load_device name file =
   match file with
   | Some path -> (
     match Io.load_grid path with
     | Ok g -> g
-    | Error e -> die "cannot load device %s: %s" path e)
+    | Error d -> die "cannot load device: %a" pp_diag d)
   | None -> (
     match List.assoc_opt name builtin_devices with
     | Some g -> g
@@ -41,7 +43,7 @@ let load_design name file =
   | Some path -> (
     match Io.load_spec path with
     | Ok s -> s
-    | Error e -> die "cannot load design %s: %s" path e)
+    | Error d -> die "cannot load design: %a" pp_diag d)
   | None -> (
     match List.assoc_opt name builtin_designs with
     | Some s -> s
@@ -52,7 +54,7 @@ let load_design name file =
 let partition_of grid =
   match Partition.columnar grid with
   | Ok p -> p
-  | Error e -> die "device is not columnar-partitionable: %s" e
+  | Error d -> die "device is not columnar-partitionable: %a" pp_diag d
 
 (* common args *)
 let device_arg =
@@ -68,10 +70,59 @@ let design_file_arg =
   Arg.(value & opt (some file) None & info [ "design-file" ] ~docv:"FILE" ~doc:"Design description file.")
 
 let time_arg =
-  Arg.(value & opt float 60. & info [ "time" ] ~docv:"SECONDS" ~doc:"Solver time budget.")
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "time" ] ~docv:"SECONDS"
+        ~doc:"Solver time budget (default: the library default, 60s).")
 
 let verbose_arg =
-  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log solver progress.")
+  Arg.(
+    value & flag
+    & info [ "v"; "verbose" ]
+        ~doc:"Log solver progress (same as --trace text).")
+
+(* --trace off|text|jsonl:FILE *)
+type trace_dest = Trace_off | Trace_text | Trace_jsonl of string
+
+let trace_arg =
+  let jsonl_prefix = "jsonl:" in
+  let parse = function
+    | "off" -> Ok Trace_off
+    | "text" -> Ok Trace_text
+    | s
+      when String.length s > String.length jsonl_prefix
+           && String.sub s 0 (String.length jsonl_prefix) = jsonl_prefix ->
+      Ok
+        (Trace_jsonl
+           (String.sub s (String.length jsonl_prefix)
+              (String.length s - String.length jsonl_prefix)))
+    | s -> Error (`Msg ("expected off, text or jsonl:FILE, got " ^ s))
+  in
+  let print ppf = function
+    | Trace_off -> Format.pp_print_string ppf "off"
+    | Trace_text -> Format.pp_print_string ppf "text"
+    | Trace_jsonl f -> Format.fprintf ppf "jsonl:%s" f
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Trace_off
+    & info [ "trace" ] ~docv:"MODE"
+        ~doc:
+          "Structured solver events: $(b,off), $(b,text) (human lines on \
+           stderr) or $(b,jsonl:FILE) (one JSON event per line).")
+
+(* The sink for a run plus a closer to flush/close any file behind it.
+   -v is sugar for --trace text; with --trace jsonl both are honoured. *)
+let sink_of_trace trace verbose =
+  let text = Rfloor_trace.Sink.text stderr in
+  match trace with
+  | Trace_jsonl path ->
+    let s, close = Rfloor_trace.Sink.jsonl_file path in
+    ((if verbose then Rfloor_trace.Sink.tee s text else s), close)
+  | Trace_text -> (text, fun () -> ())
+  | Trace_off ->
+    ((if verbose then text else Rfloor_trace.Sink.null), fun () -> ())
 
 let workers_arg =
   Arg.(
@@ -122,29 +173,36 @@ let print_plan part spec label plan wasted wirelength proven =
     print_endline (Floorplan.render part plan)
 
 let solve_cmd =
-  let run device device_file design design_file engine time verbose workers =
+  let run device device_file design design_file engine time verbose trace
+      workers =
     let grid = load_device device device_file in
     let spec = load_design design design_file in
     let part = partition_of grid in
-    let log = if verbose then Some prerr_endline else None in
+    let sink, close_sink = sink_of_trace trace verbose in
+    let tracing = not (Rfloor_trace.Sink.is_null sink) in
+    Fun.protect ~finally:close_sink @@ fun () ->
     match engine with
     | "search" ->
+      let tracer = Rfloor_trace.create ~sink () in
       let r =
         Search.Engine.solve
-          ~options:{ Search.Engine.default_options with time_limit = Some time; log }
+          ~options:
+            {
+              Search.Engine.default_options with
+              time_limit = (match time with Some _ -> time | None -> Some 60.);
+              trace = tracer;
+            }
           part spec
       in
       print_plan part spec "exact combinatorial search" r.Search.Engine.plan
         r.Search.Engine.wasted r.Search.Engine.wirelength r.Search.Engine.optimal
     | "milp" | "milp-ho" ->
       let opts =
-        {
-          Rfloor.Solver.default_options with
-          time_limit = Some time;
-          log;
-          workers = max 1 workers;
-          engine = (if engine = "milp" then Rfloor.Solver.O else Rfloor.Solver.Ho None);
-        }
+        Rfloor.Solver.Options.make
+          ?time_limit:(Option.map Option.some time)
+          ~workers:(max 1 workers)
+          ~engine:(if engine = "milp" then Rfloor.Solver.O else Rfloor.Solver.Ho None)
+          ~trace:sink ()
       in
       let r = Rfloor.Solver.solve ~options:opts part spec in
       (* preflight/audit errors explain an infeasible verdict; show them
@@ -156,7 +214,9 @@ let solve_cmd =
       print_plan part spec
         (if engine = "milp" then "MILP (O)" else "MILP (HO)")
         r.Rfloor.Solver.plan r.Rfloor.Solver.wasted r.Rfloor.Solver.wirelength
-        (r.Rfloor.Solver.status = Rfloor.Solver.Optimal)
+        (r.Rfloor.Solver.status = Rfloor.Solver.Optimal);
+      if tracing then
+        Format.eprintf "%a" Rfloor_trace.Report.pp r.Rfloor.Solver.report
     | "sa" ->
       let r = Baselines.Annealing.solve part spec in
       print_plan part spec "simulated annealing" r.Baselines.Annealing.plan
@@ -171,7 +231,7 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Floorplan a design on a device.")
     Term.(
       const run $ device_arg $ device_file_arg $ design_arg $ design_file_arg
-      $ engine_arg $ time_arg $ verbose_arg $ workers_arg)
+      $ engine_arg $ time_arg $ verbose_arg $ trace_arg $ workers_arg)
 
 (* ---------------- feasibility ---------------- *)
 
@@ -179,10 +239,12 @@ let feasibility_cmd =
   let region_arg =
     Arg.(value & opt (some string) None & info [ "region" ] ~docv:"NAME" ~doc:"Single region to test.")
   in
-  let run device device_file design design_file region time =
+  let run device device_file design design_file region time trace =
     let grid = load_device device device_file in
     let part = partition_of grid in
     let spec = load_design design design_file in
+    let sink, close_sink = sink_of_trace trace false in
+    Fun.protect ~finally:close_sink @@ fun () ->
     let targets =
       match region with Some r -> [ r ] | None -> Spec.region_names spec
     in
@@ -194,7 +256,12 @@ let feasibility_cmd =
         in
         let r =
           Search.Engine.feasible
-            ~options:{ Search.Engine.default_options with time_limit = Some time }
+            ~options:
+              {
+                Search.Engine.default_options with
+                time_limit = (match time with Some _ -> time | None -> Some 60.);
+                trace = Rfloor_trace.create ~sink ();
+              }
             part spec'
         in
         Format.printf "%-20s %s@." name
@@ -209,7 +276,7 @@ let feasibility_cmd =
        ~doc:"Can each region get a free-compatible area? (Section VI analysis)")
     Term.(
       const run $ device_arg $ device_file_arg $ design_arg $ design_file_arg
-      $ region_arg $ time_arg)
+      $ region_arg $ time_arg $ trace_arg)
 
 (* ---------------- export-lp ---------------- *)
 
@@ -335,6 +402,33 @@ let relocate_cmd =
     (Cmd.info "relocate" ~doc:"Synthesize a partial bitstream and relocate it.")
     Term.(const run $ device_arg $ device_file_arg $ src_arg $ dst_arg $ seed_arg)
 
+(* ---------------- trace-validate ---------------- *)
+
+let trace_validate_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"JSONL trace file (from --trace jsonl:FILE).")
+  in
+  let run file =
+    let ic = open_in file in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Rfloor_trace.validate_jsonl text with
+    | Ok n -> Format.printf "%s: %d events, schema valid, spans balanced@." file n
+    | Error e -> die "%s: invalid trace: %s" file e
+  in
+  Cmd.v
+    (Cmd.info "trace-validate"
+       ~doc:
+         "Validate a JSONL trace: every line parses against the event \
+          schema and every span is balanced.  Exits non-zero otherwise.")
+    Term.(const run $ file_arg)
+
 (* ---------------- sites ---------------- *)
 
 let sites_cmd =
@@ -359,7 +453,7 @@ let main_cmd =
     (Cmd.info "rfloor" ~version:"1.0.0" ~doc)
     [
       partition_cmd; solve_cmd; feasibility_cmd; export_cmd; lint_cmd;
-      relocate_cmd; sites_cmd;
+      relocate_cmd; sites_cmd; trace_validate_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -9,7 +9,9 @@ open Device
 let show name grid =
   Format.printf "--- %s ---@.%s@." name (Grid.render grid);
   match Partition.columnar grid with
-  | Error e -> Format.printf "not columnar-partitionable: %s@.@." e
+  | Error d ->
+    Format.printf "not columnar-partitionable: %a@.@."
+      Rfloor_diag.Diagnostic.pp d
   | Ok part ->
     Format.printf "%a" Partition.pp part;
     Format.printf "Property .3 adjacent types differ: %b@."

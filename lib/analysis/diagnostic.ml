@@ -1,141 +1,7 @@
-type severity = Error | Warning | Info
+(* The diagnostic type moved to the dependency-free [Rfloor_diag]
+   library so that the device loaders, the partitioner and the MPS
+   parser can return typed findings without depending on the analysis
+   passes.  This module re-exports it (with type equalities) so every
+   existing [Rfloor_analysis.Diagnostic] caller keeps working. *)
 
-type location =
-  | Device
-  | Portion of int
-  | Region of string
-  | Reloc of string
-  | Area of string * int
-  | Variable of string
-  | Constraint of string
-  | Family of string
-  | Design
-  | Model
-
-type t = {
-  code : string;
-  severity : severity;
-  location : location;
-  message : string;
-}
-
-let diagf ~code severity location fmt =
-  Format.kasprintf (fun message -> { code; severity; location; message }) fmt
-
-let severity_to_string = function
-  | Error -> "error"
-  | Warning -> "warning"
-  | Info -> "info"
-
-let location_to_string = function
-  | Device -> "device"
-  | Portion i -> Printf.sprintf "portion %d" i
-  | Region r -> Printf.sprintf "region(%s)" r
-  | Reloc r -> Printf.sprintf "reloc(%s)" r
-  | Area (r, i) -> Printf.sprintf "area(%s/%d)" r i
-  | Variable v -> Printf.sprintf "var(%s)" v
-  | Constraint c -> Printf.sprintf "row(%s)" c
-  | Family f -> Printf.sprintf "family(%s)" f
-  | Design -> "design"
-  | Model -> "model"
-
-let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
-
-let compare a b =
-  match Stdlib.compare (severity_rank a.severity) (severity_rank b.severity) with
-  | 0 -> (
-    match Stdlib.compare a.code b.code with
-    | 0 -> Stdlib.compare a.message b.message
-    | c -> c)
-  | c -> c
-
-let errors ds = List.filter (fun d -> d.severity = Error) ds
-let has_errors ds = List.exists (fun d -> d.severity = Error) ds
-let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
-
-let pp ppf d =
-  Format.fprintf ppf "%s %-7s %s: %s" d.code
-    (severity_to_string d.severity)
-    (location_to_string d.location)
-    d.message
-
-(* minimal atom quoting for the s-expression output *)
-let sexp_string s =
-  let buf = Buffer.create (String.length s + 2) in
-  Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' | '\\' -> Buffer.add_char buf '\\'; Buffer.add_char buf c
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.add_char buf '"';
-  Buffer.contents buf
-
-let location_to_sexp = function
-  | Device -> "(device)"
-  | Portion i -> Printf.sprintf "(portion %d)" i
-  | Region r -> Printf.sprintf "(region %s)" (sexp_string r)
-  | Reloc r -> Printf.sprintf "(reloc %s)" (sexp_string r)
-  | Area (r, i) -> Printf.sprintf "(area %s %d)" (sexp_string r) i
-  | Variable v -> Printf.sprintf "(variable %s)" (sexp_string v)
-  | Constraint c -> Printf.sprintf "(constraint %s)" (sexp_string c)
-  | Family f -> Printf.sprintf "(family %s)" (sexp_string f)
-  | Design -> "(design)"
-  | Model -> "(model)"
-
-let to_sexp d =
-  Printf.sprintf "((code %s) (severity %s) (location %s) (message %s))" d.code
-    (severity_to_string d.severity)
-    (location_to_sexp d.location)
-    (sexp_string d.message)
-
-let summary ds =
-  let plural n what = Printf.sprintf "%d %s%s" n what (if n = 1 then "" else "s") in
-  Printf.sprintf "%s, %s, %s"
-    (plural (count Error ds) "error")
-    (plural (count Warning ds) "warning")
-    (plural (count Info ds) "info")
-
-let pp_report ppf ds =
-  let ds = List.sort compare ds in
-  List.iter (fun d -> Format.fprintf ppf "%a@." pp d) ds;
-  Format.fprintf ppf "%s@." (summary ds)
-
-let report_to_sexp ds =
-  let ds = List.sort compare ds in
-  Printf.sprintf "(%s)" (String.concat "\n " (List.map to_sexp ds))
-
-let all_codes =
-  [
-    ("RF001", Error, "columnar portions violate Property .4 (left-to-right order / full-width tiling)");
-    ("RF002", Error, "adjacent columnar portions share a tile type (Property .3)");
-    ("RF003", Error, "forbidden area outside the device bounds");
-    ("RF004", Error, "a region's demand exceeds the device's usable tiles of some kind");
-    ("RF005", Error, "summed region demands exceed the device's usable tiles of some kind");
-    ("RF006", Error, "relocation request provably unsatisfiable: fewer compatible windows than requested areas");
-    ("RF007", Warning, "relocation request likely unsatisfiable: disjoint-window estimate below requested areas");
-    ("RF008", Error, "dangling reference: net endpoint or relocation target names no region");
-    ("RF009", Error, "region unplaceable: no rectangle on the device satisfies its demand");
-    ("RF101", Info, "empty constraint row (no terms after normalization)");
-    ("RF102", Warning, "duplicate constraint row (same terms, sense and right-hand side)");
-    ("RF103", Info, "dominated constraint row (same terms and sense, weaker right-hand side)");
-    ("RF104", Info, "variables fixed by equal lower and upper bounds");
-    ("RF105", Warning, "integer variable with an infinite bound (unbranchable box)");
-    ("RF106", Error, "row infeasible under variable bounds (or conflicting equality rows)");
-    ("RF107", Warning, "ill-conditioned constraint family: coefficient magnitude spread suggests a degenerate big-M");
-    ("RF201", Error, "free-compatible area height differs from its region (Eq. 6)");
-    ("RF202", Error, "free-compatible area covers a different number of portions than its region (Eq. 7)");
-    ("RF203", Error, "free-compatible area tile-type sequence differs from its region (Eq. 8/10)");
-    ("RF204", Error, "free-compatible area per-portion tile counts differ from its region (Eq. 9)");
-    ("RF205", Error, "free-compatible area is not free (overlap or out of bounds)");
-    ("RF206", Error, "hard relocation request satisfied by fewer areas than requested");
-    ("RF207", Info, "soft relocation request satisfied by fewer areas than requested");
-    ("RF208", Error, "invalid placement (missing/duplicate region, overlap, forbidden, or unmet demand)");
-  ]
-
-let describe code =
-  List.find_map
-    (fun (c, _, d) -> if String.equal c code then Some d else None)
-    all_codes
+include Rfloor_diag.Diagnostic

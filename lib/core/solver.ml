@@ -1,6 +1,7 @@
 open Device
 module Bb = Milp.Branch_bound
 module Diag = Rfloor_analysis.Diagnostic
+module T = Rfloor_trace
 
 type engine = O | Ho of Floorplan.t option
 
@@ -18,21 +19,30 @@ type options = {
   warm_start : bool;
   preflight : bool;
   workers : int;
-  log : (string -> unit) option;
+  trace : T.sink;
 }
 
-let default_options =
-  {
-    engine = O;
-    objective_mode = Lexicographic;
-    time_limit = Some 120.;
-    node_limit = None;
-    paper_literal_l = false;
-    warm_start = true;
-    preflight = true;
-    workers = 1;
-    log = None;
-  }
+module Options = struct
+  type t = options
+
+  let make ?(engine = O) ?(objective_mode = Lexicographic)
+      ?(time_limit = Some 60.) ?node_limit ?(paper_literal_l = false)
+      ?(warm_start = true) ?(preflight = true) ?(workers = 1)
+      ?(trace = T.Sink.null) () =
+    {
+      engine;
+      objective_mode;
+      time_limit;
+      node_limit;
+      paper_literal_l;
+      warm_start;
+      preflight;
+      workers;
+      trace;
+    }
+end
+
+let default_options = Options.make ()
 
 type status = Optimal | Feasible | Infeasible | Unknown
 
@@ -47,12 +57,8 @@ type outcome = {
   simplex_iterations : int;
   elapsed : float;
   diagnostics : Diag.t list;
+  report : T.Report.t;
 }
-
-let log options fmt =
-  Format.kasprintf
-    (fun s -> match options.log with Some f -> f s | None -> ())
-    fmt
 
 (* Resolve the HO seed once so the pair relations and the warm start are
    consistent (an inconsistent warm incumbent would be rejected). *)
@@ -66,14 +72,13 @@ let pair_relations spec = function
   | Some seed -> Ho.relations spec seed
   | None -> []
 
-let bb_options options model stage_time =
+let bb_options options trace model stage_time =
   {
     Bb.default_options with
     Bb.time_limit = stage_time;
     node_limit = options.node_limit;
     priorities = Some (Model.branching_priorities model);
-    log = options.log;
-    log_every = 500;
+    trace;
   }
 
 let warm_plan options part spec =
@@ -100,9 +105,13 @@ let bb_solve options bbopts ?incumbent lp =
    of a parallel run share that single vetted LP, they never re-lint.
    An error-severity finding (e.g. a bound-infeasible row) proves the
    stage infeasible without a single branch-and-bound node. *)
-let run_stage options model ~stage_time ~warm ~add_diags =
+let run_stage options trace model ~stage_time ~warm ~add_diags =
   let lp = Model.lp model in
-  let lint = if options.preflight then Rfloor_analysis.Preflight.model lp else [] in
+  let lint =
+    if options.preflight then
+      T.span trace T.Event.Lint (fun () -> Rfloor_analysis.Preflight.model lp)
+    else []
+  in
   add_diags lint;
   if Diag.has_errors lint then
     {
@@ -117,22 +126,26 @@ let run_stage options model ~stage_time ~warm ~add_diags =
       elapsed = 0.;
     }
   else begin
-  (match Milp.Presolve.tighten lp with
-  | Milp.Presolve.Proven_infeasible -> ()
-  | Milp.Presolve.Tightened n -> log options "presolve: %d bound changes" n);
-  let incumbent =
-    match warm with
-    | None -> None
-    | Some plan -> (
-      let x = Model.encode model plan in
-      match Milp.Lp.validate ~eps:1e-5 lp x with
-      | Ok () -> Some x
-      | Error msg ->
-        log options "warm start rejected: %s" msg;
-        None)
-  in
-  bb_solve options (bb_options options model stage_time) ?incumbent lp
+    ignore (Milp.Presolve.tighten ~trace lp);
+    let incumbent =
+      match warm with
+      | None -> None
+      | Some plan -> (
+        let x = Model.encode model plan in
+        match Milp.Lp.validate ~eps:1e-5 lp x with
+        | Ok () -> Some x
+        | Error msg ->
+          T.warn trace (Printf.sprintf "warm start rejected: %s" msg);
+          None)
+    in
+    T.span trace T.Event.Branch_bound (fun () ->
+        bb_solve options (bb_options options trace model stage_time) ?incumbent
+          lp)
   end
+
+let build_model trace model_options part spec =
+  T.span trace T.Event.Build (fun () ->
+      Model.build ~options:model_options part spec)
 
 let status_of_bb = function
   | Bb.Optimal -> Optimal
@@ -140,27 +153,38 @@ let status_of_bb = function
   | Bb.Infeasible -> Infeasible
   | Bb.Unbounded | Bb.Unknown -> Unknown
 
-let finish options part spec model (r : Bb.result) extra_nodes extra_iters
+let finish options trace part spec model (r : Bb.result) extra_nodes extra_iters
     extra_time diags =
-  let plan, fc =
-    match r.Bb.incumbent with
-    | Some (_, x) -> (Some (Model.decode model x), Model.fc_identified model x)
-    | None -> (None, 0)
+  let plan, fc, wasted, wirelength =
+    T.span trace T.Event.Decode (fun () ->
+        let plan, fc =
+          match r.Bb.incumbent with
+          | Some (_, x) ->
+            (Some (Model.decode model x), Model.fc_identified model x)
+          | None -> (None, 0)
+        in
+        let wasted =
+          Option.map (fun p -> Floorplan.wasted_frames part spec p) plan
+        in
+        let wirelength = Option.map (fun p -> Floorplan.wirelength spec p) plan in
+        (plan, fc, wasted, wirelength))
   in
-  let wasted =
-    Option.map (fun p -> Floorplan.wasted_frames part spec p) plan
-  in
-  let wirelength = Option.map (fun p -> Floorplan.wirelength spec p) plan in
   (* independent re-check of the decoded plan (Eq. 6-10 and validity);
      findings here would point at a model or decoder bug *)
   let audit =
     match plan with
     | Some p when options.preflight ->
-      let ds = Rfloor_analysis.Solution_audit.run part spec p in
-      List.iter (fun d -> log options "audit: %s" (Format.asprintf "%a" Diag.pp d)) ds;
-      ds
+      T.span trace T.Event.Audit (fun () ->
+          let ds = Rfloor_analysis.Solution_audit.run part spec p in
+          List.iter
+            (fun d -> T.messagef trace "audit: %a" Diag.pp d)
+            ds;
+          ds)
     | _ -> []
   in
+  let nodes = r.Bb.nodes + extra_nodes in
+  let simplex_iterations = r.Bb.simplex_iterations + extra_iters in
+  let elapsed = r.Bb.elapsed +. extra_time in
   {
     plan;
     wasted;
@@ -168,23 +192,29 @@ let finish options part spec model (r : Bb.result) extra_nodes extra_iters
     fc_identified = fc;
     status = status_of_bb r.Bb.status;
     objective_value = Option.map fst r.Bb.incumbent;
-    nodes = r.Bb.nodes + extra_nodes;
-    simplex_iterations = r.Bb.simplex_iterations + extra_iters;
-    elapsed = r.Bb.elapsed +. extra_time;
+    nodes;
+    simplex_iterations;
+    elapsed;
     diagnostics = diags @ audit;
+    report = T.report trace ~nodes ~simplex_iterations ~elapsed;
   }
 
 let solve ?(options = default_options) part (spec : Spec.t) =
+  (* One live tracer per solve, even with the null sink: the metrics
+     behind [outcome.report] always accumulate; events only flow when a
+     real sink is attached. *)
+  let trace = T.create ~sink:options.trace () in
   (* spec/partition preflight: error findings prove infeasibility before
      any model is built or any node is explored *)
   let diags = ref [] in
   let add_diags ds =
-    List.iter
-      (fun d -> log options "preflight: %s" (Format.asprintf "%a" Diag.pp d))
-      ds;
+    List.iter (fun d -> T.messagef trace "preflight: %a" Diag.pp d) ds;
     diags := !diags @ ds
   in
-  if options.preflight then add_diags (Rfloor_analysis.Preflight.spec part spec);
+  if options.preflight then
+    add_diags
+      (T.span trace T.Event.Lint (fun () ->
+           Rfloor_analysis.Preflight.spec part spec));
   if Diag.has_errors !diags then
     {
       plan = None;
@@ -197,86 +227,103 @@ let solve ?(options = default_options) part (spec : Spec.t) =
       simplex_iterations = 0;
       elapsed = 0.;
       diagnostics = !diags;
+      report = T.report trace ~nodes:0 ~simplex_iterations:0 ~elapsed:0.;
     }
   else begin
-  let seed = resolve_seed options part spec in
-  let relations = pair_relations spec seed in
-  let warm =
-    match seed with Some _ -> seed | None -> warm_plan options part spec
-  in
-  let model_options objective extra_waste_cap =
-    {
-      Model.objective;
-      paper_literal_l = options.paper_literal_l;
-      pair_relations = relations;
-      extra_waste_cap;
-    }
-  in
-  match options.objective_mode with
-  | Feasibility_only ->
-    let model = Model.build ~options:(model_options Model.Feasibility None) part spec in
-    finish options part spec model
-      (run_stage options model ~stage_time:options.time_limit ~warm ~add_diags)
-      0 0 0. !diags
-  | Weighted w ->
-    let model =
-      Model.build ~options:(model_options (Model.Weighted w) None) part spec
+    let seed = resolve_seed options part spec in
+    let relations = pair_relations spec seed in
+    let warm =
+      match seed with Some _ -> seed | None -> warm_plan options part spec
     in
-    finish options part spec model
-      (run_stage options model ~stage_time:options.time_limit ~warm ~add_diags)
-      0 0 0. !diags
-  | Lexicographic -> (
-    let split f = Option.map (fun t -> t *. f) options.time_limit in
-    let m1 =
-      Model.build ~options:(model_options Model.Wasted_frames_only None) part spec
+    let model_options objective extra_waste_cap =
+      {
+        Model.objective;
+        paper_literal_l = options.paper_literal_l;
+        pair_relations = relations;
+        extra_waste_cap;
+      }
     in
-    let r1 = run_stage options m1 ~stage_time:(split 0.6) ~warm ~add_diags in
-    match r1.Bb.incumbent with
-    | None -> finish options part spec m1 r1 0 0 0. !diags
-    | Some (w1, x1) ->
-      log options "stage 1: wasted frames = %.0f (%s)" w1
-        (match r1.Bb.status with Bb.Optimal -> "optimal" | _ -> "best found");
-      let plan1 = Model.decode m1 x1 in
-      let m2 =
-        Model.build
-          ~options:(model_options Model.Wirelength_only (Some (w1 +. 0.5)))
+    match options.objective_mode with
+    | Feasibility_only ->
+      let model =
+        build_model trace (model_options Model.Feasibility None) part
+          spec
+      in
+      finish options trace part spec model
+        (run_stage options trace model ~stage_time:options.time_limit ~warm
+           ~add_diags)
+        0 0 0. !diags
+    | Weighted w ->
+      let model =
+        build_model trace (model_options (Model.Weighted w) None) part
+          spec
+      in
+      finish options trace part spec model
+        (run_stage options trace model ~stage_time:options.time_limit ~warm
+           ~add_diags)
+        0 0 0. !diags
+    | Lexicographic -> (
+      let split f = Option.map (fun t -> t *. f) options.time_limit in
+      let m1 =
+        build_model trace (model_options Model.Wasted_frames_only None)
           part spec
       in
-      (* stage-2 warm start: prefer the candidate with the best wire
-         length among plans matching the stage-1 waste *)
-      let warm2 =
-        let ok p =
-          float_of_int (Floorplan.wasted_frames part spec p) <= w1 +. 0.5
+      let r1 =
+        run_stage options trace m1 ~stage_time:(split 0.6) ~warm ~add_diags
+      in
+      match r1.Bb.incumbent with
+      | None -> finish options trace part spec m1 r1 0 0 0. !diags
+      | Some (w1, x1) ->
+        T.messagef trace "stage 1: wasted frames = %.0f (%s)" w1
+          (match r1.Bb.status with
+          | Bb.Optimal -> "optimal"
+          | _ -> "best found");
+        T.restart trace "stage2-wirelength";
+        let plan1 = Model.decode m1 x1 in
+        let m2 =
+          build_model trace
+            (model_options Model.Wirelength_only (Some (w1 +. 0.5)))
+            part spec
         in
-        let candidates = List.filter ok (plan1 :: Option.to_list warm) in
-        match
-          List.sort
-            (fun a b ->
-              compare (Floorplan.wirelength spec a) (Floorplan.wirelength spec b))
-            candidates
-        with
-        | best :: _ -> Some best
-        | [] -> Some plan1
-      in
-      let r2 = run_stage options m2 ~stage_time:(split 0.4) ~warm:warm2 ~add_diags in
-      let r2 =
-        match r2.Bb.incumbent with
-        | Some _ -> r2
-        | None -> { r2 with Bb.incumbent = r1.Bb.incumbent }
-      in
-      let out =
-        finish options part spec m2 r2 r1.Bb.nodes r1.Bb.simplex_iterations
-          r1.Bb.elapsed !diags
-      in
-      (* stage-2 optimality only refines wire length; overall optimality
-         additionally needs stage 1 proven *)
-      let status =
-        match (r1.Bb.status, out.status) with
-        | Bb.Optimal, Optimal -> Optimal
-        | _, Infeasible -> Feasible (* stage 2 budget died; stage 1 plan holds *)
-        | _, s -> (match s with Optimal -> Feasible | s -> s)
-      in
-      { out with status })
+        (* stage-2 warm start: prefer the candidate with the best wire
+           length among plans matching the stage-1 waste *)
+        let warm2 =
+          let ok p =
+            float_of_int (Floorplan.wasted_frames part spec p) <= w1 +. 0.5
+          in
+          let candidates = List.filter ok (plan1 :: Option.to_list warm) in
+          match
+            List.sort
+              (fun a b ->
+                compare (Floorplan.wirelength spec a)
+                  (Floorplan.wirelength spec b))
+              candidates
+          with
+          | best :: _ -> Some best
+          | [] -> Some plan1
+        in
+        let r2 =
+          run_stage options trace m2 ~stage_time:(split 0.4) ~warm:warm2
+            ~add_diags
+        in
+        let r2 =
+          match r2.Bb.incumbent with
+          | Some _ -> r2
+          | None -> { r2 with Bb.incumbent = r1.Bb.incumbent }
+        in
+        let out =
+          finish options trace part spec m2 r2 r1.Bb.nodes
+            r1.Bb.simplex_iterations r1.Bb.elapsed !diags
+        in
+        (* stage-2 optimality only refines wire length; overall optimality
+           additionally needs stage 1 proven *)
+        let status =
+          match (r1.Bb.status, out.status) with
+          | Bb.Optimal, Optimal -> Optimal
+          | _, Infeasible -> Feasible (* stage 2 budget died; stage 1 plan holds *)
+          | _, s -> (match s with Optimal -> Feasible | s -> s)
+        in
+        { out with status })
   end
 
 let export_lp ?(options = default_options) part spec =

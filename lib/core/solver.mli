@@ -37,10 +37,37 @@ type options = {
           {!Milp.Branch_bound}; [> 1] = {!Milp.Parallel_bb}).  Both
           report aggregated [nodes]/[simplex_iterations] and wall-clock
           [elapsed]. *)
-  log : (string -> unit) option;
+  trace : Rfloor_trace.sink;
+      (** Where structured solver events go (default
+          {!Rfloor_trace.Sink.null}: no events, but [outcome.report] is
+          still populated).  Use {!Rfloor_trace.Sink.of_log_fn} to
+          migrate an old [log : string -> unit] callback. *)
 }
 
+module Options : sig
+  type t = options
+
+  val make :
+    ?engine:engine ->
+    ?objective_mode:objective_mode ->
+    ?time_limit:float option ->
+    ?node_limit:int ->
+    ?paper_literal_l:bool ->
+    ?warm_start:bool ->
+    ?preflight:bool ->
+    ?workers:int ->
+    ?trace:Rfloor_trace.sink ->
+    unit ->
+    t
+  (** The single construction point for solver options — the CLI, the
+      bench and the examples all build through it, so the defaults
+      ([engine O], [Lexicographic], [time_limit = Some 60.], no node
+      limit, warm start and preflight on, one worker, null trace sink)
+      are defined exactly once. *)
+end
+
 val default_options : options
+(** [Options.make ()]. *)
 
 type status = Optimal | Feasible | Infeasible | Unknown
 
@@ -57,6 +84,10 @@ type outcome = {
   diagnostics : Rfloor_analysis.Diagnostic.t list;
       (** Preflight lint findings plus the post-solve solution audit;
           on a preflight [Infeasible] these explain the verdict. *)
+  report : Rfloor_trace.Report.t;
+      (** Per-phase wall time, per-worker node totals, incumbent/steal
+          counters.  Its [nodes], [simplex_iterations] and [elapsed]
+          always equal the fields above, tracing enabled or not. *)
 }
 
 val solve :

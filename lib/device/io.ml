@@ -1,3 +1,13 @@
+module D = Rfloor_diag.Diagnostic
+
+let device_error ?path msg =
+  let location = match path with Some p -> D.File p | None -> D.Device in
+  D.diagf ~code:"RF301" D.Error location "%s" msg
+
+let design_error ?path msg =
+  let location = match path with Some p -> D.File p | None -> D.Design in
+  D.diagf ~code:"RF302" D.Error location "%s" msg
+
 let lines_of text =
   String.split_on_char '\n' text
   |> List.map String.trim
@@ -27,14 +37,14 @@ let parse_grid text =
             | _ -> failwith "forbidden: expects 'x y w h'")
           | None -> rows := line :: !rows))
       (lines_of text);
-    if !rows = [] then Error "device file has no tile rows"
+    if !rows = [] then Error (device_error "device file has no tile rows")
     else
       Ok
         (Grid.of_strings ~name:!name ~forbidden:(List.rev !forbidden)
            (List.rev !rows))
   with
-  | Failure msg -> Error msg
-  | Invalid_argument msg -> Error msg
+  | Failure msg -> Error (device_error msg)
+  | Invalid_argument msg -> Error (device_error msg)
 
 let parse_kind = function
   | "clb" | "c" -> Some Resource.Clb
@@ -88,8 +98,8 @@ let parse_spec text =
       (Spec.make ~name:!name ~nets:(List.rev !nets) ~relocs:(List.rev !relocs)
          (List.rev !regions))
   with
-  | Failure msg -> Error msg
-  | Invalid_argument msg -> Error msg
+  | Failure msg -> Error (design_error msg)
+  | Invalid_argument msg -> Error (design_error msg)
 
 let read_file path =
   let ic = open_in path in
@@ -99,13 +109,19 @@ let read_file path =
 
 let load_grid path =
   match read_file path with
-  | exception Sys_error e -> Error e
-  | text -> parse_grid text
+  | exception Sys_error e -> Error (device_error ~path e)
+  | text ->
+    Result.map_error
+      (fun d -> { d with D.location = D.File path })
+      (parse_grid text)
 
 let load_spec path =
   match read_file path with
-  | exception Sys_error e -> Error e
-  | text -> parse_spec text
+  | exception Sys_error e -> Error (design_error ~path e)
+  | text ->
+    Result.map_error
+      (fun d -> { d with D.location = D.File path })
+      (parse_spec text)
 
 let grid_to_string g =
   let b = Buffer.create 256 in

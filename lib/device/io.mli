@@ -17,13 +17,17 @@
     net filter decoder 32
     reloc filter 2 hard
     reloc decoder 1 soft 1.5
-    v} *)
+    v}
 
-val parse_grid : string -> (Grid.t, string) result
-val load_grid : string -> (Grid.t, string) result
+    All parse/load errors are typed diagnostics: [RF301] for device
+    files, [RF302] for design files.  The [load_*] variants carry the
+    offending path in the diagnostic's location. *)
 
-val parse_spec : string -> (Spec.t, string) result
-val load_spec : string -> (Spec.t, string) result
+val parse_grid : string -> (Grid.t, Rfloor_diag.Diagnostic.t) result
+val load_grid : string -> (Grid.t, Rfloor_diag.Diagnostic.t) result
+
+val parse_spec : string -> (Spec.t, Rfloor_diag.Diagnostic.t) result
+val load_spec : string -> (Spec.t, Rfloor_diag.Diagnostic.t) result
 
 val grid_to_string : Grid.t -> string
 (** Round-trippable rendering of a grid in the device file format. *)

@@ -37,7 +37,10 @@ let effective_column_types grid =
     | Some ty -> col_type.(col - 1) <- Some ty
   done;
   match !err with
-  | Some e -> Error e
+  | Some e ->
+    Error
+      (Rfloor_diag.Diagnostic.diagf ~code:"RF010" Rfloor_diag.Diagnostic.Error
+         Rfloor_diag.Diagnostic.Device "%s" e)
   | None -> Ok (Array.map Option.get col_type)
 
 (* Steps 2-5 of the procedure, specialised to the step-1 result: grow a
@@ -68,7 +71,8 @@ let columnar grid =
     (match !bad with
     | Some col ->
       Error
-        (Printf.sprintf
+        (Rfloor_diag.Diagnostic.diagf ~code:"RF010"
+           Rfloor_diag.Diagnostic.Error Rfloor_diag.Diagnostic.Device
            "column %d mixes tile types: portion cannot extend to the bottom"
            col)
     | None ->
@@ -112,7 +116,8 @@ let columnar grid =
 let columnar_exn grid =
   match columnar grid with
   | Ok t -> t
-  | Error e -> invalid_arg ("Partition.columnar: " ^ e)
+  | Error d ->
+    invalid_arg ("Partition.columnar: " ^ d.Rfloor_diag.Diagnostic.message)
 
 let width t = Grid.width t.grid
 let height t = Grid.height t.grid

@@ -24,11 +24,12 @@ type t = {
   types : Resource.tile_type array;  (** [types.(tid - 1)] is the type *)
 }
 
-val columnar : Grid.t -> (t, string) result
-(** Runs the revised partitioning procedure.  [Error] when some column
-    mixes tile types outside forbidden areas (the portion cannot be
-    extended to the bottom of the FPGA), or when an entire column is
-    forbidden (step 1 has no replacement tile). *)
+val columnar : Grid.t -> (t, Rfloor_diag.Diagnostic.t) result
+(** Runs the revised partitioning procedure.  [Error] — an [RF010]
+    diagnostic — when some column mixes tile types outside forbidden
+    areas (the portion cannot be extended to the bottom of the FPGA),
+    or when an entire column is forbidden (step 1 has no replacement
+    tile). *)
 
 val columnar_exn : Grid.t -> t
 

@@ -1,0 +1,74 @@
+(** Diagnostics shared by every layer of the floorplanner.
+
+    Every finding carries a stable code ([RF001]...), a severity, a
+    location (region, portion, variable, constraint family, file, ...)
+    and a human-readable message.  Reports render either as
+    one-line-per-finding text or as s-expressions for tooling.
+
+    This module lives in its own dependency-free library so that the
+    loaders ({!Device.Io}), the partitioner ({!Device.Partition}), the
+    model parsers ({!Milp.Mps}) and the static-analysis passes
+    ({!Rfloor_analysis}) all speak the same error type; the CLI renders
+    a parse failure and a lint finding identically. *)
+
+type severity = Error | Warning | Info
+
+type location =
+  | Device  (** the device / partition as a whole *)
+  | Portion of int  (** columnar portion, 1-based index *)
+  | Region of string
+  | Reloc of string  (** relocation request, by target region *)
+  | Area of string * int  (** free-compatible area: region, copy index *)
+  | Variable of string  (** MILP variable, by name *)
+  | Constraint of string  (** MILP row, by name *)
+  | Family of string  (** MILP constraint family (name stem) *)
+  | Design  (** the design spec as a whole *)
+  | Model  (** the MILP as a whole *)
+  | File of string  (** an input file, by path (loaders/parsers) *)
+
+type t = {
+  code : string;
+  severity : severity;
+  location : location;
+  message : string;
+}
+
+val diagf :
+  code:string ->
+  severity ->
+  location ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+(** [diagf ~code sev loc fmt ...] builds a diagnostic with a formatted
+    message. *)
+
+val severity_to_string : severity -> string
+val location_to_string : location -> string
+val compare : t -> t -> int
+(** Orders by severity (errors first), then code, then message. *)
+
+val errors : t list -> t list
+val has_errors : t list -> bool
+val count : severity -> t list -> int
+
+val pp : Format.formatter -> t -> unit
+(** One line: [RF006 error   reloc(Signal Decoder): message]. *)
+
+val to_sexp : t -> string
+(** [((code RF006) (severity error) (location (reloc "...")) (message "..."))]. *)
+
+val pp_report : Format.formatter -> t list -> unit
+(** Sorted findings, one per line, followed by a summary line. *)
+
+val report_to_sexp : t list -> string
+(** All findings as one s-expression list, sorted. *)
+
+val summary : t list -> string
+(** ["2 errors, 1 warning, 3 infos"]. *)
+
+val describe : string -> string option
+(** Short description of a diagnostic code, for [--codes] listings. *)
+
+val all_codes : (string * severity * string) list
+(** The full [RFxxx] table: code, worst severity it is emitted at, and
+    a one-line description (the table documented in DESIGN.md). *)

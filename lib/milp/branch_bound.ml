@@ -15,8 +15,7 @@ type options = {
   mip_gap : float;
   int_eps : float;
   priorities : float array option;
-  log : (string -> unit) option;
-  log_every : int;
+  trace : Rfloor_trace.t;
   gomory_rounds : int;
 }
 
@@ -27,8 +26,7 @@ let default_options =
     mip_gap = 1e-6;
     int_eps = 1e-6;
     priorities = None;
-    log = None;
-    log_every = 1000;
+    trace = Rfloor_trace.disabled;
     gomory_rounds = 0;
   }
 
@@ -56,7 +54,8 @@ let pick_branch ~int_eps ~priorities int_vars x =
     int_vars;
   match !best with None -> None | Some (v, _) -> Some v
 
-let solve ?(options = default_options) ?incumbent lp =
+let solve ?(options = default_options) ?(worker = 0) ?incumbent lp =
+  let trace = options.trace in
   let t0 = Unix.gettimeofday () in
   (* root-node branch-and-cut: strengthen a private copy with GMI cuts *)
   let lp =
@@ -64,9 +63,8 @@ let solve ?(options = default_options) ?incumbent lp =
     else begin
       let lp' = Lp.copy lp in
       let added = Gomory.add_root_cuts ~rounds:options.gomory_rounds lp' in
-      (match options.log with
-      | Some f when added > 0 -> f (Printf.sprintf "gomory: %d root cuts" added)
-      | _ -> ());
+      Rfloor_trace.cuts_added trace ~worker ~rounds:options.gomory_rounds
+        ~cuts:added;
       lp'
     end
   in
@@ -93,9 +91,8 @@ let solve ?(options = default_options) ?incumbent lp =
       inc_x := Some (Array.copy x);
       inc_key := key (Lp.objective_value lp x)
     | Error msg ->
-      (match options.log with
-      | Some f -> f (Printf.sprintf "warm incumbent rejected: %s" msg)
-      | None -> ())));
+      Rfloor_trace.warn trace ~worker
+        (Printf.sprintf "warm incumbent rejected: %s" msg)));
   let nodes = ref 0 and iters = ref 0 in
   let incomplete = ref false in
   (* stack of open nodes; each carries the bound inherited from its
@@ -111,15 +108,6 @@ let solve ?(options = default_options) ?incumbent lp =
     | None -> false)
     || match options.node_limit with Some nl -> !nodes >= nl | None -> false
   in
-  let log_progress () =
-    match options.log with
-    | Some f when !nodes mod options.log_every = 0 ->
-      let inc = if !inc_key = infinity then "-" else Printf.sprintf "%.4f" (unkey !inc_key) in
-      f
-        (Printf.sprintf "node %d open %d incumbent %s iters %d" !nodes
-           (List.length !stack) inc !iters)
-    | _ -> ()
-  in
   while (not !stopped) && !stack <> [] do
     match !stack with
     | [] -> ()
@@ -134,8 +122,14 @@ let solve ?(options = default_options) ?incumbent lp =
       else if node.n_bound >= !inc_key -. gap_abs () then () (* pruned by bound *)
       else begin
         incr nodes;
-        log_progress ();
-        let r = Simplex.Core.solve ~lb:node.n_lb ~ub:node.n_ub core in
+        Rfloor_trace.node_explored trace ~worker ~depth:node.n_depth
+          ~bound:(unkey node.n_bound);
+        let r =
+          if node.n_depth = 0 then
+            Rfloor_trace.span trace ~worker Rfloor_trace.Event.Root_lp
+              (fun () -> Simplex.Core.solve ~lb:node.n_lb ~ub:node.n_ub core)
+          else Simplex.Core.solve ~lb:node.n_lb ~ub:node.n_ub core
+        in
         iters := !iters + r.Simplex.iterations;
         match r.Simplex.status with
         | Simplex.Infeasible -> ()
@@ -161,9 +155,8 @@ let solve ?(options = default_options) ?incumbent lp =
               if obj_key < !inc_key then begin
                 inc_key := obj_key;
                 inc_x := Some x;
-                match options.log with
-                | Some f -> f (Printf.sprintf "incumbent %.6f (node %d)" (unkey obj_key) !nodes)
-                | None -> ()
+                Rfloor_trace.incumbent trace ~worker
+                  ~objective:(unkey obj_key) ~node:!nodes
               end
             | Some v ->
               let f = r.Simplex.x.(v) in
@@ -195,6 +188,7 @@ let solve ?(options = default_options) ?incumbent lp =
         !inc_key !stack
   in
   let elapsed = Unix.gettimeofday () -. t0 in
+  Rfloor_trace.add_worker_totals trace ~worker ~nodes:!nodes ~iterations:!iters;
   let status =
     if !unbounded then Unbounded
     else

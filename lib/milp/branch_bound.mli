@@ -34,17 +34,22 @@ type options = {
   int_eps : float;  (** integrality tolerance, default 1e-6 *)
   priorities : float array option;
       (** Branching priorities per variable; higher branches first. *)
-  log : (string -> unit) option;
-  log_every : int;  (** nodes between log lines *)
+  trace : Rfloor_trace.t;
+      (** Structured observability: per-node events, incumbents, root
+          cuts, warnings.  Default {!Rfloor_trace.disabled} (zero cost).
+          To recover the old [log : string -> unit] behaviour, build a
+          tracer over {!Rfloor_trace.Sink.of_log_fn}. *)
   gomory_rounds : int;
       (** rounds of root-node Gomory cuts (branch and cut); default 0 *)
 }
 
 val default_options : options
 
-val solve : ?options:options -> ?incumbent:float array -> Lp.t -> result
+val solve :
+  ?options:options -> ?worker:int -> ?incumbent:float array -> Lp.t -> result
 (** [solve lp] optimizes the MILP.  [incumbent], if given, must be an
-    integer-feasible assignment; it seeds the primal bound. *)
+    integer-feasible assignment; it seeds the primal bound.  [worker]
+    (default 0) tags this solve's trace events and per-worker totals. *)
 
 val objective_key : Lp.dir -> float -> float
 (** Normalizes an objective value to minimization order (used by callers

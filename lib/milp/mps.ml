@@ -266,14 +266,23 @@ let parse text =
       (List.rev_map (fun (v, c) -> (v, var c)) !obj_terms);
     Ok lp
   with
-  | Parse_error msg -> Error msg
-  | Failure msg -> Error msg
-  | Invalid_argument msg -> Error msg
+  | Parse_error msg | Failure msg | Invalid_argument msg ->
+    Error
+      (Rfloor_diag.Diagnostic.diagf ~code:"RF303" Rfloor_diag.Diagnostic.Error
+         Rfloor_diag.Diagnostic.Model "%s" msg)
 
 let parse_file path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let len = in_channel_length ic in
-      parse (really_input_string ic len))
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let len = in_channel_length ic in
+        parse (really_input_string ic len))
+  with
+  | Ok lp -> Ok lp
+  | Error d -> Error { d with Rfloor_diag.Diagnostic.location = File path }
+  | exception Sys_error msg ->
+    Error
+      (Rfloor_diag.Diagnostic.diagf ~code:"RF303" Rfloor_diag.Diagnostic.Error
+         (Rfloor_diag.Diagnostic.File path) "%s" msg)

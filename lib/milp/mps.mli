@@ -6,7 +6,7 @@ val write : Format.formatter -> Lp.t -> unit
 val to_string : Lp.t -> string
 val to_file : string -> Lp.t -> unit
 
-val parse : string -> (Lp.t, string) result
+val parse : string -> (Lp.t, Rfloor_diag.Diagnostic.t) result
 (** Parses the free-MPS subset the writer produces: NAME, OBJSENSE,
     ROWS, COLUMNS with INTORG/INTEND markers, RHS (objective RHS read
     as the negated constant), BOUNDS (FX/FR/MI/PL/LO/UP/BV).  Variables
@@ -14,6 +14,9 @@ val parse : string -> (Lp.t, string) result
     so [write (parse (write lp))] is a fixpoint after one round trip.
     Structural violations — truncated data pairs, undeclared row or
     column references, duplicate row names, a column redeclared across
-    integrality markers, RANGES — return [Error msg], never raise. *)
+    integrality markers, RANGES — return an [RF303] diagnostic, never
+    raise. *)
 
-val parse_file : string -> (Lp.t, string) result
+val parse_file : string -> (Lp.t, Rfloor_diag.Diagnostic.t) result
+(** Like {!parse}; unreadable files also map to [RF303], and the
+    diagnostic's location carries the path. *)

@@ -1,12 +1,20 @@
 module Bb = Branch_bound
 
-let workers_from_env ?(default = 1) () =
+let workers_from_env ?(default = 1) ?(trace = Rfloor_trace.disabled) () =
   match Sys.getenv_opt "RFLOOR_WORKERS" with
   | None -> default
   | Some s -> (
     match int_of_string_opt (String.trim s) with
     | Some n when n >= 1 -> n
-    | _ -> default)
+    | Some n ->
+      Rfloor_trace.warn trace
+        (Printf.sprintf "RFLOOR_WORKERS=%d is not positive; clamping to 1" n);
+      1
+    | None ->
+      Rfloor_trace.warn trace
+        (Printf.sprintf "RFLOOR_WORKERS=%s does not parse as an integer; using %d"
+           (String.trim s) default);
+      default)
 
 (* An open subproblem, serialized as a bound overlay on the root LP.
    Carrying the full arrays (not deltas) keeps claiming O(1) for the
@@ -41,6 +49,7 @@ let pick_branch ~int_eps ~priorities int_vars x =
 
 let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
   let workers = max 1 workers in
+  let trace = options.Bb.trace in
   let t0 = Unix.gettimeofday () in
   (* Root branch-and-cut runs once, before any worker exists; ditto any
      caller-side preflight (Core.Solver lints the root model exactly
@@ -50,9 +59,8 @@ let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
     else begin
       let lp' = Lp.copy lp in
       let added = Gomory.add_root_cuts ~rounds:options.Bb.gomory_rounds lp' in
-      (match options.Bb.log with
-      | Some f when added > 0 -> f (Printf.sprintf "gomory: %d root cuts" added)
-      | _ -> ());
+      Rfloor_trace.cuts_added trace ~worker:0
+        ~rounds:options.Bb.gomory_rounds ~cuts:added;
       lp'
     end
   in
@@ -107,16 +115,10 @@ let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
     Mutex.unlock qm;
     r
   in
-  let log_mutex = Mutex.create () in
-  let log w msg =
-    match options.Bb.log with
-    | None -> ()
-    | Some f ->
-      Mutex.lock log_mutex;
-      Fun.protect
-        ~finally:(fun () -> Mutex.unlock log_mutex)
-        (fun () -> f (if workers = 1 then msg else Printf.sprintf "[w%d] %s" w msg))
-  in
+  (* Per-worker node/iteration tallies: each slot is touched only by
+     its own domain, then flushed to the tracer after the joins. *)
+  let local_nodes = Array.make workers 0 in
+  let local_iters = Array.make workers 0 in
   (* Lock-free incumbent improvement: retry the CAS until we either
      install the better point or observe someone else already did. *)
   let rec improve k x =
@@ -131,7 +133,9 @@ let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
   | Some x -> (
     match Lp.validate ~eps:1e-5 lp x with
     | Ok () -> ignore (improve (key (Lp.objective_value lp x)) (Array.copy x))
-    | Error msg -> log 0 (Printf.sprintf "warm incumbent rejected: %s" msg)));
+    | Error msg ->
+      Rfloor_trace.warn trace ~worker:0
+        (Printf.sprintf "warm incumbent rejected: %s" msg)));
   let gap_abs inc_key = options.Bb.mip_gap *. max 1. (abs_float inc_key) in
   let out_of_budget () =
     Atomic.get over_budget
@@ -151,7 +155,7 @@ let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
   (* Donate the shallowest (largest) open subtrees whenever the global
      deque runs short — the stealing happens on the donor's side so the
      deque never needs per-node locking on the hot dive path. *)
-  let donate stack =
+  let donate w stack =
     if workers > 1 && Atomic.get qlen < workers then begin
       let len = List.length !stack in
       if len > 3 then begin
@@ -165,18 +169,9 @@ let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
         in
         let mine, give = split 0 [] !stack in
         stack := mine;
-        push_tasks give
+        push_tasks give;
+        Rfloor_trace.steal trace ~worker:w ~tasks:(List.length give)
       end
-    end
-  in
-  let log_progress w =
-    let total = Atomic.get nodes in
-    if total mod options.Bb.log_every = 0 then begin
-      let k = (Atomic.get inc).i_key in
-      let s = if k = infinity then "-" else Printf.sprintf "%.4f" (unkey k) in
-      log w
-        (Printf.sprintf "node %d open %d incumbent %s iters %d" total
-           (max 0 (Atomic.get qlen)) s (Atomic.get iters))
     end
   in
   (* One claimed subtree: a sequential depth-first dive, identical in
@@ -206,9 +201,17 @@ let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
           if node.t_bound >= inc_key -. gap_abs inc_key then () (* pruned by bound *)
           else begin
             ignore (Atomic.fetch_and_add nodes 1);
-            log_progress w;
-            let r = Simplex.Core.solve ~lb:node.t_lb ~ub:node.t_ub core in
+            local_nodes.(w) <- local_nodes.(w) + 1;
+            Rfloor_trace.node_explored trace ~worker:w ~depth:node.t_depth
+              ~bound:(unkey node.t_bound);
+            let r =
+              if node.t_depth = 0 then
+                Rfloor_trace.span trace ~worker:w Rfloor_trace.Event.Root_lp
+                  (fun () -> Simplex.Core.solve ~lb:node.t_lb ~ub:node.t_ub core)
+              else Simplex.Core.solve ~lb:node.t_lb ~ub:node.t_ub core
+            in
             ignore (Atomic.fetch_and_add iters r.Simplex.iterations);
+            local_iters.(w) <- local_iters.(w) + r.Simplex.iterations;
             match r.Simplex.status with
             | Simplex.Infeasible -> ()
             | Simplex.Iter_limit -> Atomic.set incomplete true
@@ -230,9 +233,8 @@ let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
                   List.iter (fun v -> x.(v) <- Float.round x.(v)) int_vars;
                   let obj_key = key (Lp.objective_value lp x) in
                   if improve obj_key x then
-                    log w
-                      (Printf.sprintf "incumbent %.6f (node %d)" (unkey obj_key)
-                         (Atomic.get nodes))
+                    Rfloor_trace.incumbent trace ~worker:w
+                      ~objective:(unkey obj_key) ~node:(Atomic.get nodes)
                 | Some v ->
                   let f = r.Simplex.x.(v) in
                   let fl = Float.round (floor (f +. options.Bb.int_eps)) in
@@ -251,15 +253,17 @@ let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
                     if frac f <= 0. then (down (), up ()) else (up (), down ())
                   in
                   stack := first :: second :: !stack;
-                  donate stack)
+                  donate w stack)
           end
         end
     done
   in
   let rec worker_loop w idle_spins =
     if stop_requested () then ()
-    else
-      match try_claim () with
+    else begin
+      let claimed = try_claim () in
+      Rfloor_trace.steal_attempt trace ~success:(claimed <> None);
+      match claimed with
       | Some t ->
         Fun.protect
           ~finally:(fun () -> Atomic.decr active)
@@ -268,9 +272,11 @@ let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
       | None ->
         if Atomic.get active = 0 then () (* frontier exhausted *)
         else begin
+          if idle_spins = 0 then Rfloor_trace.worker_idle trace ~worker:w;
           if idle_spins < 200 then Domain.cpu_relax () else Unix.sleepf 0.0002;
           worker_loop w (idle_spins + 1)
         end
+    end
   in
   push_tasks [ { t_lb = root_lb; t_ub = root_ub; t_bound = neg_infinity; t_depth = 0 } ];
   let domains =
@@ -278,6 +284,10 @@ let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
   in
   worker_loop 0 0;
   List.iter Domain.join domains;
+  for w = 0 to workers - 1 do
+    Rfloor_trace.add_worker_totals trace ~worker:w ~nodes:local_nodes.(w)
+      ~iterations:local_iters.(w)
+  done;
   let leftover =
     Mutex.lock qm;
     let l = List.of_seq (Queue.to_seq queue) in

@@ -35,11 +35,15 @@ val solve :
   Branch_bound.result
 (** [solve ~workers lp] optimizes the MILP with [workers] domains
     (default 1: the parallel machinery on a single worker, no spawns).
-    [options.log], if given, is serialized behind a mutex and prefixed
-    with the worker id.  Root Gomory cuts ([options.gomory_rounds]) are
-    generated once on the root model before workers start. *)
+    [options.trace] events carry the emitting worker's id; sinks
+    serialize concurrent emitters internally, and per-worker node and
+    simplex-iteration totals are flushed to the tracer after the joins.
+    Root Gomory cuts ([options.gomory_rounds]) are generated once on
+    the root model before workers start. *)
 
-val workers_from_env : ?default:int -> unit -> int
-(** Worker count from the [RFLOOR_WORKERS] environment variable,
-    clamped to at least 1; [default] (1) when unset or unparsable.
+val workers_from_env : ?default:int -> ?trace:Rfloor_trace.t -> unit -> int
+(** Worker count from the [RFLOOR_WORKERS] environment variable.
+    A parsable but non-positive value (["0"], ["-2"]) is clamped to 1;
+    an unparsable value (["abc"]) falls back to [default] (1); both emit
+    a [Warning] event on [trace] (default {!Rfloor_trace.disabled}).
     Shared by [bin/rfloor_cli] and [bench/main]. *)

@@ -31,7 +31,7 @@ let activity_range lp terms ~skip =
     terms;
   (!lo, !hi)
 
-let tighten ?(max_rounds = 10) lp =
+let tighten_body ~max_rounds lp =
   let changes = ref 0 in
   let eps = 1e-9 in
   try
@@ -96,3 +96,14 @@ let tighten ?(max_rounds = 10) lp =
     done;
     Tightened !changes
   with Infeasible_exn -> Proven_infeasible
+
+let tighten ?(max_rounds = 10) ?(trace = Rfloor_trace.disabled) lp =
+  Rfloor_trace.span trace Rfloor_trace.Event.Presolve (fun () ->
+      let outcome = tighten_body ~max_rounds lp in
+      (match outcome with
+      | Tightened n when n > 0 ->
+        Rfloor_trace.messagef trace "presolve: %d bound changes" n
+      | Tightened _ -> ()
+      | Proven_infeasible ->
+        Rfloor_trace.messagef trace "presolve: proven infeasible");
+      outcome)

@@ -487,7 +487,9 @@ let solve_core ?max_iters ?lb ?ub ?basis_sink (core : P.t) =
         { status = Optimal; objective; x = Array.sub st.x 0 n; iterations = st.iters })
   end
 
-let solve ?max_iters lp = solve_core ?max_iters (P.of_lp lp)
+let solve ?max_iters ?(trace = Rfloor_trace.disabled) lp =
+  Rfloor_trace.span trace Rfloor_trace.Event.Lp_solve (fun () ->
+      solve_core ?max_iters (P.of_lp lp))
 
 module Core = struct
   include P

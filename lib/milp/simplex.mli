@@ -16,8 +16,10 @@ type outcome = {
   iterations : int;
 }
 
-val solve : ?max_iters:int -> Lp.t -> outcome
-(** One-shot solve of the LP relaxation. *)
+val solve : ?max_iters:int -> ?trace:Rfloor_trace.t -> Lp.t -> outcome
+(** One-shot solve of the LP relaxation.  [trace] (default
+    {!Rfloor_trace.disabled}) brackets the solve in an [Lp_solve]
+    span. *)
 
 module Core : sig
   (** Preprocessed problem reusable across many solves that differ only

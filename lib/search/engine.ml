@@ -5,7 +5,7 @@ type options = {
   node_limit : int option;
   optimize_wirelength : bool;
   region_order : string list option;
-  log : (string -> unit) option;
+  trace : Rfloor_trace.t;
 }
 
 let default_options =
@@ -14,7 +14,7 @@ let default_options =
     node_limit = None;
     optimize_wirelength = true;
     region_order = None;
-    log = None;
+    trace = Rfloor_trace.disabled;
   }
 
 type outcome = {
@@ -139,6 +139,7 @@ let coverage_of part rect =
   cov
 
 let search ~options ~mode part (spec : Spec.t) entities =
+  Rfloor_trace.span options.trace Rfloor_trace.Event.Branch_bound @@ fun () ->
   let t0 = Sys.time () in
   let nodes = ref 0 in
   let stopped = ref false in
@@ -228,9 +229,8 @@ let search ~options ~mode part (spec : Spec.t) entities =
         best_waste := waste;
         best_wl := wl;
         best_plan := Some plan;
-        (match options.log with
-        | Some f -> f (Printf.sprintf "incumbent: %d wasted frames" waste)
-        | None -> ());
+        Rfloor_trace.incumbent options.trace ~worker:0
+          ~objective:(float_of_int waste) ~node:!nodes;
         if stop_at_first then raise Found_one
       end
     | Min_wirelength _ ->
@@ -238,9 +238,8 @@ let search ~options ~mode part (spec : Spec.t) entities =
         best_wl := wl;
         best_waste := min !best_waste waste;
         best_plan := Some plan;
-        match options.log with
-        | Some f -> f (Printf.sprintf "incumbent: wirelength %.1f" wl)
-        | None -> ()
+        Rfloor_trace.incumbent options.trace ~worker:0 ~objective:wl
+          ~node:!nodes
       end
   in
   let waste_cap () =
@@ -375,6 +374,8 @@ let search ~options ~mode part (spec : Spec.t) entities =
     | Found_one -> ()
   end;
   let elapsed = Sys.time () -. t0 in
+  Rfloor_trace.add_worker_totals options.trace ~worker:0 ~nodes:!nodes
+    ~iterations:0;
   ( !best_plan,
     (if !best_waste = max_int then None else Some !best_waste),
     (if !best_wl = infinity then None else Some !best_wl),
@@ -406,6 +407,7 @@ let solve ?(options = default_options) part spec =
   | None, _ | _, None ->
     finish part spec (plan1, waste1, None, opt1, nodes1, el1)
   | Some _, Some w when options.optimize_wirelength && opt1 ->
+    Rfloor_trace.restart options.trace "wirelength";
     let plan2, waste2, wl2, opt2, nodes2, el2 =
       search ~options ~mode:(Min_wirelength { waste_budget = w }) part spec
         entities

@@ -19,7 +19,10 @@ type options = {
   optimize_wirelength : bool;  (** run the second, wire-length phase *)
   region_order : string list option;
       (** placement order; default: decreasing frame demand *)
-  log : (string -> unit) option;
+  trace : Rfloor_trace.t;
+      (** Incumbent/restart events and per-stage [Branch_bound] spans;
+          default {!Rfloor_trace.disabled}.  Per-node events are not
+          emitted — this engine explores millions of tiny nodes. *)
 }
 
 val default_options : options

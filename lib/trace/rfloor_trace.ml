@@ -1,0 +1,791 @@
+(* Structured solver observability: typed events, pluggable sinks,
+   atomic metrics.  See rfloor_trace.mli for the cost model. *)
+
+let clock_ns () = Monotonic_clock.now ()
+
+(* ------------------------------------------------------------------ *)
+(* Events *)
+
+module Event = struct
+  type phase =
+    | Build
+    | Presolve
+    | Lint
+    | Root_lp
+    | Branch_bound
+    | Decode
+    | Audit
+    | Lp_solve
+
+  type payload =
+    | Span_start of phase
+    | Span_end of phase
+    | Node_explored of { depth : int; bound : float }
+    | Incumbent of { objective : float; node : int }
+    | Cut_added of { rounds : int; cuts : int }
+    | Steal of { tasks : int }
+    | Worker_idle
+    | Restart of { stage : string }
+    | Warning of string
+    | Message of string
+
+  type t = { at : float; worker : int; payload : payload }
+
+  let phases =
+    [ Build; Presolve; Lint; Root_lp; Branch_bound; Decode; Audit; Lp_solve ]
+
+  let phase_name = function
+    | Build -> "build"
+    | Presolve -> "presolve"
+    | Lint -> "lint"
+    | Root_lp -> "root_lp"
+    | Branch_bound -> "branch_bound"
+    | Decode -> "decode"
+    | Audit -> "audit"
+    | Lp_solve -> "lp_solve"
+
+  let phase_of_name s =
+    List.find_opt (fun p -> String.equal (phase_name p) s) phases
+
+  let name = function
+    | Span_start _ -> "span_start"
+    | Span_end _ -> "span_end"
+    | Node_explored _ -> "node"
+    | Incumbent _ -> "incumbent"
+    | Cut_added _ -> "cut"
+    | Steal _ -> "steal"
+    | Worker_idle -> "idle"
+    | Restart _ -> "restart"
+    | Warning _ -> "warning"
+    | Message _ -> "message"
+
+  let pp_payload ppf = function
+    | Span_start p -> Format.fprintf ppf "begin %s" (phase_name p)
+    | Span_end p -> Format.fprintf ppf "end %s" (phase_name p)
+    | Node_explored { depth; bound } ->
+      if Float.is_finite bound then
+        Format.fprintf ppf "node depth=%d bound=%.6g" depth bound
+      else Format.fprintf ppf "node depth=%d" depth
+    | Incumbent { objective; node } ->
+      Format.fprintf ppf "incumbent %.6f (node %d)" objective node
+    | Cut_added { rounds; cuts } ->
+      Format.fprintf ppf "gomory: %d root cuts (%d rounds)" cuts rounds
+    | Steal { tasks } -> Format.fprintf ppf "donated %d open subproblems" tasks
+    | Worker_idle -> Format.fprintf ppf "idle"
+    | Restart { stage } -> Format.fprintf ppf "restart: %s" stage
+    | Warning msg -> Format.fprintf ppf "warning: %s" msg
+    | Message msg -> Format.fprintf ppf "%s" msg
+
+  let pp ppf e =
+    Format.fprintf ppf "[w%d +%.4fs] %a" e.worker e.at pp_payload e.payload
+
+  (* ---- JSONL ---- *)
+
+  let json_escape s =
+    let b = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let json_float f =
+    if Float.is_finite f then Printf.sprintf "%.9g" f else "null"
+
+  let to_json e =
+    let common = Printf.sprintf "\"t\":%.6f,\"w\":%d" e.at e.worker in
+    let tail =
+      match e.payload with
+      | Span_start p | Span_end p ->
+        Printf.sprintf ",\"phase\":\"%s\"" (phase_name p)
+      | Node_explored { depth; bound } ->
+        Printf.sprintf ",\"depth\":%d,\"bound\":%s" depth (json_float bound)
+      | Incumbent { objective; node } ->
+        Printf.sprintf ",\"obj\":%s,\"node\":%d" (json_float objective) node
+      | Cut_added { rounds; cuts } ->
+        Printf.sprintf ",\"rounds\":%d,\"cuts\":%d" rounds cuts
+      | Steal { tasks } -> Printf.sprintf ",\"tasks\":%d" tasks
+      | Worker_idle -> ""
+      | Restart { stage } -> Printf.sprintf ",\"stage\":\"%s\"" (json_escape stage)
+      | Warning msg | Message msg ->
+        Printf.sprintf ",\"msg\":\"%s\"" (json_escape msg)
+    in
+    Printf.sprintf "{%s,\"ev\":\"%s\"%s}" common (name e.payload) tail
+
+  (* ---- minimal JSON-object parser for validation ---- *)
+
+  type jv = Num of float | Str of string | Null | Bool of bool
+
+  exception Bad of string
+
+  let parse_object line =
+    let n = String.length line in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some line.[!pos] else None in
+    let skip_ws () =
+      while
+        !pos < n
+        && (match line.[!pos] with ' ' | '\t' | '\r' | '\n' -> true | _ -> false)
+      do
+        incr pos
+      done
+    in
+    let expect c =
+      skip_ws ();
+      match peek () with
+      | Some c' when c' = c -> incr pos
+      | Some c' -> raise (Bad (Printf.sprintf "expected %c, got %c" c c'))
+      | None -> raise (Bad (Printf.sprintf "expected %c, got end of line" c))
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then raise (Bad "unterminated string");
+        let c = line.[!pos] in
+        incr pos;
+        if c = '"' then Buffer.contents b
+        else if c = '\\' then begin
+          if !pos >= n then raise (Bad "dangling escape");
+          let e = line.[!pos] in
+          incr pos;
+          (match e with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 'r' -> Buffer.add_char b '\r'
+          | 't' -> Buffer.add_char b '\t'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+            if !pos + 4 > n then raise (Bad "truncated \\u escape");
+            let hex = String.sub line !pos 4 in
+            pos := !pos + 4;
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> raise (Bad "bad \\u escape")
+            in
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else Buffer.add_char b '?'
+          | _ -> raise (Bad "unknown escape"));
+          go ()
+        end
+        else begin
+          Buffer.add_char b c;
+          go ()
+        end
+      in
+      go ()
+    in
+    let parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some '"' -> Str (parse_string ())
+      | Some ('t' | 'f' | 'n') ->
+        let kw k v =
+          let l = String.length k in
+          if !pos + l <= n && String.sub line !pos l = k then begin
+            pos := !pos + l;
+            v
+          end
+          else raise (Bad "bad literal")
+        in
+        if line.[!pos] = 't' then kw "true" (Bool true)
+        else if line.[!pos] = 'f' then kw "false" (Bool false)
+        else kw "null" Null
+      | Some _ ->
+        let start = !pos in
+        while
+          !pos < n
+          &&
+          match line.[!pos] with
+          | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+          | _ -> false
+        do
+          incr pos
+        done;
+        if !pos = start then raise (Bad "expected a value");
+        let s = String.sub line start (!pos - start) in
+        (match float_of_string_opt s with
+        | Some f -> Num f
+        | None -> raise (Bad (Printf.sprintf "bad number %S" s)))
+      | None -> raise (Bad "expected a value, got end of line")
+    in
+    try
+      expect '{';
+      skip_ws ();
+      let fields = ref [] in
+      (match peek () with
+      | Some '}' -> incr pos
+      | _ ->
+        let rec pairs () =
+          skip_ws ();
+          let k = parse_string () in
+          expect ':';
+          let v = parse_value () in
+          if List.mem_assoc k !fields then
+            raise (Bad (Printf.sprintf "duplicate field %S" k));
+          fields := (k, v) :: !fields;
+          skip_ws ();
+          match peek () with
+          | Some ',' -> incr pos; pairs ()
+          | Some '}' -> incr pos
+          | _ -> raise (Bad "expected , or }")
+        in
+        pairs ());
+      skip_ws ();
+      if !pos <> n then raise (Bad "trailing characters after object");
+      Ok (List.rev !fields)
+    with Bad m -> Error m
+
+  let of_json line =
+    match parse_object line with
+    | Error m -> Error m
+    | Ok fields -> (
+      let take seen k =
+        seen := k :: !seen;
+        List.assoc_opt k fields
+      in
+      let seen = ref [] in
+      let num k =
+        match take seen k with
+        | Some (Num f) -> Ok f
+        | Some _ -> Error (Printf.sprintf "field %S must be a number" k)
+        | None -> Error (Printf.sprintf "missing field %S" k)
+      in
+      let int_ k =
+        match num k with
+        | Error _ as e -> e
+        | Ok f ->
+          if Float.is_integer f then Ok (int_of_float f)
+          else Error (Printf.sprintf "field %S must be an integer" k)
+      in
+      let str k =
+        match take seen k with
+        | Some (Str s) -> Ok s
+        | Some _ -> Error (Printf.sprintf "field %S must be a string" k)
+        | None -> Error (Printf.sprintf "missing field %S" k)
+      in
+      let num_or_null k =
+        match take seen k with
+        | Some (Num f) -> Ok f
+        | Some Null -> Ok Float.nan
+        | Some _ -> Error (Printf.sprintf "field %S must be a number or null" k)
+        | None -> Error (Printf.sprintf "missing field %S" k)
+      in
+      let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+      let* at = num "t" in
+      let* worker = int_ "w" in
+      let* ev = str "ev" in
+      let* payload =
+        match ev with
+        | "span_start" | "span_end" ->
+          let* p = str "phase" in
+          (match phase_of_name p with
+          | None -> Error (Printf.sprintf "unknown phase %S" p)
+          | Some ph ->
+            Ok (if ev = "span_start" then Span_start ph else Span_end ph))
+        | "node" ->
+          let* depth = int_ "depth" in
+          let* bound = num_or_null "bound" in
+          if depth < 0 then Error "negative depth"
+          else Ok (Node_explored { depth; bound })
+        | "incumbent" ->
+          let* objective = num "obj" in
+          let* node = int_ "node" in
+          Ok (Incumbent { objective; node })
+        | "cut" ->
+          let* rounds = int_ "rounds" in
+          let* cuts = int_ "cuts" in
+          Ok (Cut_added { rounds; cuts })
+        | "steal" ->
+          let* tasks = int_ "tasks" in
+          if tasks < 1 then Error "steal with no tasks"
+          else Ok (Steal { tasks })
+        | "idle" -> Ok Worker_idle
+        | "restart" ->
+          let* stage = str "stage" in
+          Ok (Restart { stage })
+        | "warning" ->
+          let* msg = str "msg" in
+          Ok (Warning msg)
+        | "message" ->
+          let* msg = str "msg" in
+          Ok (Message msg)
+        | ev -> Error (Printf.sprintf "unknown event tag %S" ev)
+      in
+      let unknown =
+        List.filter (fun (k, _) -> not (List.mem k !seen)) fields
+      in
+      match unknown with
+      | (k, _) :: _ -> Error (Printf.sprintf "unknown field %S" k)
+      | [] ->
+        if at < 0. then Error "negative timestamp"
+        else if worker < 0 then Error "negative worker id"
+        else Ok { at; worker; payload })
+end
+
+(* ------------------------------------------------------------------ *)
+(* Sinks *)
+
+type sink = Null | Fn of { f : Event.t -> unit; m : Mutex.t }
+
+module Sink = struct
+  type t = sink
+
+  let null = Null
+  let is_null = function Null -> true | Fn _ -> false
+
+  let of_fn f = Fn { f; m = Mutex.create () }
+
+  let send sink e =
+    match sink with
+    | Null -> ()
+    | Fn { f; m } ->
+      Mutex.lock m;
+      Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> f e)
+
+  let of_log_fn ?(progress_every = 500) log =
+    let nodes_seen = ref 0 in
+    of_fn (fun (e : Event.t) ->
+        match e.Event.payload with
+        | Event.Node_explored _ ->
+          incr nodes_seen;
+          if !nodes_seen mod progress_every = 0 then
+            log (Format.asprintf "%a" Event.pp e)
+        | _ -> log (Format.asprintf "%a" Event.pp e))
+
+  let text ?progress_every oc =
+    of_log_fn ?progress_every (fun line ->
+        output_string oc line;
+        output_char oc '\n';
+        flush oc)
+
+  let jsonl oc =
+    of_fn (fun e ->
+        output_string oc (Event.to_json e);
+        output_char oc '\n';
+        flush oc)
+
+  let jsonl_file path =
+    let oc = open_out path in
+    (jsonl oc, fun () -> close_out oc)
+
+  let tee a b =
+    match (a, b) with
+    | Null, s | s, Null -> s
+    | _ -> of_fn (fun e -> send a e; send b e)
+end
+
+module Ring = struct
+  type t = {
+    cap : int;
+    buf : Event.t option array;
+    mutable next : int;  (* total events ever seen *)
+    m : Mutex.t;
+  }
+
+  let create ?(capacity = 65536) () =
+    { cap = max 1 capacity; buf = Array.make (max 1 capacity) None;
+      next = 0; m = Mutex.create () }
+
+  let sink r =
+    Sink.of_fn (fun e ->
+        Mutex.lock r.m;
+        r.buf.(r.next mod r.cap) <- Some e;
+        r.next <- r.next + 1;
+        Mutex.unlock r.m)
+
+  let events r =
+    Mutex.lock r.m;
+    let total = r.next in
+    let kept = min total r.cap in
+    let out =
+      List.init kept (fun i ->
+          Option.get r.buf.((total - kept + i) mod r.cap))
+    in
+    Mutex.unlock r.m;
+    out
+
+  let dropped r =
+    Mutex.lock r.m;
+    let d = max 0 (r.next - r.cap) in
+    Mutex.unlock r.m;
+    d
+
+  let clear r =
+    Mutex.lock r.m;
+    Array.fill r.buf 0 r.cap None;
+    r.next <- 0;
+    Mutex.unlock r.m
+end
+
+(* ------------------------------------------------------------------ *)
+(* Metrics (internal) *)
+
+module Metrics = struct
+  let max_depth_bucket = 64
+
+  type t = {
+    incumbents : int Atomic.t;
+    cuts : int Atomic.t;
+    steal_attempts : int Atomic.t;
+    steal_successes : int Atomic.t;
+    tasks_donated : int Atomic.t;
+    idle_events : int Atomic.t;
+    restarts : int Atomic.t;
+    warnings : int Atomic.t;
+    m : Mutex.t;
+    (* phase -> (seconds, completed spans), kept in order of first use *)
+    mutable phases : (Event.phase * (float * int)) list;
+    (* worker -> (nodes, simplex iterations) *)
+    mutable workers : (int * (int * int)) list;
+    depth_hist : int Atomic.t array;
+  }
+
+  let create () =
+    {
+      incumbents = Atomic.make 0;
+      cuts = Atomic.make 0;
+      steal_attempts = Atomic.make 0;
+      steal_successes = Atomic.make 0;
+      tasks_donated = Atomic.make 0;
+      idle_events = Atomic.make 0;
+      restarts = Atomic.make 0;
+      warnings = Atomic.make 0;
+      m = Mutex.create ();
+      phases = [];
+      workers = [];
+      depth_hist = Array.init max_depth_bucket (fun _ -> Atomic.make 0);
+    }
+
+  let add_phase t phase dt =
+    Mutex.lock t.m;
+    (match List.assoc_opt phase t.phases with
+    | Some (s, c) ->
+      t.phases <-
+        List.map
+          (fun (p, v) -> if p = phase then (p, (s +. dt, c + 1)) else (p, v))
+          t.phases
+    | None -> t.phases <- t.phases @ [ (phase, (dt, 1)) ]);
+    Mutex.unlock t.m
+
+  let add_worker t worker nodes iters =
+    Mutex.lock t.m;
+    (match List.assoc_opt worker t.workers with
+    | Some (n, i) ->
+      t.workers <-
+        List.map
+          (fun (w, v) ->
+            if w = worker then (w, (n + nodes, i + iters)) else (w, v))
+          t.workers
+    | None -> t.workers <- (worker, (nodes, iters)) :: t.workers);
+    Mutex.unlock t.m
+
+  let bump_depth t depth =
+    let b = if depth < 0 then 0 else min depth (max_depth_bucket - 1) in
+    Atomic.incr t.depth_hist.(b)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Reports *)
+
+module Report = struct
+  type phase_stat = {
+    ps_phase : Event.phase;
+    ps_seconds : float;
+    ps_count : int;
+  }
+
+  type worker_stat = { ws_worker : int; ws_nodes : int; ws_iterations : int }
+
+  type t = {
+    nodes : int;
+    simplex_iterations : int;
+    elapsed : float;
+    incumbents : int;
+    cuts : int;
+    steal_attempts : int;
+    steal_successes : int;
+    tasks_donated : int;
+    idle_events : int;
+    restarts : int;
+    warnings : int;
+    phases : phase_stat list;
+    workers : worker_stat list;
+    depth_histogram : (int * int) list;
+  }
+
+  let empty =
+    {
+      nodes = 0;
+      simplex_iterations = 0;
+      elapsed = 0.;
+      incumbents = 0;
+      cuts = 0;
+      steal_attempts = 0;
+      steal_successes = 0;
+      tasks_donated = 0;
+      idle_events = 0;
+      restarts = 0;
+      warnings = 0;
+      phases = [];
+      workers = [];
+      depth_histogram = [];
+    }
+
+  let pp ppf r =
+    Format.fprintf ppf
+      "nodes %d  simplex iterations %d  elapsed %.3fs@.incumbents %d  cuts %d  \
+       steals %d/%d (tasks %d)  idle %d  restarts %d  warnings %d@."
+      r.nodes r.simplex_iterations r.elapsed r.incumbents r.cuts
+      r.steal_successes r.steal_attempts r.tasks_donated r.idle_events
+      r.restarts r.warnings;
+    if r.phases <> [] then begin
+      Format.fprintf ppf "phase breakdown:@.";
+      List.iter
+        (fun p ->
+          Format.fprintf ppf "  %-13s %9.4fs  (%d span%s)@."
+            (Event.phase_name p.ps_phase)
+            p.ps_seconds p.ps_count
+            (if p.ps_count = 1 then "" else "s"))
+        r.phases
+    end;
+    if r.workers <> [] then begin
+      Format.fprintf ppf "per-worker:@.";
+      List.iter
+        (fun w ->
+          Format.fprintf ppf "  w%-3d nodes %8d  iterations %10d@." w.ws_worker
+            w.ws_nodes w.ws_iterations)
+        r.workers
+    end;
+    if r.depth_histogram <> [] then begin
+      Format.fprintf ppf "node depth histogram:";
+      List.iter
+        (fun (d, c) -> Format.fprintf ppf " %d:%d" d c)
+        r.depth_histogram;
+      Format.fprintf ppf "@."
+    end
+
+  let to_json r =
+    let b = Buffer.create 512 in
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\"nodes\":%d,\"simplex_iterations\":%d,\"elapsed\":%.6f,\"incumbents\":%d,\"cuts\":%d,\"steal_attempts\":%d,\"steal_successes\":%d,\"tasks_donated\":%d,\"idle_events\":%d,\"restarts\":%d,\"warnings\":%d"
+         r.nodes r.simplex_iterations r.elapsed r.incumbents r.cuts
+         r.steal_attempts r.steal_successes r.tasks_donated r.idle_events
+         r.restarts r.warnings);
+    Buffer.add_string b ",\"phases\":[";
+    List.iteri
+      (fun i p ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf "{\"phase\":\"%s\",\"seconds\":%.6f,\"count\":%d}"
+             (Event.phase_name p.ps_phase)
+             p.ps_seconds p.ps_count))
+      r.phases;
+    Buffer.add_string b "],\"workers\":[";
+    List.iteri
+      (fun i w ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf "{\"worker\":%d,\"nodes\":%d,\"iterations\":%d}"
+             w.ws_worker w.ws_nodes w.ws_iterations))
+      r.workers;
+    Buffer.add_string b "],\"depth_histogram\":[";
+    List.iteri
+      (fun i (d, c) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "[%d,%d]" d c))
+      r.depth_histogram;
+    Buffer.add_string b "]}";
+    Buffer.contents b
+end
+
+(* ------------------------------------------------------------------ *)
+(* Tracers *)
+
+type t = { t_live : bool; t_sink : sink; t_epoch : int64; t_m : Metrics.t }
+
+let disabled =
+  { t_live = false; t_sink = Null; t_epoch = 0L; t_m = Metrics.create () }
+
+let create ?(sink = Null) () =
+  { t_live = true; t_sink = sink; t_epoch = clock_ns (); t_m = Metrics.create () }
+
+let live t = t.t_live
+let enabled t = t.t_live && not (Sink.is_null t.t_sink)
+
+let now t =
+  if not t.t_live then 0.
+  else Int64.to_float (Int64.sub (clock_ns ()) t.t_epoch) *. 1e-9
+
+let send t worker payload =
+  Sink.send t.t_sink { Event.at = now t; worker; payload }
+
+let emit t ?(worker = 0) payload = if enabled t then send t worker payload
+
+let span t ?(worker = 0) phase f =
+  if not t.t_live then f ()
+  else begin
+    let t0 = now t in
+    if enabled t then send t worker (Event.Span_start phase);
+    Fun.protect
+      ~finally:(fun () ->
+        Metrics.add_phase t.t_m phase (now t -. t0);
+        if enabled t then send t worker (Event.Span_end phase))
+      f
+  end
+
+let messagef t ?(worker = 0) fmt =
+  Format.kasprintf
+    (fun msg -> if enabled t then send t worker (Event.Message msg))
+    fmt
+
+let warn t ?(worker = 0) msg =
+  if t.t_live then begin
+    Atomic.incr t.t_m.Metrics.warnings;
+    if enabled t then send t worker (Event.Warning msg)
+  end
+
+let node_explored t ~worker ~depth ~bound =
+  if enabled t then begin
+    Metrics.bump_depth t.t_m depth;
+    send t worker (Event.Node_explored { depth; bound })
+  end
+
+let incumbent t ~worker ~objective ~node =
+  if t.t_live then begin
+    Atomic.incr t.t_m.Metrics.incumbents;
+    if enabled t then send t worker (Event.Incumbent { objective; node })
+  end
+
+let cuts_added t ~worker ~rounds ~cuts =
+  if t.t_live && cuts > 0 then begin
+    ignore (Atomic.fetch_and_add t.t_m.Metrics.cuts cuts);
+    if enabled t then send t worker (Event.Cut_added { rounds; cuts })
+  end
+
+let steal t ~worker ~tasks =
+  if t.t_live && tasks > 0 then begin
+    ignore (Atomic.fetch_and_add t.t_m.Metrics.tasks_donated tasks);
+    if enabled t then send t worker (Event.Steal { tasks })
+  end
+
+let steal_attempt t ~success =
+  if t.t_live then begin
+    Atomic.incr t.t_m.Metrics.steal_attempts;
+    if success then Atomic.incr t.t_m.Metrics.steal_successes
+  end
+
+let worker_idle t ~worker =
+  if t.t_live then begin
+    Atomic.incr t.t_m.Metrics.idle_events;
+    if enabled t then send t worker Event.Worker_idle
+  end
+
+let restart t ?(worker = 0) stage =
+  if t.t_live then begin
+    Atomic.incr t.t_m.Metrics.restarts;
+    if enabled t then send t worker (Event.Restart { stage })
+  end
+
+let add_worker_totals t ~worker ~nodes ~iterations =
+  if t.t_live then Metrics.add_worker t.t_m worker nodes iterations
+
+let report t ~nodes ~simplex_iterations ~elapsed =
+  let m = t.t_m in
+  Mutex.lock m.Metrics.m;
+  let phases =
+    List.map
+      (fun (p, (s, c)) ->
+        { Report.ps_phase = p; ps_seconds = s; ps_count = c })
+      m.Metrics.phases
+  in
+  let workers =
+    List.map
+      (fun (w, (n, i)) ->
+        { Report.ws_worker = w; ws_nodes = n; ws_iterations = i })
+      (List.sort compare m.Metrics.workers)
+  in
+  Mutex.unlock m.Metrics.m;
+  let depth_histogram =
+    let out = ref [] in
+    for b = Metrics.max_depth_bucket - 1 downto 0 do
+      let c = Atomic.get m.Metrics.depth_hist.(b) in
+      if c > 0 then out := (b, c) :: !out
+    done;
+    !out
+  in
+  {
+    Report.nodes;
+    simplex_iterations;
+    elapsed;
+    incumbents = Atomic.get m.Metrics.incumbents;
+    cuts = Atomic.get m.Metrics.cuts;
+    steal_attempts = Atomic.get m.Metrics.steal_attempts;
+    steal_successes = Atomic.get m.Metrics.steal_successes;
+    tasks_donated = Atomic.get m.Metrics.tasks_donated;
+    idle_events = Atomic.get m.Metrics.idle_events;
+    restarts = Atomic.get m.Metrics.restarts;
+    warnings = Atomic.get m.Metrics.warnings;
+    phases;
+    workers;
+    depth_histogram;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSONL validation *)
+
+let validate_jsonl text =
+  let lines = String.split_on_char '\n' text in
+  let open_spans = Hashtbl.create 16 in
+  let count = ref 0 in
+  let err = ref None in
+  List.iteri
+    (fun i line ->
+      if !err = None && String.trim line <> "" then
+        match Event.of_json (String.trim line) with
+        | Error m -> err := Some (Printf.sprintf "line %d: %s" (i + 1) m)
+        | Ok e -> (
+          incr count;
+          match e.Event.payload with
+          | Event.Span_start p ->
+            let k = (e.Event.worker, p) in
+            Hashtbl.replace open_spans k
+              (1 + Option.value ~default:0 (Hashtbl.find_opt open_spans k))
+          | Event.Span_end p -> (
+            let k = (e.Event.worker, p) in
+            match Hashtbl.find_opt open_spans k with
+            | Some n when n > 0 -> Hashtbl.replace open_spans k (n - 1)
+            | _ ->
+              err :=
+                Some
+                  (Printf.sprintf
+                     "line %d: span_end %s on worker %d without a matching \
+                      span_start"
+                     (i + 1) (Event.phase_name p) e.Event.worker))
+          | _ -> ()))
+    lines;
+  match !err with
+  | Some m -> Error m
+  | None ->
+    let unbalanced = ref None in
+    Hashtbl.iter
+      (fun (w, p) n ->
+        if n <> 0 && !unbalanced = None then
+          unbalanced :=
+            Some
+              (Printf.sprintf "unclosed span %s on worker %d"
+                 (Event.phase_name p) w))
+      open_spans;
+    (match !unbalanced with Some m -> Error m | None -> Ok !count)

@@ -130,9 +130,10 @@ let test_partition_fully_forbidden_column () =
     Grid.of_strings ~forbidden:[ rect 2 1 1 2 ] [ "cb"; "cb" ]
   in
   match Partition.columnar g with
-  | Error msg ->
-    Alcotest.(check bool) "mentions column" true
-      (String.length msg > 0)
+  | Error d ->
+    Alcotest.(check string) "stable code" "RF010" d.Rfloor_diag.Diagnostic.code;
+    Alcotest.(check bool) "has a message" true
+      (String.length d.Rfloor_diag.Diagnostic.message > 0)
   | Ok _ -> Alcotest.fail "expected failure: column entirely forbidden"
 
 let test_partition_forbidden_rescue () =
@@ -146,7 +147,7 @@ let test_partition_forbidden_rescue () =
   match Partition.columnar g with
   | Ok part ->
     Alcotest.(check int) "one portion" 1 (Array.length part.Partition.portions)
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail e.Rfloor_diag.Diagnostic.message
 
 let test_partition_virtex7 () =
   let part = Partition.columnar_exn Devices.virtex7_small in

@@ -171,6 +171,88 @@ let test_parallel_elapsed_soft () =
       (Domain.recommended_domain_count ());
   Alcotest.(check bool) "parallel elapsed is wall time >= 0" true (par.Bb.elapsed >= 0.)
 
+(* Tentpole: the event stream must cohere with the solver's own
+   counters.  For workers in {1, 2, 4}, capture every event in a ring
+   buffer and check that (a) Node_explored events sum to result.nodes,
+   (b) per-worker event counts match the report's per-worker totals,
+   (c) every span opened by a worker is closed, and (d) the report's
+   headline totals equal the legacy result fields. *)
+let test_trace_coherence () =
+  let seed = G.case_seed (G.base_seed ()) 4_000 in
+  let lp = (G.milp_case ~seed).G.c_lp in
+  List.iter
+    (fun workers ->
+      let ring = Rfloor_trace.Ring.create () in
+      let tracer = Rfloor_trace.create ~sink:(Rfloor_trace.Ring.sink ring) () in
+      let opts =
+        { Bb.default_options with trace = tracer; node_limit = Some 2_000 }
+      in
+      let r = Parallel_bb.solve ~options:opts ~workers lp in
+      let report =
+        Rfloor_trace.report tracer ~nodes:r.Bb.nodes
+          ~simplex_iterations:r.Bb.simplex_iterations ~elapsed:r.Bb.elapsed
+      in
+      let events = Rfloor_trace.Ring.events ring in
+      Alcotest.(check int)
+        (Printf.sprintf "no dropped events (%d workers)" workers)
+        0
+        (Rfloor_trace.Ring.dropped ring);
+      (* (a) node events vs solver counter *)
+      let node_events_of w =
+        List.length
+          (List.filter
+             (fun (e : Rfloor_trace.Event.t) ->
+               (w = None || Some e.Rfloor_trace.Event.worker = w)
+               &&
+               match e.Rfloor_trace.Event.payload with
+               | Rfloor_trace.Event.Node_explored _ -> true
+               | _ -> false)
+             events)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "node events = result.nodes (%d workers)" workers)
+        r.Bb.nodes (node_events_of None);
+      (* (b) per-worker report totals vs per-worker event counts *)
+      List.iter
+        (fun (ws : Rfloor_trace.Report.worker_stat) ->
+          Alcotest.(check int)
+            (Printf.sprintf "worker %d node events (%d workers)"
+               ws.Rfloor_trace.Report.ws_worker workers)
+            ws.Rfloor_trace.Report.ws_nodes
+            (node_events_of (Some ws.Rfloor_trace.Report.ws_worker)))
+        report.Rfloor_trace.Report.workers;
+      (* (c) span balance per (worker, phase) *)
+      let spans = Hashtbl.create 16 in
+      List.iter
+        (fun (e : Rfloor_trace.Event.t) ->
+          let bump k d =
+            Hashtbl.replace spans k
+              (d + Option.value ~default:0 (Hashtbl.find_opt spans k))
+          in
+          match e.Rfloor_trace.Event.payload with
+          | Rfloor_trace.Event.Span_start p ->
+            bump (e.Rfloor_trace.Event.worker, p) 1
+          | Rfloor_trace.Event.Span_end p ->
+            bump (e.Rfloor_trace.Event.worker, p) (-1)
+          | _ -> ())
+        events;
+      Hashtbl.iter
+        (fun (w, p) depth ->
+          if depth <> 0 then
+            Alcotest.failf "worker %d: unbalanced %s spans (%+d) with %d workers"
+              w
+              (Rfloor_trace.Event.phase_name p)
+              depth workers)
+        spans;
+      (* (d) report totals = legacy result fields *)
+      Alcotest.(check int) "report.nodes" r.Bb.nodes
+        report.Rfloor_trace.Report.nodes;
+      Alcotest.(check int) "report.simplex_iterations" r.Bb.simplex_iterations
+        report.Rfloor_trace.Report.simplex_iterations;
+      Alcotest.(check (float 0.)) "report.elapsed" r.Bb.elapsed
+        report.Rfloor_trace.Report.elapsed)
+    [ 1; 2; 4 ]
+
 let suites =
   [
     ( "differential",
@@ -185,5 +267,7 @@ let suites =
           test_random_floorplans_audit;
         Alcotest.test_case "parallel elapsed vs sequential (soft)" `Quick
           test_parallel_elapsed_soft;
+        Alcotest.test_case "trace events cohere with solver counters" `Quick
+          test_trace_coherence;
       ] );
   ]

@@ -10,6 +10,13 @@ open Milp
 module G = Generators
 module Bb = Branch_bound
 
+(* [Mps.parse] reports structured diagnostics; render them to strings so
+   the helpers below stay generic over both parsers. *)
+let mps_parse s =
+  Result.map_error
+    (Format.asprintf "%a" Rfloor_diag.Diagnostic.pp)
+    (Mps.parse s)
+
 let fixpoint ~fmt ~to_string ~parse seed lp =
   let s1 = to_string lp in
   match parse s1 with
@@ -45,7 +52,7 @@ let test_mps_fixpoint () =
   let base = G.base_seed () in
   for i = 0 to 99 do
     let seed = G.case_seed base (6_000 + i) in
-    fixpoint ~fmt:"MPS" ~to_string:Mps.to_string ~parse:Mps.parse seed
+    fixpoint ~fmt:"MPS" ~to_string:Mps.to_string ~parse:mps_parse seed
       (G.milp_case ~seed).G.c_lp
   done
 
@@ -71,7 +78,7 @@ let test_mps_preserves_optimum () =
   let base = G.base_seed () in
   for i = 0 to 39 do
     let seed = G.case_seed base (7_000 + i) in
-    preserves_optimum ~fmt:"MPS" ~to_string:Mps.to_string ~parse:Mps.parse seed
+    preserves_optimum ~fmt:"MPS" ~to_string:Mps.to_string ~parse:mps_parse seed
       (G.milp_case ~seed).G.c_lp
   done
 
@@ -80,7 +87,7 @@ let test_mps_objective_constant () =
   let x = Lp.add_var lp ~name:"x" ~ub:4. ~kind:Lp.Integer () in
   Lp.add_constr lp ~name:"r" [ (1., x) ] Lp.Ge 1.;
   Lp.set_objective lp Lp.Minimize ~constant:2.5 [ (3., x) ];
-  match Mps.parse (Mps.to_string lp) with
+  match mps_parse (Mps.to_string lp) with
   | Error m -> Alcotest.failf "objective-constant round trip failed: %s" m
   | Ok lp2 ->
     Alcotest.(check (float 1e-9))

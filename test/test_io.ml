@@ -2,6 +2,8 @@
 
 open Device
 
+let fail_diag d = Alcotest.fail (Format.asprintf "%a" Rfloor_diag.Diagnostic.pp d)
+
 let device_text =
   "name: demo\n# a comment\nccbccdccbc\nccbccdccbc\nforbidden: 1 1 2 1\n"
 
@@ -11,7 +13,7 @@ let design_text =
 
 let test_parse_grid () =
   match Io.parse_grid device_text with
-  | Error e -> Alcotest.fail e
+  | Error e -> fail_diag e
   | Ok g ->
     Alcotest.(check string) "name" "demo" (Grid.name g);
     Alcotest.(check int) "width" 10 (Grid.width g);
@@ -22,10 +24,10 @@ let test_parse_grid () =
 
 let test_grid_roundtrip () =
   match Io.parse_grid device_text with
-  | Error e -> Alcotest.fail e
+  | Error e -> fail_diag e
   | Ok g -> (
     match Io.parse_grid (Io.grid_to_string g) with
-    | Error e -> Alcotest.fail e
+    | Error e -> fail_diag e
     | Ok g' ->
       Alcotest.(check string) "name" (Grid.name g) (Grid.name g');
       Alcotest.(check int) "width" (Grid.width g) (Grid.width g');
@@ -47,7 +49,7 @@ let test_parse_grid_errors () =
 
 let test_parse_spec () =
   match Io.parse_spec design_text with
-  | Error e -> Alcotest.fail e
+  | Error e -> fail_diag e
   | Ok s ->
     Alcotest.(check int) "regions" 2 (List.length s.Spec.regions);
     Alcotest.(check int) "nets" 1 (List.length s.Spec.nets);
@@ -64,10 +66,10 @@ let test_parse_spec () =
 
 let test_spec_roundtrip () =
   match Io.parse_spec design_text with
-  | Error e -> Alcotest.fail e
+  | Error e -> fail_diag e
   | Ok s -> (
     match Io.parse_spec (Io.spec_to_string s) with
-    | Error e -> Alcotest.fail e
+    | Error e -> fail_diag e
     | Ok s' ->
       Alcotest.(check (list string)) "regions" (Spec.region_names s)
         (Spec.region_names s');
@@ -99,7 +101,7 @@ let test_loaded_device_solves () =
     | Some plan ->
       Alcotest.(check bool) "valid" true (Floorplan.is_valid part soft_only plan)
     | None -> Alcotest.fail "no plan on loaded device")
-  | Error e, _ | _, Error e -> Alcotest.fail e
+  | Error e, _ | _, Error e -> fail_diag e
 
 let suites =
   [
