@@ -1,0 +1,140 @@
+(* Persistent bench artifacts: run a pinned instance set, collect one
+   Rfloor_metrics.Artifact entry per solve (headline numbers + the
+   trace report + a metrics snapshot) and write BENCH_<label>.json.
+
+   The "quick" set stays on the mini device on purpose: this is the
+   bench-smoke gate and must finish in seconds on a 1-core container.
+   The "fx70t" set exercises the paper's real device through the exact
+   combinatorial engine (the MILP root LP alone is far beyond any smoke
+   budget there) and is only for manual, long-budget runs. *)
+
+open Device
+module R = Rfloor_metrics.Registry
+module A = Rfloor_metrics.Artifact
+module Json = Rfloor_metrics.Json
+
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try String.trim (input_line ic) with End_of_file -> "" in
+    ignore (Unix.close_process_in ic);
+    if line = "" then "unknown" else line
+  with _ -> "unknown"
+
+let status_string = function
+  | Rfloor.Solver.Optimal -> "optimal"
+  | Rfloor.Solver.Feasible -> "feasible"
+  | Rfloor.Solver.Infeasible -> "infeasible"
+  | Rfloor.Solver.Unknown -> "unknown"
+
+let parse_report r =
+  match Json.parse (Rfloor_trace.Report.to_json r) with
+  | Ok j -> Some j
+  | Error _ -> None
+
+(* ---- quick set: mini-device toys, milliseconds each ---- *)
+
+let toy_spec =
+  lazy
+    (let r name demand = { Spec.r_name = name; demand } in
+     Spec.make ~name:"artifact-toy"
+       ~nets:(Spec.chain_nets ~weight:1. [ "R1"; "R2" ])
+       ~relocs:[ { Spec.target = "R1"; copies = 1; mode = Spec.Hard } ]
+       [
+         r "R1" [ (Resource.Clb, 2); (Resource.Bram, 1) ];
+         r "R2" [ (Resource.Clb, 2); (Resource.Dsp, 1) ];
+       ])
+
+let quick_entry ~budget ~workers (name, objective_mode) =
+  let part = Partition.columnar_exn Devices.mini in
+  let spec = Lazy.force toy_spec in
+  let metrics = R.create () in
+  let options =
+    Rfloor.Solver.Options.make ~time_limit:(Some budget) ~workers ~metrics
+      ~objective_mode ()
+  in
+  let o = Rfloor.Solver.solve ~options part spec in
+  {
+    A.e_instance = name;
+    e_status = status_string o.Rfloor.Solver.status;
+    e_objective = o.Rfloor.Solver.objective_value;
+    e_wasted = Option.map float_of_int o.Rfloor.Solver.wasted;
+    e_nodes = o.Rfloor.Solver.nodes;
+    e_simplex_iterations = o.Rfloor.Solver.simplex_iterations;
+    e_elapsed = o.Rfloor.Solver.elapsed;
+    e_report = parse_report o.Rfloor.Solver.report;
+    e_metrics = Some (R.to_json_value (R.snapshot metrics));
+  }
+
+let quick_entries ~budget ~workers () =
+  List.map
+    (quick_entry ~budget ~workers)
+    [
+      ("mini-toy-lex", Rfloor.Solver.Lexicographic);
+      ("mini-toy-feas", Rfloor.Solver.Feasibility_only);
+      ( "mini-toy-weighted",
+        Rfloor.Solver.Weighted Rfloor.Objective.default_weights );
+    ]
+
+(* ---- fx70t set: the paper's evaluation workload, exact engine ---- *)
+
+let fx70t_entry ~budget (name, spec) =
+  let part = Partition.columnar_exn Devices.virtex5_fx70t in
+  let opts =
+    { Search.Engine.default_options with time_limit = Some budget }
+  in
+  let r = Search.Engine.solve ~options:opts part spec in
+  {
+    A.e_instance = name;
+    e_status =
+      (match (r.Search.Engine.plan, r.Search.Engine.optimal) with
+      | Some _, true -> "optimal"
+      | Some _, false -> "feasible"
+      | None, true -> "infeasible"
+      | None, false -> "unknown");
+    e_objective = Option.map float_of_int r.Search.Engine.wasted;
+    e_wasted = Option.map float_of_int r.Search.Engine.wasted;
+    e_nodes = r.Search.Engine.nodes;
+    e_simplex_iterations = 0;
+    e_elapsed = r.Search.Engine.elapsed;
+    e_report = None;
+    e_metrics = None;
+  }
+
+let fx70t_entries ~budget () =
+  List.map
+    (fx70t_entry ~budget)
+    [ ("fx70t-sdr", Sdr.design); ("fx70t-sdr2", Sdr.sdr2) ]
+
+let run ~label ~dir ~instances () =
+  let budget = Reports.budget () in
+  let workers = Reports.workers () in
+  let entries =
+    match instances with
+    | `Quick -> quick_entries ~budget ~workers ()
+    | `Fx70t -> fx70t_entries ~budget ()
+  in
+  let artifact =
+    {
+      A.a_label = label;
+      a_created = Unix.time ();
+      a_git_rev = git_rev ();
+      a_workers = workers;
+      a_budget = budget;
+      a_entries = entries;
+    }
+  in
+  let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" label) in
+  let text = A.to_string artifact in
+  (* self-check before publishing: a malformed artifact would poison
+     every later bench-compare against it *)
+  (match A.validate text with
+  | Ok _ -> ()
+  | Error e -> failwith (Printf.sprintf "artifact failed self-validation: %s" e));
+  let oc = open_out path in
+  output_string oc text;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d entries, budget %gs, %d workers, rev %s)\n%!"
+    path (List.length entries) budget workers artifact.A.a_git_rev;
+  path

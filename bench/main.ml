@@ -5,6 +5,10 @@
      dune exec bench/main.exe -- --report X   -- one report (see --list)
      dune exec bench/main.exe -- --bench-only
      dune exec bench/main.exe -- --parallel-only
+     dune exec bench/main.exe -- --artifact LABEL [--artifact-dir D]
+                                 [--instances quick|fx70t]
+                                              -- write BENCH_LABEL.json for
+                                                 rfloor_cli bench-compare
      RFLOOR_BENCH_BUDGET=60 ...               -- per-solve budget, seconds
      RFLOOR_WORKERS=4 ...                     -- parallel B&B worker domains *)
 
@@ -116,11 +120,7 @@ let run_benches () =
    which degenerates to the same number under equal node counts. *)
 let run_parallel_speedup ?(trace_mode = `Off) () =
   let workers = max 4 (Milp.Parallel_bb.workers_from_env ()) in
-  let budget =
-    match Sys.getenv_opt "RFLOOR_BENCH_BUDGET" with
-    | Some s -> ( try float_of_string s with _ -> 30.)
-    | None -> 30.
-  in
+  let budget = Reports.budget () in
   Printf.printf
     "\n==== parallel branch-and-bound (FX70T relocation instance, sdr2) ====\n%!";
   let sink, close_sink =
@@ -214,22 +214,41 @@ let () =
     | [] -> `Off
   in
   let trace_mode = find_trace args in
+  let rec find_flag name = function
+    | f :: v :: _ when f = name -> Some v
+    | _ :: rest -> find_flag name rest
+    | [] -> None
+  in
   if List.mem "--list" args then
     List.iter print_endline Reports.names
   else
-    match find_report args with
-    | Some name -> (
-      match Reports.by_name name with
-      | Some f -> f ()
+    match find_flag "--artifact" args with
+    | Some label ->
+      let dir = Option.value ~default:"." (find_flag "--artifact-dir" args) in
+      let instances =
+        match find_flag "--instances" args with
+        | None | Some "quick" -> `Quick
+        | Some "fx70t" -> `Fx70t
+        | Some v ->
+          Printf.eprintf "bad --instances %s (expected quick or fx70t)\n" v;
+          exit 1
+      in
+      ignore (Artifacts.run ~label ~dir ~instances ())
+    | None -> (
+      match find_report args with
+      | Some name -> (
+        match Reports.by_name name with
+        | Some f -> f ()
+        | None ->
+          Printf.eprintf "unknown report %s; use --list\n" name;
+          exit 1)
       | None ->
-        Printf.eprintf "unknown report %s; use --list\n" name;
-        exit 1)
-    | None ->
-      if List.mem "--parallel-only" args then run_parallel_speedup ~trace_mode ()
-      else begin
-        if not (List.mem "--report-only" args) then begin
-          run_benches ();
+        if List.mem "--parallel-only" args then
           run_parallel_speedup ~trace_mode ()
-        end;
-        if not (List.mem "--bench-only" args) then Reports.all ()
-      end
+        else begin
+          if not (List.mem "--report-only" args) then begin
+            run_benches ();
+            run_parallel_speedup ~trace_mode ()
+          end;
+          if not (List.mem "--bench-only" args) then Reports.all ()
+        end)

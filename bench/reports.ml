@@ -5,10 +5,40 @@
 
 open Device
 
-let budget () =
-  match Sys.getenv_opt "RFLOOR_BENCH_BUDGET" with
-  | Some s -> ( try float_of_string s with _ -> 30.)
-  | None -> 30.
+(* Memoized so a malformed RFLOOR_BENCH_BUDGET warns once per process,
+   not once per report.  Mirrors Parallel_bb.workers_from_env: garbage
+   falls back to the default with a diagnostic, non-positive values
+   clamp to 1 second. *)
+let budget =
+  let memo = ref None in
+  fun () ->
+    match !memo with
+    | Some b -> b
+    | None ->
+      let module D = Rfloor_diag.Diagnostic in
+      let warn d = Format.eprintf "%a@." D.pp d in
+      let default = 30. in
+      let b =
+        match Sys.getenv_opt "RFLOOR_BENCH_BUDGET" with
+        | None -> default
+        | Some s -> (
+          let s = String.trim s in
+          match float_of_string_opt s with
+          | Some b when b > 0. && Float.is_finite b -> b
+          | Some b ->
+            warn
+              (D.diagf ~code:"RF304" D.Warning (D.Env "RFLOOR_BENCH_BUDGET")
+                 "%g is not a positive number of seconds; clamping to 1s" b);
+            1.
+          | None ->
+            warn
+              (D.diagf ~code:"RF304" D.Warning (D.Env "RFLOOR_BENCH_BUDGET")
+                 "%S does not parse as seconds; using the default %gs" s
+                 default);
+            default)
+      in
+      memo := Some b;
+      b
 
 (* RFLOOR_WORKERS parallelizes every MILP solve in the reports. *)
 let workers () = Milp.Parallel_bb.workers_from_env ()

@@ -13,13 +13,34 @@
 #                                instance with --trace jsonl, validate
 #                                the capture, and check the result is
 #                                byte-identical with tracing off
+#   bin/lint.sh bench-smoke   -- bench-artifact gate only: run the quick
+#                                (mini-device) bench set on a 2s budget,
+#                                validate the artifact and require a
+#                                clean self-compare.  Never touches the
+#                                FX70T instances.
 set -eu
 cd "$(dirname "$0")/.."
+
+# one trap for every gate's scratch space (a later trap would replace
+# an earlier one and leak its directory)
+tmp="" btmp=""
+trap 'rm -rf "$tmp" "$btmp"' EXIT
+
+bench_smoke() {
+    echo "== bench-smoke (quick instance set, 2s budget)"
+    btmp=$(mktemp -d)
+    RFLOOR_BENCH_BUDGET=2 dune exec bench/main.exe -- \
+        --artifact smoke --artifact-dir "$btmp" --instances quick
+    dune exec bin/rfloor_cli.exe -- trace-validate --kind bench \
+        "$btmp/BENCH_smoke.json"
+    dune exec bin/rfloor_cli.exe -- bench-compare \
+        "$btmp/BENCH_smoke.json" "$btmp/BENCH_smoke.json"
+    echo "bench-smoke passed (artifact valid, self-compare clean)"
+}
 
 trace_check() {
     echo "== trace-check (tiny pinned instance, milp, 2 workers)"
     tmp=$(mktemp -d)
-    trap 'rm -rf "$tmp"' EXIT
     cat > "$tmp/device.txt" <<'EOF'
 name: lintdev
 ccbccdccbc
@@ -60,6 +81,11 @@ if [ "${1:-}" = "trace-check" ]; then
     exit 0
 fi
 
+if [ "${1:-}" = "bench-smoke" ]; then
+    bench_smoke
+    exit 0
+fi
+
 if [ "${1:-}" = "test-matrix" ]; then
     seed="${RFLOOR_TEST_SEED:-2015}"
     for workers in 1 2 4; do
@@ -81,5 +107,7 @@ echo "== rfloor_cli lint (fx70t / sdr)"
 dune exec bin/rfloor_cli.exe -- lint --device fx70t --design sdr
 
 trace_check
+
+bench_smoke
 
 echo "lint.sh: all gates passed"

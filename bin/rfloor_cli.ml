@@ -133,6 +133,77 @@ let workers_arg =
           "Branch-and-bound worker domains for the MILP engines (default from \
            \\$(b,RFLOOR_WORKERS), else 1 = sequential).")
 
+(* --metrics off|text|prom:FILE|json:FILE *)
+type metrics_dest =
+  | Metrics_off
+  | Metrics_text
+  | Metrics_prom of string
+  | Metrics_json of string
+
+let metrics_arg =
+  let prefixed prefix s =
+    let n = String.length prefix in
+    if String.length s > n && String.sub s 0 n = prefix then
+      Some (String.sub s n (String.length s - n))
+    else None
+  in
+  let parse s =
+    match s with
+    | "off" -> Ok Metrics_off
+    | "text" -> Ok Metrics_text
+    | s -> (
+      match (prefixed "prom:" s, prefixed "json:" s) with
+      | Some f, _ -> Ok (Metrics_prom f)
+      | _, Some f -> Ok (Metrics_json f)
+      | None, None ->
+        Error (`Msg ("expected off, text, prom:FILE or json:FILE, got " ^ s)))
+  in
+  let print ppf = function
+    | Metrics_off -> Format.pp_print_string ppf "off"
+    | Metrics_text -> Format.pp_print_string ppf "text"
+    | Metrics_prom f -> Format.fprintf ppf "prom:%s" f
+    | Metrics_json f -> Format.fprintf ppf "json:%s" f
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Metrics_off
+    & info [ "metrics" ] ~docv:"MODE"
+        ~doc:
+          "Aggregate solver metrics: $(b,off), $(b,text) (Prometheus text on \
+           stderr), $(b,prom:FILE) or $(b,json:FILE) (versioned JSON \
+           snapshot).")
+
+(* The registry for a run plus a finisher that exports its snapshot. *)
+let registry_of_metrics dest =
+  match dest with
+  | Metrics_off -> (Rfloor_metrics.Registry.null, fun () -> ())
+  | _ ->
+    let reg = Rfloor_metrics.Registry.create () in
+    let write path text =
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc
+    in
+    let finish () =
+      let snap = Rfloor_metrics.Registry.snapshot reg in
+      match dest with
+      | Metrics_off -> ()
+      | Metrics_text ->
+        prerr_string (Rfloor_metrics.Registry.to_prometheus snap)
+      | Metrics_prom path ->
+        write path (Rfloor_metrics.Registry.to_prometheus snap)
+      | Metrics_json path ->
+        write path (Rfloor_metrics.Registry.to_json snap ^ "\n")
+    in
+    (reg, finish)
+
+(* For the engines that take a trace sink but no registry (the
+   combinatorial search), fold the event stream into the registry. *)
+let tee_metrics_sink reg sink =
+  if Rfloor_metrics.Registry.live reg then
+    Rfloor_trace.Sink.tee sink (Rfloor_metrics.Trace_sink.sink reg)
+  else sink
+
 (* ---------------- partition ---------------- *)
 
 let partition_cmd =
@@ -174,16 +245,18 @@ let print_plan part spec label plan wasted wirelength proven =
 
 let solve_cmd =
   let run device device_file design design_file engine time verbose trace
-      workers =
+      metrics workers =
     let grid = load_device device device_file in
     let spec = load_design design design_file in
     let part = partition_of grid in
     let sink, close_sink = sink_of_trace trace verbose in
     let tracing = not (Rfloor_trace.Sink.is_null sink) in
+    let reg, finish_metrics = registry_of_metrics metrics in
     Fun.protect ~finally:close_sink @@ fun () ->
+    Fun.protect ~finally:finish_metrics @@ fun () ->
     match engine with
     | "search" ->
-      let tracer = Rfloor_trace.create ~sink () in
+      let tracer = Rfloor_trace.create ~sink:(tee_metrics_sink reg sink) () in
       let r =
         Search.Engine.solve
           ~options:
@@ -202,7 +275,7 @@ let solve_cmd =
           ?time_limit:(Option.map Option.some time)
           ~workers:(max 1 workers)
           ~engine:(if engine = "milp" then Rfloor.Solver.O else Rfloor.Solver.Ho None)
-          ~trace:sink ()
+          ~trace:sink ~metrics:reg ()
       in
       let r = Rfloor.Solver.solve ~options:opts part spec in
       (* preflight/audit errors explain an infeasible verdict; show them
@@ -231,7 +304,8 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Floorplan a design on a device.")
     Term.(
       const run $ device_arg $ device_file_arg $ design_arg $ design_file_arg
-      $ engine_arg $ time_arg $ verbose_arg $ trace_arg $ workers_arg)
+      $ engine_arg $ time_arg $ verbose_arg $ trace_arg $ metrics_arg
+      $ workers_arg)
 
 (* ---------------- feasibility ---------------- *)
 
@@ -239,12 +313,15 @@ let feasibility_cmd =
   let region_arg =
     Arg.(value & opt (some string) None & info [ "region" ] ~docv:"NAME" ~doc:"Single region to test.")
   in
-  let run device device_file design design_file region time trace =
+  let run device device_file design design_file region time trace metrics =
     let grid = load_device device device_file in
     let part = partition_of grid in
     let spec = load_design design design_file in
     let sink, close_sink = sink_of_trace trace false in
+    let reg, finish_metrics = registry_of_metrics metrics in
+    let sink = tee_metrics_sink reg sink in
     Fun.protect ~finally:close_sink @@ fun () ->
+    Fun.protect ~finally:finish_metrics @@ fun () ->
     let targets =
       match region with Some r -> [ r ] | None -> Spec.region_names spec
     in
@@ -276,7 +353,7 @@ let feasibility_cmd =
        ~doc:"Can each region get a free-compatible area? (Section VI analysis)")
     Term.(
       const run $ device_arg $ device_file_arg $ design_arg $ design_file_arg
-      $ region_arg $ time_arg $ trace_arg)
+      $ region_arg $ time_arg $ trace_arg $ metrics_arg)
 
 (* ---------------- export-lp ---------------- *)
 
@@ -404,30 +481,157 @@ let relocate_cmd =
 
 (* ---------------- trace-validate ---------------- *)
 
+let read_whole_file file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
 let trace_validate_cmd =
   let file_arg =
     Arg.(
       required
       & pos 0 (some file) None
-      & info [] ~docv:"FILE" ~doc:"JSONL trace file (from --trace jsonl:FILE).")
+      & info [] ~docv:"FILE"
+          ~doc:
+            "JSONL trace (from --trace jsonl:FILE), metrics snapshot (from \
+             --metrics json:FILE) or bench artifact (BENCH_*.json).")
   in
-  let run file =
-    let ic = open_in file in
-    let text =
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
+  let kind_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("auto", `Auto); ("trace", `Trace); ("metrics", `Metrics);
+               ("bench", `Bench);
+             ])
+          `Auto
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:
+            "What the file claims to be: $(b,trace), $(b,metrics), \
+             $(b,bench), or $(b,auto) (dispatch on the embedded schema \
+             field).")
+  in
+  let run file kind =
+    let text = read_whole_file file in
+    let kind =
+      match kind with
+      | (`Trace | `Metrics | `Bench) as k -> k
+      (* a JSONL trace is not a single JSON document (or, for a
+         one-event trace, has no "schema" member), so parsing the whole
+         file and inspecting "schema" is an unambiguous dispatcher *)
+      | `Auto -> (
+        match Rfloor_metrics.Json.parse text with
+        | Error _ -> `Trace
+        | Ok doc -> (
+          match Rfloor_metrics.Json.member "schema" doc with
+          | Some (Rfloor_metrics.Json.Str s)
+            when s = Rfloor_metrics.Registry.schema_version ->
+            `Metrics
+          | Some (Rfloor_metrics.Json.Str s)
+            when s = Rfloor_metrics.Artifact.schema_version ->
+            `Bench
+          | _ -> `Trace))
     in
-    match Rfloor_trace.validate_jsonl text with
-    | Ok n -> Format.printf "%s: %d events, schema valid, spans balanced@." file n
-    | Error e -> die "%s: invalid trace: %s" file e
+    match kind with
+    | `Trace -> (
+      match Rfloor_trace.validate_jsonl text with
+      | Ok n ->
+        Format.printf "%s: %d events, schema valid, spans balanced@." file n
+      | Error e -> die "%s: invalid trace: %s" file e)
+    | `Metrics -> (
+      match Rfloor_metrics.Registry.validate_json text with
+      | Ok n -> Format.printf "%s: %d metrics, schema valid@." file n
+      | Error e -> die "%s: invalid metrics snapshot: %s" file e)
+    | `Bench -> (
+      match Rfloor_metrics.Artifact.validate text with
+      | Ok n -> Format.printf "%s: %d bench entries, schema valid@." file n
+      | Error e -> die "%s: invalid bench artifact: %s" file e)
   in
   Cmd.v
     (Cmd.info "trace-validate"
        ~doc:
-         "Validate a JSONL trace: every line parses against the event \
-          schema and every span is balanced.  Exits non-zero otherwise.")
-    Term.(const run $ file_arg)
+         "Validate a solver observability file against its schema: a JSONL \
+          trace (every line parses, spans balanced), a metrics snapshot or a \
+          bench artifact.  Exits non-zero otherwise.")
+    Term.(const run $ file_arg $ kind_arg)
+
+(* ---------------- bench-compare ---------------- *)
+
+let bench_compare_cmd =
+  let module A = Rfloor_metrics.Artifact in
+  let old_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"OLD" ~doc:"Baseline bench artifact (BENCH_*.json).")
+  in
+  let new_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"NEW" ~doc:"Candidate bench artifact to gate.")
+  in
+  let d = A.default_thresholds in
+  let slowdown_arg =
+    Arg.(
+      value
+      & opt float d.A.max_slowdown
+      & info [ "max-slowdown" ] ~docv:"RATIO"
+          ~doc:"Fail when an instance's elapsed time grows beyond this ratio.")
+  in
+  let node_growth_arg =
+    Arg.(
+      value
+      & opt float d.A.max_node_growth
+      & info [ "max-node-growth" ] ~docv:"RATIO"
+          ~doc:"Fail when an instance's node count grows beyond this ratio.")
+  in
+  let min_seconds_arg =
+    Arg.(
+      value
+      & opt float d.A.min_seconds
+      & info [ "min-seconds" ] ~docv:"SECONDS"
+          ~doc:
+            "Noise floor: ignore slowdowns when both runs are faster than \
+             this.")
+  in
+  let run old_file new_file max_slowdown max_node_growth min_seconds =
+    let load file =
+      let text = read_whole_file file in
+      match A.validate text with
+      | Error e -> die "%s: invalid bench artifact: %s" file e
+      | Ok _ -> (
+        match A.of_string text with
+        | Ok a -> a
+        | Error e -> die "%s: invalid bench artifact: %s" file e)
+    in
+    let old_ = load old_file and new_ = load new_file in
+    let thresholds = { A.max_slowdown; max_node_growth; min_seconds } in
+    match A.compare ~thresholds ~old_ new_ with
+    | [] ->
+      Format.printf "no regressions: %s (%s) vs %s (%s), %d instances@."
+        old_.A.a_label old_.A.a_git_rev new_.A.a_label new_.A.a_git_rev
+        (List.length old_.A.a_entries)
+    | regressions ->
+      List.iter (fun r -> Format.printf "REGRESSION: %s@." r) regressions;
+      Format.printf "%d regression(s): %s (%s) vs %s (%s)@."
+        (List.length regressions) old_.A.a_label old_.A.a_git_rev
+        new_.A.a_label new_.A.a_git_rev;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "bench-compare"
+       ~doc:
+         "Diff two bench artifacts (from bench --artifact LABEL) and exit \
+          non-zero when the new one regresses: a solve got slower beyond \
+          --max-slowdown, explored disproportionately more nodes, lost \
+          solution quality (wasted frames / objective) or dropped status \
+          (optimal to feasible, feasible to infeasible...).")
+    Term.(
+      const run $ old_arg $ new_arg $ slowdown_arg $ node_growth_arg
+      $ min_seconds_arg)
 
 (* ---------------- sites ---------------- *)
 
@@ -453,7 +657,7 @@ let main_cmd =
     (Cmd.info "rfloor" ~version:"1.0.0" ~doc)
     [
       partition_cmd; solve_cmd; feasibility_cmd; export_cmd; lint_cmd;
-      relocate_cmd; sites_cmd; trace_validate_cmd;
+      relocate_cmd; sites_cmd; trace_validate_cmd; bench_compare_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -20,6 +20,7 @@ type options = {
   preflight : bool;
   workers : int;
   trace : T.sink;
+  metrics : Rfloor_metrics.Registry.t;
 }
 
 module Options = struct
@@ -28,7 +29,7 @@ module Options = struct
   let make ?(engine = O) ?(objective_mode = Lexicographic)
       ?(time_limit = Some 60.) ?node_limit ?(paper_literal_l = false)
       ?(warm_start = true) ?(preflight = true) ?(workers = 1)
-      ?(trace = T.Sink.null) () =
+      ?(trace = T.Sink.null) ?(metrics = Rfloor_metrics.Registry.null) () =
     {
       engine;
       objective_mode;
@@ -39,6 +40,7 @@ module Options = struct
       preflight;
       workers;
       trace;
+      metrics;
     }
 end
 
@@ -79,6 +81,7 @@ let bb_options options trace model stage_time =
     node_limit = options.node_limit;
     priorities = Some (Model.branching_priorities model);
     trace;
+    metrics = options.metrics;
   }
 
 let warm_plan options part spec =
@@ -126,7 +129,7 @@ let run_stage options trace model ~stage_time ~warm ~add_diags =
       elapsed = 0.;
     }
   else begin
-    ignore (Milp.Presolve.tighten ~trace lp);
+    ignore (Milp.Presolve.tighten ~trace ~metrics:options.metrics lp);
     let incumbent =
       match warm with
       | None -> None
@@ -202,8 +205,16 @@ let finish options trace part spec model (r : Bb.result) extra_nodes extra_iters
 let solve ?(options = default_options) part (spec : Spec.t) =
   (* One live tracer per solve, even with the null sink: the metrics
      behind [outcome.report] always accumulate; events only flow when a
-     real sink is attached. *)
-  let trace = T.create ~sink:options.trace () in
+     real sink is attached.  A live metrics registry tees its
+     event-folding sink onto the caller's, so the registry sees the
+     whole event stream (phases, incumbents, steals) in addition to the
+     direct simplex/presolve instrumentation. *)
+  let sink =
+    if Rfloor_metrics.Registry.live options.metrics then
+      T.Sink.tee options.trace (Rfloor_metrics.Trace_sink.sink options.metrics)
+    else options.trace
+  in
+  let trace = T.create ~sink () in
   (* spec/partition preflight: error findings prove infeasibility before
      any model is built or any node is explored *)
   let diags = ref [] in

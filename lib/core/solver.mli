@@ -42,6 +42,14 @@ type options = {
           {!Rfloor_trace.Sink.null}: no events, but [outcome.report] is
           still populated).  Use {!Rfloor_trace.Sink.of_log_fn} to
           migrate an old [log : string -> unit] callback. *)
+  metrics : Rfloor_metrics.Registry.t;
+      (** Aggregate profiling (default {!Rfloor_metrics.Registry.null}:
+          one load-and-branch per hot-path site).  A live registry
+          receives direct simplex/presolve instrumentation plus a
+          {!Rfloor_metrics.Trace_sink} fold of the whole event stream
+          (per-phase wall time, node throughput, steal latency, the
+          incumbent-improvement curve); snapshot it after the solve with
+          {!Rfloor_metrics.Registry.snapshot}. *)
 }
 
 module Options : sig
@@ -57,6 +65,7 @@ module Options : sig
     ?preflight:bool ->
     ?workers:int ->
     ?trace:Rfloor_trace.sink ->
+    ?metrics:Rfloor_metrics.Registry.t ->
     unit ->
     t
   (** The single construction point for solver options — the CLI, the

@@ -12,6 +12,7 @@ type location =
   | Design
   | Model
   | File of string
+  | Env of string
 
 type t = {
   code : string;
@@ -40,6 +41,7 @@ let location_to_string = function
   | Design -> "design"
   | Model -> "model"
   | File p -> Printf.sprintf "file(%s)" p
+  | Env v -> Printf.sprintf "env(%s)" v
 
 let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
 
@@ -87,6 +89,7 @@ let location_to_sexp = function
   | Design -> "(design)"
   | Model -> "(model)"
   | File p -> Printf.sprintf "(file %s)" (sexp_string p)
+  | Env v -> Printf.sprintf "(env %s)" (sexp_string v)
 
 let to_sexp d =
   Printf.sprintf "((code %s) (severity %s) (location %s) (message %s))" d.code
@@ -140,6 +143,7 @@ let all_codes =
     ("RF301", Error, "device file unreadable or malformed");
     ("RF302", Error, "design file unreadable or malformed");
     ("RF303", Error, "MPS model file unreadable or malformed");
+    ("RF304", Warning, "RFLOOR_BENCH_BUDGET malformed or non-positive; defaulted/clamped");
   ]
 
 let describe code =

@@ -25,6 +25,7 @@ type location =
   | Design  (** the design spec as a whole *)
   | Model  (** the MILP as a whole *)
   | File of string  (** an input file, by path (loaders/parsers) *)
+  | Env of string  (** an environment variable, by name *)
 
 type t = {
   code : string;

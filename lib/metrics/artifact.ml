@@ -1,0 +1,181 @@
+(* Bench artifacts: versioned JSON serialization and threshold-based
+   regression comparison.  See artifact.mli. *)
+
+type entry = {
+  e_instance : string;
+  e_status : string;
+  e_objective : float option;
+  e_wasted : float option;
+  e_nodes : int;
+  e_simplex_iterations : int;
+  e_elapsed : float;
+  e_report : Json.t option;
+  e_metrics : Json.t option;
+}
+
+type t = {
+  a_label : string;
+  a_created : float;
+  a_git_rev : string;
+  a_workers : int;
+  a_budget : float;
+  a_entries : entry list;
+}
+
+let schema_version = "rfloor-bench/1"
+
+(* ---- serialization ---- *)
+
+let opt_num = function Some f when Float.is_finite f -> Json.Num f | _ -> Json.Null
+let opt_obj = function Some j -> j | None -> Json.Null
+
+let entry_json e =
+  Json.Obj
+    [ ("instance", Json.Str e.e_instance);
+      ("status", Json.Str e.e_status);
+      ("objective", opt_num e.e_objective);
+      ("wasted", opt_num e.e_wasted);
+      ("nodes", Json.Num (float_of_int e.e_nodes));
+      ("simplex_iterations", Json.Num (float_of_int e.e_simplex_iterations));
+      ("elapsed", Json.Num e.e_elapsed);
+      ("report", opt_obj e.e_report);
+      ("metrics", opt_obj e.e_metrics) ]
+
+let to_json_value a =
+  Json.Obj
+    [ ("schema", Json.Str schema_version);
+      ("label", Json.Str a.a_label);
+      ("created", Json.Num a.a_created);
+      ("git_rev", Json.Str a.a_git_rev);
+      ("workers", Json.Num (float_of_int a.a_workers));
+      ("budget", Json.Num a.a_budget);
+      ("entries", Json.Arr (List.map entry_json a.a_entries)) ]
+
+let to_string a = Json.to_string (to_json_value a)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let entry_of_json v =
+  let* e_instance = Json.get_string "instance" v in
+  if e_instance = "" then Error "entry with empty instance name"
+  else
+    let* e_status = Json.get_string "status" v in
+    let* () =
+      if List.mem e_status [ "optimal"; "feasible"; "infeasible"; "unknown" ]
+      then Ok ()
+      else Error (Printf.sprintf "%s: unknown status %S" e_instance e_status)
+    in
+    let* e_objective = Json.get_num_opt "objective" v in
+    let* e_wasted = Json.get_num_opt "wasted" v in
+    let* e_nodes = Json.get_int "nodes" v in
+    let* e_simplex_iterations = Json.get_int "simplex_iterations" v in
+    let* e_elapsed = Json.get_num "elapsed" v in
+    if e_nodes < 0 then Error (Printf.sprintf "%s: negative node count" e_instance)
+    else if e_simplex_iterations < 0 then
+      Error (Printf.sprintf "%s: negative simplex iterations" e_instance)
+    else if e_elapsed < 0. then
+      Error (Printf.sprintf "%s: negative elapsed time" e_instance)
+    else
+      let non_null k =
+        match Json.member k v with Some Json.Null | None -> None | j -> j
+      in
+      Ok
+        { e_instance; e_status; e_objective; e_wasted; e_nodes;
+          e_simplex_iterations; e_elapsed; e_report = non_null "report";
+          e_metrics = non_null "metrics" }
+
+let of_json_value doc =
+  let* schema = Json.get_string "schema" doc in
+  if schema <> schema_version then
+    Error (Printf.sprintf "unknown schema %S (expected %S)" schema schema_version)
+  else
+    let* a_label = Json.get_string "label" doc in
+    let* a_created = Json.get_num "created" doc in
+    let* a_git_rev = Json.get_string "git_rev" doc in
+    let* a_workers = Json.get_int "workers" doc in
+    let* a_budget = Json.get_num "budget" doc in
+    let* entries = Json.get_arr "entries" doc in
+    let rec go seen acc = function
+      | [] -> Ok (List.rev acc)
+      | v :: rest ->
+        let* e = entry_of_json v in
+        if List.mem e.e_instance seen then
+          Error (Printf.sprintf "duplicate instance %S" e.e_instance)
+        else go (e.e_instance :: seen) (e :: acc) rest
+    in
+    let* a_entries = go [] [] entries in
+    Ok { a_label; a_created; a_git_rev; a_workers; a_budget; a_entries }
+
+let of_string text =
+  match Json.parse text with
+  | Error e -> Error e
+  | Ok doc -> of_json_value doc
+
+let validate text =
+  let* a = of_string text in
+  let rec go = function
+    | [] -> Ok (List.length a.a_entries)
+    | e :: rest -> (
+      match e.e_metrics with
+      | None -> go rest
+      | Some m -> (
+        match Registry.validate_json_value m with
+        | Ok _ -> go rest
+        | Error msg ->
+          Error (Printf.sprintf "%s: invalid metrics snapshot: %s" e.e_instance msg)))
+  in
+  go a.a_entries
+
+(* ---- regression comparison ---- *)
+
+type thresholds = {
+  max_slowdown : float;
+  max_node_growth : float;
+  min_seconds : float;
+}
+
+let default_thresholds =
+  { max_slowdown = 1.5; max_node_growth = 3.0; min_seconds = 0.05 }
+
+let status_rank = function
+  | "optimal" -> 3
+  | "feasible" -> 2
+  | "infeasible" -> 1
+  | _ -> 0
+
+let compare ?(thresholds = default_thresholds) ~old_ new_ =
+  let out = ref [] in
+  let flag fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+  List.iter
+    (fun (o : entry) ->
+      match
+        List.find_opt (fun n -> n.e_instance = o.e_instance) new_.a_entries
+      with
+      | None -> flag "%s: missing from new artifact" o.e_instance
+      | Some n ->
+        if status_rank n.e_status < status_rank o.e_status then
+          flag "%s: status worsened %s -> %s" o.e_instance o.e_status n.e_status;
+        (match (o.e_wasted, n.e_wasted) with
+        | Some a, Some b when b > a ->
+          flag "%s: wasted frames worsened %g -> %g" o.e_instance a b
+        | _ -> ());
+        (match (o.e_objective, n.e_objective) with
+        | Some a, Some b when b > a +. 1e-9 ->
+          flag "%s: objective worsened %g -> %g" o.e_instance a b
+        | _ -> ());
+        if
+          Float.max o.e_elapsed n.e_elapsed >= thresholds.min_seconds
+          && n.e_elapsed > thresholds.max_slowdown *. o.e_elapsed
+        then
+          flag "%s: %.2fx slowdown (%.3fs -> %.3fs, threshold %.2fx)"
+            o.e_instance
+            (n.e_elapsed /. Float.max 1e-9 o.e_elapsed)
+            o.e_elapsed n.e_elapsed thresholds.max_slowdown;
+        if
+          float_of_int n.e_nodes
+          > thresholds.max_node_growth *. float_of_int (max o.e_nodes 1)
+        then
+          flag "%s: node count grew %d -> %d (threshold %.2fx)" o.e_instance
+            o.e_nodes n.e_nodes thresholds.max_node_growth)
+    old_.a_entries;
+  List.rev !out

@@ -1,0 +1,68 @@
+(** Persistent bench artifacts and regression gating.
+
+    A bench run serializes one {!type:t} per invocation (schema
+    ["rfloor-bench/1"]): the run's provenance (label, git revision,
+    worker count, per-solve budget) plus one {!entry} per solved
+    instance, carrying the headline numbers, the solver's
+    {!Rfloor_trace.Report} JSON and a {!Registry} metrics snapshot.
+
+    {!compare} diffs two artifacts entry-by-entry (matched on instance
+    name) under configurable {!thresholds} and returns human-readable
+    regression descriptions — an empty list means the gate passes. *)
+
+type entry = {
+  e_instance : string;
+  e_status : string;  (** ["optimal"], ["feasible"], ["infeasible"], ["unknown"] *)
+  e_objective : float option;
+  e_wasted : float option;
+  e_nodes : int;
+  e_simplex_iterations : int;
+  e_elapsed : float;
+  e_report : Json.t option;  (** {!Rfloor_trace.Report.to_json}, parsed *)
+  e_metrics : Json.t option;  (** {!Registry.to_json_value} snapshot *)
+}
+
+type t = {
+  a_label : string;
+  a_created : float;  (** Unix epoch seconds, supplied by the writer *)
+  a_git_rev : string;  (** ["unknown"] when not in a checkout *)
+  a_workers : int;
+  a_budget : float;  (** per-solve budget, seconds *)
+  a_entries : entry list;
+}
+
+val schema_version : string
+(** ["rfloor-bench/1"]. *)
+
+val to_json_value : t -> Json.t
+val to_string : t -> string
+
+val of_json_value : Json.t -> (t, string) result
+val of_string : string -> (t, string) result
+
+val validate : string -> (int, string) result
+(** Full schema check of a serialized artifact, including
+    {!Registry.validate_json_value} on every embedded metrics snapshot.
+    Returns the number of entries. *)
+
+(** {1 Regression gating} *)
+
+type thresholds = {
+  max_slowdown : float;
+      (** flag when [new.elapsed > max_slowdown * old.elapsed] *)
+  max_node_growth : float;
+      (** flag when [new.nodes > max_node_growth * max old.nodes 1] *)
+  min_seconds : float;
+      (** runs where both elapsed times are below this floor are never
+          flagged for slowdown — they are noise *)
+}
+
+val default_thresholds : thresholds
+(** [{ max_slowdown = 1.5; max_node_growth = 3.0; min_seconds = 0.05 }] *)
+
+val compare : ?thresholds:thresholds -> old_:t -> t -> string list
+(** [compare ~old_ new_] — one line per regression: instances missing
+    from [new_], status
+    worsening (optimal > feasible > infeasible > unknown), objective or
+    wasted-frames degradation, slowdown and node-count blowup beyond
+    the thresholds.  Instances only present in [new_] are not flagged. *)

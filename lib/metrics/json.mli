@@ -1,0 +1,42 @@
+(** Minimal JSON values: enough to parse and re-emit the metrics
+    snapshots and bench artifacts this library defines.
+
+    The parser accepts full JSON (nested objects, arrays, escapes);
+    duplicate object keys are rejected, as are non-finite number
+    literals (there are none in JSON anyway — the writers in this
+    library encode [nan]/[inf] as [null], matching
+    {!Rfloor_trace.Event.to_json}). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list  (** key order preserved; keys unique *)
+
+val parse : string -> (t, string) result
+(** Parses a complete document; trailing non-whitespace is an error.
+    Errors carry a character offset. *)
+
+val to_string : t -> string
+(** Compact (no whitespace).  Integral numbers with magnitude below
+    [1e15] print without a decimal point, so counters survive a
+    parse/print round trip byte-identically. *)
+
+val num_to_string : float -> string
+(** The number rendering {!to_string} uses ([null] for non-finite). *)
+
+(** {1 Accessors} — each returns [Error] naming the missing/mistyped
+    field, for building validators. *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] — [None] on absent key or non-object. *)
+
+val get_string : string -> t -> (string, string) result
+val get_num : string -> t -> (float, string) result
+val get_int : string -> t -> (int, string) result
+val get_arr : string -> t -> (t list, string) result
+
+val get_num_opt : string -> t -> (float option, string) result
+(** Absent or [null] is [Ok None]; a non-number is an error. *)

@@ -17,6 +17,7 @@ type options = {
   priorities : float array option;
   trace : Rfloor_trace.t;
   gomory_rounds : int;
+  metrics : Rfloor_metrics.Registry.t;
 }
 
 let default_options =
@@ -28,7 +29,17 @@ let default_options =
     priorities = None;
     trace = Rfloor_trace.disabled;
     gomory_rounds = 0;
+    metrics = Rfloor_metrics.Registry.null;
   }
+
+(* Per-LP profiling handles shared with Parallel_bb: same series names,
+   so sequential and parallel solves land in the same histograms. *)
+let lp_histograms reg =
+  let module R = Rfloor_metrics.Registry in
+  ( R.histogram reg ~help:"Simplex iterations per LP relaxation"
+      ~buckets:R.count_buckets "rfloor_simplex_iterations_per_lp",
+    R.histogram reg ~help:"Wall time per LP relaxation solve"
+      "rfloor_lp_solve_seconds" )
 
 let objective_key dir obj =
   match dir with Lp.Minimize -> obj | Lp.Maximize -> -.obj
@@ -56,6 +67,10 @@ let pick_branch ~int_eps ~priorities int_vars x =
 
 let solve ?(options = default_options) ?(worker = 0) ?incumbent lp =
   let trace = options.trace in
+  (* [mlive] captured once: when metrics are off, the per-node path
+     below skips the clock reads entirely. *)
+  let mlive = Rfloor_metrics.Registry.live options.metrics in
+  let h_lp_iters, h_lp_seconds = lp_histograms options.metrics in
   let t0 = Unix.gettimeofday () in
   (* root-node branch-and-cut: strengthen a private copy with GMI cuts *)
   let lp =
@@ -124,12 +139,19 @@ let solve ?(options = default_options) ?(worker = 0) ?incumbent lp =
         incr nodes;
         Rfloor_trace.node_explored trace ~worker ~depth:node.n_depth
           ~bound:(unkey node.n_bound);
+        let t_lp = if mlive then Unix.gettimeofday () else 0. in
         let r =
           if node.n_depth = 0 then
             Rfloor_trace.span trace ~worker Rfloor_trace.Event.Root_lp
               (fun () -> Simplex.Core.solve ~lb:node.n_lb ~ub:node.n_ub core)
           else Simplex.Core.solve ~lb:node.n_lb ~ub:node.n_ub core
         in
+        if mlive then begin
+          Rfloor_metrics.Registry.Histogram.observe h_lp_seconds
+            (Unix.gettimeofday () -. t_lp);
+          Rfloor_metrics.Registry.Histogram.observe h_lp_iters
+            (float_of_int r.Simplex.iterations)
+        end;
         iters := !iters + r.Simplex.iterations;
         match r.Simplex.status with
         | Simplex.Infeasible -> ()

@@ -41,6 +41,13 @@ type options = {
           tracer over {!Rfloor_trace.Sink.of_log_fn}. *)
   gomory_rounds : int;
       (** rounds of root-node Gomory cuts (branch and cut); default 0 *)
+  metrics : Rfloor_metrics.Registry.t;
+      (** Aggregate profiling: per-LP simplex iteration-count and
+          wall-time histograms ([rfloor_simplex_iterations_per_lp],
+          [rfloor_lp_solve_seconds]).  Default
+          {!Rfloor_metrics.Registry.null} — with it, the per-node hot
+          path does no histogram work beyond a load-and-branch and
+          reads no clocks. *)
 }
 
 val default_options : options
@@ -54,3 +61,10 @@ val solve :
 val objective_key : Lp.dir -> float -> float
 (** Normalizes an objective value to minimization order (used by callers
     comparing bounds across directions). *)
+
+val lp_histograms :
+  Rfloor_metrics.Registry.t ->
+  Rfloor_metrics.Registry.Histogram.t * Rfloor_metrics.Registry.Histogram.t
+(** [(iterations_per_lp, lp_seconds)] profiling handles for per-LP
+    observations — shared with {!Parallel_bb} so sequential and
+    parallel solves feed the same series. *)

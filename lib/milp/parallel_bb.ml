@@ -50,6 +50,10 @@ let pick_branch ~int_eps ~priorities int_vars x =
 let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
   let workers = max 1 workers in
   let trace = options.Bb.trace in
+  (* Histogram handles are registered once, before any domain spawns;
+     observations are lock-free atomics so all workers share them. *)
+  let mlive = Rfloor_metrics.Registry.live options.Bb.metrics in
+  let h_lp_iters, h_lp_seconds = Bb.lp_histograms options.Bb.metrics in
   let t0 = Unix.gettimeofday () in
   (* Root branch-and-cut runs once, before any worker exists; ditto any
      caller-side preflight (Core.Solver lints the root model exactly
@@ -204,12 +208,19 @@ let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
             local_nodes.(w) <- local_nodes.(w) + 1;
             Rfloor_trace.node_explored trace ~worker:w ~depth:node.t_depth
               ~bound:(unkey node.t_bound);
+            let t_lp = if mlive then Unix.gettimeofday () else 0. in
             let r =
               if node.t_depth = 0 then
                 Rfloor_trace.span trace ~worker:w Rfloor_trace.Event.Root_lp
                   (fun () -> Simplex.Core.solve ~lb:node.t_lb ~ub:node.t_ub core)
               else Simplex.Core.solve ~lb:node.t_lb ~ub:node.t_ub core
             in
+            if mlive then begin
+              Rfloor_metrics.Registry.Histogram.observe h_lp_seconds
+                (Unix.gettimeofday () -. t_lp);
+              Rfloor_metrics.Registry.Histogram.observe h_lp_iters
+                (float_of_int r.Simplex.iterations)
+            end;
             ignore (Atomic.fetch_and_add iters r.Simplex.iterations);
             local_iters.(w) <- local_iters.(w) + r.Simplex.iterations;
             match r.Simplex.status with

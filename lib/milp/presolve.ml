@@ -31,12 +31,14 @@ let activity_range lp terms ~skip =
     terms;
   (!lo, !hi)
 
-let tighten_body ~max_rounds lp =
+let tighten_body ~max_rounds ~rounds_out lp =
   let changes = ref 0 in
   let eps = 1e-9 in
+  let round = ref 0 in
+  rounds_out := 0;
   try
     List.iter (fun v -> round_integer_bounds lp v) (Lp.integer_vars lp);
-    let changed = ref true and round = ref 0 in
+    let changed = ref true in
     while !changed && !round < max_rounds do
       changed := false;
       incr round;
@@ -94,12 +96,34 @@ let tighten_body ~max_rounds lp =
               round_integer_bounds lp v)
             terms)
     done;
+    rounds_out := !round;
     Tightened !changes
-  with Infeasible_exn -> Proven_infeasible
+  with Infeasible_exn ->
+    rounds_out := !round;
+    Proven_infeasible
 
-let tighten ?(max_rounds = 10) ?(trace = Rfloor_trace.disabled) lp =
+let tighten ?(max_rounds = 10) ?(trace = Rfloor_trace.disabled)
+    ?(metrics = Rfloor_metrics.Registry.null) lp =
   Rfloor_trace.span trace Rfloor_trace.Event.Presolve (fun () ->
-      let outcome = tighten_body ~max_rounds lp in
+      let rounds = ref 0 in
+      let outcome = tighten_body ~max_rounds ~rounds_out:rounds lp in
+      let module R = Rfloor_metrics.Registry in
+      if R.live metrics then begin
+        R.Counter.add
+          (R.counter metrics ~help:"Presolve tightening rounds run"
+             "rfloor_presolve_rounds_total")
+          !rounds;
+        match outcome with
+        | Tightened n ->
+          R.Counter.add
+            (R.counter metrics ~help:"Presolve bound changes applied"
+               "rfloor_presolve_bound_changes_total")
+            n
+        | Proven_infeasible ->
+          R.Counter.incr
+            (R.counter metrics ~help:"Presolve infeasibility proofs"
+               "rfloor_presolve_infeasible_total")
+      end;
       (match outcome with
       | Tightened n when n > 0 ->
         Rfloor_trace.messagef trace "presolve: %d bound changes" n

@@ -487,9 +487,24 @@ let solve_core ?max_iters ?lb ?ub ?basis_sink (core : P.t) =
         { status = Optimal; objective; x = Array.sub st.x 0 n; iterations = st.iters })
   end
 
-let solve ?max_iters ?(trace = Rfloor_trace.disabled) lp =
+let solve ?max_iters ?(trace = Rfloor_trace.disabled)
+    ?(metrics = Rfloor_metrics.Registry.null) lp =
   Rfloor_trace.span trace Rfloor_trace.Event.Lp_solve (fun () ->
-      solve_core ?max_iters (P.of_lp lp))
+      let module R = Rfloor_metrics.Registry in
+      let mlive = R.live metrics in
+      let t0 = if mlive then Unix.gettimeofday () else 0. in
+      let r = solve_core ?max_iters (P.of_lp lp) in
+      if mlive then begin
+        R.Histogram.observe
+          (R.histogram metrics ~help:"Wall time per LP relaxation solve"
+             "rfloor_lp_solve_seconds")
+          (Unix.gettimeofday () -. t0);
+        R.Histogram.observe
+          (R.histogram metrics ~help:"Simplex iterations per LP relaxation"
+             ~buckets:R.count_buckets "rfloor_simplex_iterations_per_lp")
+          (float_of_int r.iterations)
+      end;
+      r)
 
 module Core = struct
   include P

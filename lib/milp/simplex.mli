@@ -16,10 +16,17 @@ type outcome = {
   iterations : int;
 }
 
-val solve : ?max_iters:int -> ?trace:Rfloor_trace.t -> Lp.t -> outcome
+val solve :
+  ?max_iters:int ->
+  ?trace:Rfloor_trace.t ->
+  ?metrics:Rfloor_metrics.Registry.t ->
+  Lp.t ->
+  outcome
 (** One-shot solve of the LP relaxation.  [trace] (default
     {!Rfloor_trace.disabled}) brackets the solve in an [Lp_solve]
-    span. *)
+    span.  [metrics] (default {!Rfloor_metrics.Registry.null}) records
+    the solve into the [rfloor_lp_solve_seconds] and
+    [rfloor_simplex_iterations_per_lp] histograms. *)
 
 module Core : sig
   (** Preprocessed problem reusable across many solves that differ only

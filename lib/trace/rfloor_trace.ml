@@ -508,6 +508,21 @@ module Report = struct
 
   type worker_stat = { ws_worker : int; ws_nodes : int; ws_iterations : int }
 
+  type gc_stat = {
+    gc_minor_collections : int;
+    gc_major_collections : int;
+    gc_promoted_words : float;
+    gc_top_heap_words : int;
+  }
+
+  let no_gc =
+    {
+      gc_minor_collections = 0;
+      gc_major_collections = 0;
+      gc_promoted_words = 0.;
+      gc_top_heap_words = 0;
+    }
+
   type t = {
     nodes : int;
     simplex_iterations : int;
@@ -523,6 +538,7 @@ module Report = struct
     phases : phase_stat list;
     workers : worker_stat list;
     depth_histogram : (int * int) list;
+    gc : gc_stat;
   }
 
   let empty =
@@ -541,6 +557,7 @@ module Report = struct
       phases = [];
       workers = [];
       depth_histogram = [];
+      gc = no_gc;
     }
 
   let pp ppf r =
@@ -550,6 +567,12 @@ module Report = struct
       r.nodes r.simplex_iterations r.elapsed r.incumbents r.cuts
       r.steal_successes r.steal_attempts r.tasks_donated r.idle_events
       r.restarts r.warnings;
+    if r.gc <> no_gc then
+      Format.fprintf ppf
+        "gc: %d minor / %d major collections, %.3g promoted words, top heap \
+         %d words@."
+        r.gc.gc_minor_collections r.gc.gc_major_collections
+        r.gc.gc_promoted_words r.gc.gc_top_heap_words;
     if r.phases <> [] then begin
       Format.fprintf ppf "phase breakdown:@.";
       List.iter
@@ -607,20 +630,32 @@ module Report = struct
         if i > 0 then Buffer.add_char b ',';
         Buffer.add_string b (Printf.sprintf "[%d,%d]" d c))
       r.depth_histogram;
-    Buffer.add_string b "]}";
+    Buffer.add_string b
+      (Printf.sprintf
+         "],\"gc\":{\"minor_collections\":%d,\"major_collections\":%d,\"promoted_words\":%.0f,\"top_heap_words\":%d}}"
+         r.gc.gc_minor_collections r.gc.gc_major_collections
+         r.gc.gc_promoted_words r.gc.gc_top_heap_words);
     Buffer.contents b
 end
 
 (* ------------------------------------------------------------------ *)
 (* Tracers *)
 
-type t = { t_live : bool; t_sink : sink; t_epoch : int64; t_m : Metrics.t }
+type t = {
+  t_live : bool;
+  t_sink : sink;
+  t_epoch : int64;
+  t_m : Metrics.t;
+  t_gc : Gc.stat;  (* quick_stat baseline at creation; report deltas it *)
+}
 
 let disabled =
-  { t_live = false; t_sink = Null; t_epoch = 0L; t_m = Metrics.create () }
+  { t_live = false; t_sink = Null; t_epoch = 0L; t_m = Metrics.create ();
+    t_gc = Gc.quick_stat () }
 
 let create ?(sink = Null) () =
-  { t_live = true; t_sink = sink; t_epoch = clock_ns (); t_m = Metrics.create () }
+  { t_live = true; t_sink = sink; t_epoch = clock_ns ();
+    t_m = Metrics.create (); t_gc = Gc.quick_stat () }
 
 let live t = t.t_live
 let enabled t = t.t_live && not (Sink.is_null t.t_sink)
@@ -726,6 +761,19 @@ let report t ~nodes ~simplex_iterations ~elapsed =
     done;
     !out
   in
+  let gc =
+    if not t.t_live then Report.no_gc
+    else
+      let g = Gc.quick_stat () in
+      {
+        Report.gc_minor_collections =
+          g.Gc.minor_collections - t.t_gc.Gc.minor_collections;
+        gc_major_collections =
+          g.Gc.major_collections - t.t_gc.Gc.major_collections;
+        gc_promoted_words = g.Gc.promoted_words -. t.t_gc.Gc.promoted_words;
+        gc_top_heap_words = g.Gc.top_heap_words;
+      }
+  in
   {
     Report.nodes;
     simplex_iterations;
@@ -741,6 +789,7 @@ let report t ~nodes ~simplex_iterations ~elapsed =
     phases;
     workers;
     depth_histogram;
+    gc;
   }
 
 (* ------------------------------------------------------------------ *)

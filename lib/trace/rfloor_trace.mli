@@ -134,6 +134,16 @@ module Report : sig
     ws_iterations : int;  (** simplex iterations *)
   }
 
+  type gc_stat = {
+    gc_minor_collections : int;  (** delta over the tracer's lifetime *)
+    gc_major_collections : int;  (** delta over the tracer's lifetime *)
+    gc_promoted_words : float;  (** words promoted minor -> major (delta) *)
+    gc_top_heap_words : int;  (** high-water heap size, absolute *)
+  }
+
+  val no_gc : gc_stat
+  (** All zeros — what {!empty} and disabled tracers carry. *)
+
   type t = {
     nodes : int;
     simplex_iterations : int;
@@ -150,6 +160,9 @@ module Report : sig
     workers : worker_stat list;  (** ascending worker id *)
     depth_histogram : (int * int) list;
         (** (depth, nodes at that depth), only when a sink was enabled *)
+    gc : gc_stat;
+        (** [Gc.quick_stat] deltas between tracer creation and
+            {!val:report} — allocation pressure of the solve itself *)
   }
 
   val empty : t

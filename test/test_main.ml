@@ -4,4 +4,5 @@ let () =
    @ Test_core.suites @ Test_analysis.suites @ Test_baselines.suites
    @ Test_bitstream.suites
    @ Test_sdr.suites @ Test_runtime.suites @ Test_io.suites
-   @ Test_differential.suites @ Test_formats.suites @ Test_trace.suites)
+   @ Test_differential.suites @ Test_formats.suites @ Test_trace.suites
+  @ Test_metrics.suites)

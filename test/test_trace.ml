@@ -103,6 +103,65 @@ let test_log_fn_sampling () =
   Alcotest.(check bool) "message passes through" true
     (List.exists (has_sub "hello 42") lines)
 
+(* Four domains hammer one ring through one tracer: the per-sink mutex
+   must keep every event intact and the kept+dropped accounting exact,
+   with the ring holding exactly its capacity after wraparound. *)
+let test_ring_concurrent_wraparound () =
+  let capacity = 64 and domains = 4 and per_domain = 500 in
+  let ring = T.Ring.create ~capacity () in
+  let tracer = T.create ~sink:(T.Ring.sink ring) () in
+  let worker w () =
+    for i = 1 to per_domain do
+      T.node_explored tracer ~worker:w ~depth:i ~bound:(float_of_int i)
+    done
+  in
+  List.init domains (fun w -> Domain.spawn (worker w))
+  |> List.iter Domain.join;
+  let events = T.Ring.events ring in
+  Alcotest.(check int) "ring full at capacity" capacity (List.length events);
+  Alcotest.(check int) "kept + dropped = written"
+    ((domains * per_domain) - capacity)
+    (T.Ring.dropped ring);
+  (* no torn events: every survivor is a well-formed node event with a
+     depth its writer actually produced *)
+  List.iter
+    (fun (e : E.t) ->
+      match e.E.payload with
+      | E.Node_explored { depth; bound } ->
+        if depth < 1 || depth > per_domain || bound <> float_of_int depth then
+          Alcotest.failf "torn event: depth %d bound %g" depth bound
+      | p -> Alcotest.failf "unexpected event %s" (E.name p))
+    events
+
+(* Same exercise through the of_log_fn migration shim: the callback
+   must never run concurrently, so appending to a plain list is safe
+   and every line arrives whole. *)
+let test_log_fn_concurrent () =
+  let lines = ref [] in
+  let sink = T.Sink.of_log_fn ~progress_every:1 (fun l -> lines := l :: !lines) in
+  let tracer = T.create ~sink () in
+  let domains = 4 and per_domain = 200 in
+  let worker w () =
+    for i = 1 to per_domain do
+      T.messagef tracer "w%d-%d" w i
+    done
+  in
+  List.init domains (fun w -> Domain.spawn (worker w))
+  |> List.iter Domain.join;
+  Alcotest.(check int) "every line delivered" (domains * per_domain)
+    (List.length !lines);
+  let seen = Hashtbl.create 1024 in
+  List.iter
+    (fun l ->
+      match
+        Scanf.sscanf_opt l "[w%d +%fs] w%d-%d" (fun _ _ w i -> (w, i))
+      with
+      | Some (w, i) when w >= 0 && w < domains && i >= 1 && i <= per_domain ->
+        if Hashtbl.mem seen (w, i) then Alcotest.failf "duplicate line %s" l;
+        Hashtbl.add seen (w, i) ()
+      | _ -> Alcotest.failf "torn or malformed line %S" l)
+    !lines
+
 let test_disabled_and_null () =
   Alcotest.(check bool) "disabled not live" false (T.live T.disabled);
   Alcotest.(check bool) "disabled not enabled" false (T.enabled T.disabled);
@@ -230,7 +289,27 @@ let test_report_json () =
   has_sub "\"phases\":";
   has_sub "\"branch_bound\"";
   has_sub "\"workers\":";
-  has_sub "\"depth_histogram\":"
+  has_sub "\"depth_histogram\":";
+  has_sub "\"gc\":{\"minor_collections\":"
+
+(* Live tracers delta Gc.quick_stat over their lifetime. *)
+let test_report_gc () =
+  let tracer = T.create () in
+  (* force some minor collections so the delta is visibly positive *)
+  let junk = ref [] in
+  for i = 1 to 100_000 do
+    junk := (i, float_of_int i) :: !junk;
+    if i mod 10_000 = 0 then junk := []
+  done;
+  ignore (Sys.opaque_identity !junk);
+  let r = T.report tracer ~nodes:0 ~simplex_iterations:0 ~elapsed:0. in
+  Alcotest.(check bool) "live tracer sees gc activity" true
+    (r.T.Report.gc.T.Report.gc_minor_collections > 0);
+  Alcotest.(check bool) "top heap recorded" true
+    (r.T.Report.gc.T.Report.gc_top_heap_words > 0);
+  let rd = T.report T.disabled ~nodes:0 ~simplex_iterations:0 ~elapsed:0. in
+  Alcotest.(check bool) "disabled tracer reports no_gc" true
+    (rd.T.Report.gc = T.Report.no_gc)
 
 let suites =
   [
@@ -243,6 +322,10 @@ let suites =
           test_ring_capacity;
         Alcotest.test_case "log-fn shim samples node events" `Quick
           test_log_fn_sampling;
+        Alcotest.test_case "ring wraparound under 4 domains" `Quick
+          test_ring_concurrent_wraparound;
+        Alcotest.test_case "log-fn shim serialized under 4 domains" `Quick
+          test_log_fn_concurrent;
         Alcotest.test_case "disabled vs null-sink tracers" `Quick
           test_disabled_and_null;
         Alcotest.test_case "spans time phases and survive raises" `Quick
@@ -251,5 +334,6 @@ let suites =
         Alcotest.test_case "RFLOOR_WORKERS parsing and clamping" `Quick
           test_workers_from_env;
         Alcotest.test_case "report json shape" `Quick test_report_json;
+        Alcotest.test_case "gc deltas in reports" `Quick test_report_gc;
       ] );
   ]
