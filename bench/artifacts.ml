@@ -50,7 +50,7 @@ let quick_entry ~budget ~workers (name, objective_mode) =
   let spec = Lazy.force toy_spec in
   let metrics = R.create () in
   let options =
-    Rfloor.Solver.Options.make ~time_limit:(Some budget) ~workers ~metrics
+    Rfloor.Solver.Options.make ~time_limit:budget ~workers ~metrics
       ~objective_mode ()
   in
   let o = Rfloor.Solver.solve ~options part spec in

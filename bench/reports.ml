@@ -259,7 +259,7 @@ let milp () =
   let spec = Lazy.force toy_spec in
   let s = Search.Engine.solve part spec in
   let opts =
-    Rfloor.Solver.Options.make ~time_limit:(Some (budget ()))
+    Rfloor.Solver.Options.make ~time_limit:(budget ())
       ~workers:(workers ()) ()
   in
   let m = Rfloor.Solver.solve ~options:opts part spec in
@@ -288,7 +288,7 @@ let ablation () =
     line "  %-28s %s" label (Format.asprintf "%a" Rfloor.Solver.pp_outcome o)
   in
   let base =
-    Rfloor.Solver.Options.make ~time_limit:(Some b) ~workers:(workers ()) ()
+    Rfloor.Solver.Options.make ~time_limit:b ~workers:(workers ()) ()
   in
   run "O, relocation constraint" base;
   run "HO (search seed)" { base with engine = Rfloor.Solver.Ho None };
@@ -413,7 +413,7 @@ let scaling () =
       let o =
         Rfloor.Solver.solve
           ~options:
-            (Rfloor.Solver.Options.make ~time_limit:(Some (budget ()))
+            (Rfloor.Solver.Options.make ~time_limit:(budget ())
                ~workers:(workers ()) ~engine ())
           partm toy
       in

@@ -18,13 +18,18 @@
 #                                validate the artifact and require a
 #                                clean self-compare.  Never touches the
 #                                FX70T instances.
+#   bin/lint.sh serve-smoke   -- service gate only: script an NDJSON
+#                                session against tiny/mini devices and
+#                                assert one canonical-key cache hit
+#                                (zero nodes), one cooperative cancel,
+#                                and a schema-valid metrics snapshot.
 set -eu
 cd "$(dirname "$0")/.."
 
 # one trap for every gate's scratch space (a later trap would replace
 # an earlier one and leak its directory)
-tmp="" btmp=""
-trap 'rm -rf "$tmp" "$btmp"' EXIT
+tmp="" btmp="" stmp=""
+trap 'rm -rf "$tmp" "$btmp" "$stmp"' EXIT
 
 bench_smoke() {
     echo "== bench-smoke (quick instance set, 2s budget)"
@@ -76,6 +81,54 @@ EOF
     echo "trace-check passed (schema valid, result identical with tracing off)"
 }
 
+serve_smoke() {
+    echo "== serve-smoke (scripted NDJSON session: cache hit + cancel)"
+    stmp=$(mktemp -d)
+    # a: lexicographic solve of a tiny inline device (optimal in well
+    #    under a second); b: the identical request, which must be an
+    #    exact canonical-key hit; c: a slower relocation job that gets
+    #    cancelled while queued (one service worker).
+    cat > "$stmp/session.ndjson" <<'EOF'
+{"op":"solve","id":"a","device_text":"name: tiny\nccbccd\nccbccd\nccbccd\n","design_text":"name: toy\nregion filter clb=2 bram=1\nregion decoder clb=2 dsp=1\nnet filter decoder 32\n","time":30}
+{"op":"solve","id":"b","device_text":"name: tiny\nccbccd\nccbccd\nccbccd\n","design_text":"name: toy\nregion filter clb=2 bram=1\nregion decoder clb=2 dsp=1\nnet filter decoder 32\n","time":30}
+{"op":"solve","id":"c","device":"mini","design_text":"name: toy\nregion filter clb=2 bram=1\nregion decoder clb=2 dsp=1\nnet filter decoder 32\nreloc filter 1 hard\n","time":60}
+{"op":"cancel","id":"c"}
+{"op":"stats"}
+{"op":"shutdown"}
+EOF
+    dune exec bin/rfloor_cli.exe -- batch "$stmp/session.ndjson" \
+        --workers 1 --metrics "json:$stmp/metrics.json" > "$stmp/out.ndjson"
+    b_line=$(grep '"id":"b"' "$stmp/out.ndjson")
+    case "$b_line" in
+        *'"source":"cache"'*) ;;
+        *) echo "serve-smoke: request b was not a cache hit:" >&2
+           echo "  $b_line" >&2; exit 1;;
+    esac
+    case "$b_line" in
+        *'"nodes":0'*) ;;
+        *) echo "serve-smoke: cache hit b ran branch-and-bound nodes:" >&2
+           echo "  $b_line" >&2; exit 1;;
+    esac
+    c_line=$(grep '"id":"c"' "$stmp/out.ndjson" | grep '"type":"result"')
+    case "$c_line" in
+        *'"outcome":"stopped"'*) ;;
+        *) echo "serve-smoke: request c was not cancelled:" >&2
+           echo "  $c_line" >&2; exit 1;;
+    esac
+    grep -q '"type":"ack","op":"cancel","id":"c","ok":true' "$stmp/out.ndjson" || {
+        echo "serve-smoke: cancel of c was not acknowledged" >&2; exit 1; }
+    grep '"type":"stats"' "$stmp/out.ndjson" | grep -q '"cache_hits":1' || {
+        echo "serve-smoke: stats frame does not count the cache hit" >&2; exit 1; }
+    dune exec bin/rfloor_cli.exe -- trace-validate --kind metrics \
+        "$stmp/metrics.json"
+    echo "serve-smoke passed (cache hit with 0 nodes, cancel acked, metrics valid)"
+}
+
+if [ "${1:-}" = "serve-smoke" ]; then
+    serve_smoke
+    exit 0
+fi
+
 if [ "${1:-}" = "trace-check" ]; then
     trace_check
     exit 0
@@ -109,5 +162,7 @@ dune exec bin/rfloor_cli.exe -- lint --device fx70t --design sdr
 trace_check
 
 bench_smoke
+
+serve_smoke
 
 echo "lint.sh: all gates passed"

@@ -243,9 +243,20 @@ let print_plan part spec label plan wasted wirelength proven =
     | Error es -> List.iter (fun e -> Format.printf "INVALID: %s@." e) es);
     print_endline (Floorplan.render part plan)
 
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Cooperative cancellation deadline for the MILP engines: when it \
+           passes, the branch-and-bound loop stops cleanly at the next node \
+           and reports the incumbent found so far (distinct from $(b,--time), \
+           which is the solver's own budget).")
+
 let solve_cmd =
-  let run device device_file design design_file engine time verbose trace
-      metrics workers =
+  let run device device_file design design_file engine time deadline verbose
+      trace metrics workers =
     let grid = load_device device device_file in
     let spec = load_design design design_file in
     let part = partition_of grid in
@@ -270,14 +281,25 @@ let solve_cmd =
       print_plan part spec "exact combinatorial search" r.Search.Engine.plan
         r.Search.Engine.wasted r.Search.Engine.wirelength r.Search.Engine.optimal
     | "milp" | "milp-ho" ->
+      let cancel =
+        match deadline with
+        | None -> Milp.Branch_bound.never_cancel
+        | Some d ->
+          let t0 = Unix.gettimeofday () in
+          fun () -> Unix.gettimeofday () -. t0 > d
+      in
       let opts =
         Rfloor.Solver.Options.make
-          ?time_limit:(Option.map Option.some time)
+          ?time_limit:time
           ~workers:(max 1 workers)
           ~engine:(if engine = "milp" then Rfloor.Solver.O else Rfloor.Solver.Ho None)
-          ~trace:sink ~metrics:reg ()
+          ~trace:sink ~metrics:reg ~cancel ()
       in
       let r = Rfloor.Solver.solve ~options:opts part spec in
+      (match r.Rfloor.Solver.stop with
+      | Some Rfloor.Solver.Cancelled -> Format.printf "search stopped: cancelled@."
+      | Some Rfloor.Solver.Budget -> Format.printf "search stopped: budget exhausted@."
+      | None -> ());
       (* preflight/audit errors explain an infeasible verdict; show them
          even without -v *)
       List.iter
@@ -304,8 +326,8 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Floorplan a design on a device.")
     Term.(
       const run $ device_arg $ device_file_arg $ design_arg $ design_file_arg
-      $ engine_arg $ time_arg $ verbose_arg $ trace_arg $ metrics_arg
-      $ workers_arg)
+      $ engine_arg $ time_arg $ deadline_arg $ verbose_arg $ trace_arg
+      $ metrics_arg $ workers_arg)
 
 (* ---------------- feasibility ---------------- *)
 
@@ -633,6 +655,79 @@ let bench_compare_cmd =
       const run $ old_arg $ new_arg $ slowdown_arg $ node_growth_arg
       $ min_seconds_arg)
 
+(* ---------------- serve / batch ---------------- *)
+
+let run_session ?input ~workers ~cache trace metrics =
+  let sink, close_sink = sink_of_trace trace false in
+  let reg, finish_metrics = registry_of_metrics metrics in
+  Fun.protect ~finally:close_sink @@ fun () ->
+  Fun.protect ~finally:finish_metrics @@ fun () ->
+  let tracer = Rfloor_trace.create ~sink:(tee_metrics_sink reg sink) () in
+  let session ic =
+    Rfloor_service.Session.run ~workers ~cache_capacity:cache ~metrics:reg
+      ~trace:tracer
+      ~devices:(fun n -> List.assoc_opt n builtin_devices)
+      ~designs:(fun n -> List.assoc_opt n builtin_designs)
+      ic stdout
+  in
+  match input with
+  | None -> session stdin
+  | Some file ->
+    let ic = open_in file in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> session ic)
+
+let pool_workers_arg =
+  Arg.(
+    value
+    & opt int (Milp.Parallel_bb.workers_from_env ())
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Service worker domains draining the job queue (default from \
+           \\$(b,RFLOOR_WORKERS), else 1).  Each job's own $(b,workers) field \
+           additionally controls its solver's branch-and-bound domains.")
+
+let cache_capacity_arg =
+  Arg.(
+    value
+    & opt int 128
+    & info [ "cache" ] ~docv:"N"
+        ~doc:"Solution cache capacity, in canonical-key entries (LRU).")
+
+let serve_cmd =
+  let run workers cache trace metrics =
+    run_session ~workers:(max 1 workers) ~cache:(max 1 cache) trace metrics
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the floorplanning service over stdin/stdout: one \
+          rfloor-service/1 JSON request per input line (solve, cancel, \
+          stats, shutdown), one JSON response per output line, result \
+          frames in submission order.  Repeated equivalent instances are \
+          answered from the canonical-key solution cache.")
+    Term.(const run $ pool_workers_arg $ cache_capacity_arg $ trace_arg $ metrics_arg)
+
+let batch_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"NDJSON request file, one frame per line.")
+  in
+  let run file workers cache trace metrics =
+    run_session ~input:file ~workers:(max 1 workers) ~cache:(max 1 cache) trace
+      metrics
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Run a file of rfloor-service/1 request frames through the service \
+          and print the responses — exactly $(b,serve) with the session \
+          scripted from FILE.")
+    Term.(
+      const run $ file_arg $ pool_workers_arg $ cache_capacity_arg $ trace_arg
+      $ metrics_arg)
+
 (* ---------------- sites ---------------- *)
 
 let sites_cmd =
@@ -658,6 +753,7 @@ let main_cmd =
     [
       partition_cmd; solve_cmd; feasibility_cmd; export_cmd; lint_cmd;
       relocate_cmd; sites_cmd; trace_validate_cmd; bench_compare_cmd;
+      serve_cmd; batch_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

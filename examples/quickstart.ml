@@ -38,7 +38,7 @@ let () =
     (* 4. The same problem through the paper's MILP formulation. *)
     let milp =
       Rfloor.Solver.solve
-        ~options:(Rfloor.Solver.Options.make ~time_limit:(Some 30.) ())
+        ~options:(Rfloor.Solver.Options.make ~time_limit:30. ())
         part spec
     in
     Format.printf "@.MILP engine: %a@." Rfloor.Solver.pp_outcome milp

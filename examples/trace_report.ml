@@ -26,7 +26,7 @@ let () =
   (* 1. Ring-buffer sink: capture every event in memory. *)
   let ring = Rfloor_trace.Ring.create ~capacity:4096 () in
   let options =
-    Rfloor.Solver.Options.make ~time_limit:(Some 30.)
+    Rfloor.Solver.Options.make ~time_limit:30.
       ~trace:(Rfloor_trace.Ring.sink ring) ()
   in
   let outcome = Rfloor.Solver.solve ~options part spec in
@@ -59,7 +59,7 @@ let () =
   let path = Filename.temp_file "rfloor_trace" ".jsonl" in
   let sink, close = Rfloor_trace.Sink.jsonl_file path in
   let opts2 =
-    Rfloor.Solver.Options.make ~time_limit:(Some 30.) ~trace:sink ()
+    Rfloor.Solver.Options.make ~time_limit:30. ~trace:sink ()
   in
   ignore (Rfloor.Solver.solve ~options:opts2 part spec);
   close ();

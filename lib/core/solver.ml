@@ -21,19 +21,22 @@ type options = {
   workers : int;
   trace : T.sink;
   metrics : Rfloor_metrics.Registry.t;
+  cancel : unit -> bool;
 }
 
 module Options = struct
   type t = options
 
-  let make ?(engine = O) ?(objective_mode = Lexicographic)
-      ?(time_limit = Some 60.) ?node_limit ?(paper_literal_l = false)
-      ?(warm_start = true) ?(preflight = true) ?(workers = 1)
-      ?(trace = T.Sink.null) ?(metrics = Rfloor_metrics.Registry.null) () =
+  let make ?(engine = O) ?(objective_mode = Lexicographic) ?(time_limit = 60.)
+      ?node_limit ?(paper_literal_l = false) ?(warm_start = true)
+      ?(preflight = true) ?(workers = 1) ?(trace = T.Sink.null)
+      ?(metrics = Rfloor_metrics.Registry.null) ?(cancel = Bb.never_cancel) () =
     {
       engine;
       objective_mode;
-      time_limit;
+      (* "no limit" is spelled [~time_limit:infinity] (or any non-finite
+         value); the record keeps the [float option] representation *)
+      time_limit = (if Float.is_finite time_limit then Some time_limit else None);
       node_limit;
       paper_literal_l;
       warm_start;
@@ -41,12 +44,15 @@ module Options = struct
       workers;
       trace;
       metrics;
+      cancel;
     }
 end
 
 let default_options = Options.make ()
 
 type status = Optimal | Feasible | Infeasible | Unknown
+
+type stop_reason = Bb.stop_reason = Budget | Cancelled
 
 type outcome = {
   plan : Floorplan.t option;
@@ -58,6 +64,7 @@ type outcome = {
   nodes : int;
   simplex_iterations : int;
   elapsed : float;
+  stop : stop_reason option;
   diagnostics : Diag.t list;
   report : T.Report.t;
 }
@@ -82,6 +89,7 @@ let bb_options options trace model stage_time =
     priorities = Some (Model.branching_priorities model);
     trace;
     metrics = options.metrics;
+    cancel = options.cancel;
   }
 
 let warm_plan options part spec =
@@ -127,6 +135,7 @@ let run_stage options trace model ~stage_time ~warm ~add_diags =
       nodes = 0;
       simplex_iterations = 0;
       elapsed = 0.;
+      stop = None;
     }
   else begin
     ignore (Milp.Presolve.tighten ~trace ~metrics:options.metrics lp);
@@ -198,6 +207,7 @@ let finish options trace part spec model (r : Bb.result) extra_nodes extra_iters
     nodes;
     simplex_iterations;
     elapsed;
+    stop = r.Bb.stop;
     diagnostics = diags @ audit;
     report = T.report trace ~nodes ~simplex_iterations ~elapsed;
   }
@@ -237,6 +247,7 @@ let solve ?(options = default_options) part (spec : Spec.t) =
       nodes = 0;
       simplex_iterations = 0;
       elapsed = 0.;
+      stop = None;
       diagnostics = !diags;
       report = T.report trace ~nodes:0 ~simplex_iterations:0 ~elapsed:0.;
     }
@@ -368,6 +379,10 @@ let pp_outcome ppf o =
     (match o.wasted with Some w -> string_of_int w | None -> "-")
     (match o.wirelength with Some w -> Printf.sprintf "%.1f" w | None -> "-")
     o.fc_identified o.nodes o.elapsed;
+  (match o.stop with
+  | Some Budget -> Format.fprintf ppf " stop=budget"
+  | Some Cancelled -> Format.fprintf ppf " stop=cancelled"
+  | None -> ());
   let nerr = Diag.count Diag.Error o.diagnostics
   and nwarn = Diag.count Diag.Warning o.diagnostics in
   if nerr > 0 || nwarn > 0 then

@@ -50,6 +50,12 @@ type options = {
           (per-phase wall time, node throughput, steal latency, the
           incumbent-improvement curve); snapshot it after the solve with
           {!Rfloor_metrics.Registry.snapshot}. *)
+  cancel : unit -> bool;
+      (** Cooperative cancellation token, polled at every
+          branch-and-bound loop head (sequential and parallel).  When it
+          returns [true] the solve stops cleanly with
+          [outcome.stop = Some Cancelled] and the best incumbent found
+          so far.  Default {!Milp.Branch_bound.never_cancel}. *)
 }
 
 module Options : sig
@@ -58,7 +64,7 @@ module Options : sig
   val make :
     ?engine:engine ->
     ?objective_mode:objective_mode ->
-    ?time_limit:float option ->
+    ?time_limit:float ->
     ?node_limit:int ->
     ?paper_literal_l:bool ->
     ?warm_start:bool ->
@@ -66,19 +72,26 @@ module Options : sig
     ?workers:int ->
     ?trace:Rfloor_trace.sink ->
     ?metrics:Rfloor_metrics.Registry.t ->
+    ?cancel:(unit -> bool) ->
     unit ->
     t
   (** The single construction point for solver options — the CLI, the
       bench and the examples all build through it, so the defaults
-      ([engine O], [Lexicographic], [time_limit = Some 60.], no node
-      limit, warm start and preflight on, one worker, null trace sink)
-      are defined exactly once. *)
+      ([engine O], [Lexicographic], [time_limit] 60 seconds, no node
+      limit, warm start and preflight on, one worker, null trace sink,
+      never-firing [cancel]) are defined exactly once.  "No time limit"
+      is spelled explicitly: [~time_limit:infinity] (any non-finite
+      value maps to [None] in the record). *)
 end
 
 val default_options : options
 (** [Options.make ()]. *)
 
 type status = Optimal | Feasible | Infeasible | Unknown
+
+type stop_reason = Milp.Branch_bound.stop_reason =
+  | Budget  (** time / node / simplex-iteration limit *)
+  | Cancelled  (** the cooperative [cancel] token fired *)
 
 type outcome = {
   plan : Device.Floorplan.t option;
@@ -90,6 +103,10 @@ type outcome = {
   nodes : int;
   simplex_iterations : int;
   elapsed : float;
+  stop : stop_reason option;
+      (** Why the (final-stage) search ended early; [None] when it ran
+          to completion.  With [stop = Some _] the [status] is at best
+          [Feasible] and [plan] holds the incumbent at the stop. *)
   diagnostics : Rfloor_analysis.Diagnostic.t list;
       (** Preflight lint findings plus the post-solve solution audit;
           on a preflight [Infeasible] these explain the verdict. *)

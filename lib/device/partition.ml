@@ -138,6 +138,26 @@ let column_tid t col = (portion_of_column t col).tid
 let frames_of_demand t d =
   Resource.demand_frames ~frames:(Grid.frames t.grid) d
 
+(* Canonical left-to-right tile-type sequence: tids renumbered by first
+   appearance, so two columnar devices whose portion sequences differ
+   only by a renaming of tile types map to the same list. *)
+let type_sequence t =
+  let next = ref 0 in
+  let canon = Hashtbl.create 8 in
+  Array.to_list
+    (Array.map
+       (fun p ->
+         let c =
+           match Hashtbl.find_opt canon p.tid with
+           | Some c -> c
+           | None ->
+             incr next;
+             Hashtbl.add canon p.tid !next;
+             !next
+         in
+         (c, portion_width p))
+       t.portions)
+
 let check_adjacent_types_differ t =
   let ok = ref true in
   for i = 0 to Array.length t.portions - 2 do

@@ -45,6 +45,14 @@ val height : t -> int
 
 val frames_of_demand : t -> Resource.demand -> int
 
+val type_sequence : t -> (int * int) list
+(** [(canonical_tid, width)] per portion, left to right, with tile ids
+    renumbered by order of first appearance.  Two columnar partitions
+    have equal sequences iff their portion structures are identical up
+    to a renaming of tile types that preserves the left-to-right
+    sequence (the equivalence behind Properties .3/.4 — the basis of
+    {!Rfloor_service} instance canonicalization). *)
+
 val check_adjacent_types_differ : t -> bool
 (** Property .3: adjacent columnar portions have different types. *)
 

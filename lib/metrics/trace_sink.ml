@@ -40,6 +40,10 @@ let sink reg =
     let restarts =
       counter ~help:"Optimization stage restarts" "rfloor_restarts_total"
     in
+    let stops =
+      counter ~help:"Early solver stops (cancel or budget)"
+        "rfloor_stops_total"
+    in
     let warnings = counter ~help:"Warning events" "rfloor_warnings_total" in
     (* per-phase histograms and per-worker counters, created on first
        sight; the tables below are only touched under the sink mutex *)
@@ -105,6 +109,7 @@ let sink reg =
           Registry.Counter.incr idle;
           Hashtbl.replace idle_since e.E.worker e.E.at
         | E.Restart _ -> Registry.Counter.incr restarts
+        | E.Stopped _ -> Registry.Counter.incr stops
         | E.Warning _ -> Registry.Counter.incr warnings
         | E.Message _ -> ())
   end

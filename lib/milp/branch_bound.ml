@@ -1,5 +1,7 @@
 type status = Optimal | Feasible | Infeasible | Unbounded | Unknown
 
+type stop_reason = Budget | Cancelled
+
 type result = {
   status : status;
   incumbent : (float * float array) option;
@@ -7,6 +9,7 @@ type result = {
   nodes : int;
   simplex_iterations : int;
   elapsed : float;
+  stop : stop_reason option;
 }
 
 type options = {
@@ -18,7 +21,10 @@ type options = {
   trace : Rfloor_trace.t;
   gomory_rounds : int;
   metrics : Rfloor_metrics.Registry.t;
+  cancel : unit -> bool;
 }
+
+let never_cancel () = false
 
 let default_options =
   {
@@ -30,6 +36,7 @@ let default_options =
     trace = Rfloor_trace.disabled;
     gomory_rounds = 0;
     metrics = Rfloor_metrics.Registry.null;
+    cancel = never_cancel;
   }
 
 (* Per-LP profiling handles shared with Parallel_bb: same series names,
@@ -110,6 +117,7 @@ let solve ?(options = default_options) ?(worker = 0) ?incumbent lp =
         (Printf.sprintf "warm incumbent rejected: %s" msg)));
   let nodes = ref 0 and iters = ref 0 in
   let incomplete = ref false in
+  let cancelled = ref false in
   (* stack of open nodes; each carries the bound inherited from its
      parent's LP relaxation *)
   let stack = ref [ { n_lb = root_lb; n_ub = root_ub; n_bound = neg_infinity; n_depth = 0 } ] in
@@ -129,10 +137,20 @@ let solve ?(options = default_options) ?(worker = 0) ?incumbent lp =
     | node :: rest ->
       stack := rest;
       if !unbounded then stopped := true
+      else if options.cancel () then begin
+        (* cooperative cancellation: hand the node back so the final
+           dual bound still covers it, exactly like a budget stop *)
+        incomplete := true;
+        cancelled := true;
+        stack := node :: !stack;
+        stopped := true;
+        Rfloor_trace.stopped trace ~worker "cancel"
+      end
       else if out_of_budget () then begin
         incomplete := true;
         stack := node :: !stack;
-        stopped := true
+        stopped := true;
+        Rfloor_trace.stopped trace ~worker "budget"
       end
       else if node.n_bound >= !inc_key -. gap_abs () then () (* pruned by bound *)
       else begin
@@ -220,6 +238,12 @@ let solve ?(options = default_options) ?(worker = 0) ?incumbent lp =
       | None, true -> Infeasible
       | None, false -> Unknown
   in
+  let stop =
+    if !unbounded then None (* conclusive, even with open nodes left *)
+    else if !cancelled then Some Cancelled
+    else if !stack <> [] || !incomplete then Some Budget
+    else None
+  in
   {
     status;
     incumbent = (match !inc_x with Some x -> Some (unkey !inc_key, x) | None -> None);
@@ -227,4 +251,5 @@ let solve ?(options = default_options) ?(worker = 0) ?incumbent lp =
     nodes = !nodes;
     simplex_iterations = !iters;
     elapsed;
+    stop;
   }

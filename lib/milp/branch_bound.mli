@@ -13,6 +13,10 @@ type status =
   | Unbounded
   | Unknown  (** stopped early without an incumbent *)
 
+type stop_reason =
+  | Budget  (** time limit, node limit, or a simplex iteration cap *)
+  | Cancelled  (** the cooperative [cancel] token fired *)
+
 type result = {
   status : status;
   incumbent : (float * float array) option;
@@ -25,6 +29,10 @@ type result = {
       (** Wall-clock seconds ([Unix.gettimeofday]-based).  Wall clock —
           not CPU time — so that a parallel run ({!Parallel_bb}) reports
           the time the caller actually waited. *)
+  stop : stop_reason option;
+      (** Why the search ended early; [None] when it ran to completion
+          (status [Optimal], [Infeasible] or [Unbounded]).  [Cancelled]
+          wins when both a cancel and a budget stop raced. *)
 }
 
 type options = {
@@ -48,7 +56,15 @@ type options = {
           {!Rfloor_metrics.Registry.null} — with it, the per-node hot
           path does no histogram work beyond a load-and-branch and
           reads no clocks. *)
+  cancel : unit -> bool;
+      (** Cooperative cancellation token, polled at every loop head
+          (before each node's LP solve).  Returning [true] stops the
+          search with [stop = Some Cancelled], keeping the incumbent
+          found so far.  Default {!never_cancel}. *)
 }
+
+val never_cancel : unit -> bool
+(** The default [cancel] token: always [false]. *)
 
 val default_options : options
 

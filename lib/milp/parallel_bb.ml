@@ -87,6 +87,9 @@ let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
   let unbounded = Atomic.make false in
   let incomplete = Atomic.make false in
   let over_budget = Atomic.make false in
+  let cancelled = Atomic.make false in
+  (* one-shot guard so a budget stop traces once, not once per worker *)
+  let budget_emitted = Atomic.make false in
   let root_bound = Atomic.make neg_infinity in
   (* Global deque of open subproblems.  Push/claim are mutex-guarded;
      [qlen] is a racy size estimate that only steers the donation
@@ -155,7 +158,9 @@ let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
     if over then Atomic.set over_budget true;
     over
   in
-  let stop_requested () = Atomic.get unbounded || Atomic.get over_budget in
+  let stop_requested () =
+    Atomic.get unbounded || Atomic.get over_budget || Atomic.get cancelled
+  in
   (* Donate the shallowest (largest) open subtrees whenever the global
      deque runs short — the stealing happens on the donor's side so the
      deque never needs per-node locking on the hot dive path. *)
@@ -194,8 +199,20 @@ let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
           stack := [];
           running := false
         end
+        else if options.Bb.cancel () then begin
+          (* cooperative cancellation: return the dive's open nodes to
+             the deque so the final dual bound still covers them *)
+          Atomic.set incomplete true;
+          if Atomic.compare_and_set cancelled false true then
+            Rfloor_trace.stopped trace ~worker:w "cancel";
+          push_tasks (node :: !stack);
+          stack := [];
+          running := false
+        end
         else if out_of_budget () then begin
           Atomic.set incomplete true;
+          if Atomic.compare_and_set budget_emitted false true then
+            Rfloor_trace.stopped trace ~worker:w "budget";
           push_tasks (node :: !stack);
           stack := [];
           running := false
@@ -326,6 +343,12 @@ let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
       | None, true -> Bb.Infeasible
       | None, false -> Bb.Unknown
   in
+  let stop =
+    if Atomic.get unbounded then None (* conclusive, even with open nodes *)
+    else if Atomic.get cancelled then Some Bb.Cancelled
+    else if not complete then Some Bb.Budget
+    else None
+  in
   {
     Bb.status;
     incumbent =
@@ -334,4 +357,5 @@ let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
     nodes = Atomic.get nodes;
     simplex_iterations = Atomic.get iters;
     elapsed = Unix.gettimeofday () -. t0;
+    stop;
   }

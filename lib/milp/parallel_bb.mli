@@ -17,8 +17,10 @@
       paying the transfer;
     - termination is cooperative: workers exit when the deque is empty
       and no worker is mid-dive, or when a proven gap / time limit /
-      node limit fires (remaining open nodes are returned to the deque
-      so the reported dual bound stays sound).
+      node limit / [options.cancel] token fires (remaining open nodes
+      are returned to the deque so the reported dual bound stays sound;
+      [result.stop] distinguishes a cancel from a budget stop, and a
+      single [Stopped] trace event is emitted for the whole pool).
 
     Results are a {!Branch_bound.result}: [nodes] and
     [simplex_iterations] are aggregated across workers and [elapsed] is

@@ -1,0 +1,109 @@
+type entry = {
+  instance_key : string;
+  options_key : string;
+  instance_text : string;
+  options_text : string;
+  status : Rfloor.Solver.status;
+  wasted : int option;
+  wirelength : float option;
+  objective : float option;
+  fc_identified : int;
+  plan : Canonical.plan option;
+}
+
+type slot = { entry : entry; mutable used : int }
+
+type t = {
+  mu : Mutex.t;
+  table : (string, slot) Hashtbl.t;  (* instance_key ^ "/" ^ options_key *)
+  capacity : int;
+  mutable tick : int;
+}
+
+let create ?(capacity = 128) () =
+  if capacity < 1 then invalid_arg "Cache.create: capacity < 1";
+  { mu = Mutex.create (); table = Hashtbl.create 64; capacity; tick = 0 }
+
+let capacity t = t.capacity
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let length t = locked t (fun () -> Hashtbl.length t.table)
+
+let full_key ik ok = ik ^ "/" ^ ok
+
+let touch t slot =
+  t.tick <- t.tick + 1;
+  slot.used <- t.tick
+
+type hit = Exact of entry | Near of entry
+
+let find t ~instance_key ~instance_text ~options_key ~options_text =
+  locked t (fun () ->
+      let exact =
+        match Hashtbl.find_opt t.table (full_key instance_key options_key) with
+        | Some slot
+        (* the stored texts must match byte for byte: a key is only a
+           hash, equal text is what implies an isomorphic instance *)
+          when slot.entry.instance_text = instance_text
+               && slot.entry.options_text = options_text
+               && slot.entry.status = Rfloor.Solver.Optimal ->
+          Some slot
+        | _ -> None
+      in
+      match exact with
+      | Some slot ->
+        touch t slot;
+        Some (Exact slot.entry)
+      | None ->
+        (* near hit: same instance under any options, with a plan to
+           inject as a warm start; prefer Optimal, then most recent *)
+        let best = ref None in
+        Hashtbl.iter
+          (fun _ slot ->
+            if
+              slot.entry.instance_key = instance_key
+              && slot.entry.instance_text = instance_text
+              && slot.entry.plan <> None
+            then
+              let rank =
+                ((match slot.entry.status with
+                 | Rfloor.Solver.Optimal -> 1
+                 | _ -> 0),
+                  slot.used)
+              in
+              match !best with
+              | Some (r, _) when r >= rank -> ()
+              | _ -> best := Some (rank, slot))
+          t.table;
+        (match !best with
+        | Some (_, slot) ->
+          touch t slot;
+          Some (Near slot.entry)
+        | None -> None))
+
+let store t entry =
+  locked t (fun () ->
+      let k = full_key entry.instance_key entry.options_key in
+      (match Hashtbl.find_opt t.table k with
+      | Some _ -> Hashtbl.remove t.table k
+      | None -> ());
+      if Hashtbl.length t.table >= t.capacity then begin
+        (* evict the least recently used slot; the table is bounded by
+           [capacity], so the scan is too *)
+        let victim = ref None in
+        Hashtbl.iter
+          (fun key slot ->
+            match !victim with
+            | Some (_, u) when u <= slot.used -> ()
+            | _ -> victim := Some (key, slot.used))
+          t.table;
+        match !victim with
+        | Some (key, _) -> Hashtbl.remove t.table key
+        | None -> ()
+      end;
+      let slot = { entry; used = 0 } in
+      touch t slot;
+      Hashtbl.add t.table k slot)

@@ -1,0 +1,52 @@
+(** Bounded LRU cache of solved floorplanning instances, keyed by
+    {!Canonical} keys and verified against the full canonical texts (a
+    key is only a hash; byte-equal text is what implies an isomorphic
+    instance, so a collision can never produce a false hit).
+
+    Policy:
+    - an {e exact} hit — same instance key {e and} options key, texts
+      equal — is only served from an [Optimal] entry, because optimal
+      answers are the only ones independent of the budget options the
+      key deliberately omits;
+    - a {e near} hit — same instance under different options — returns
+      any entry carrying a plan (preferring [Optimal], then recency)
+      for the caller to inject as a warm start.
+
+    All operations are mutex-serialized: one cache is shared by every
+    worker of a {!Pool}. *)
+
+type entry = {
+  instance_key : string;
+  options_key : string;
+  instance_text : string;
+  options_text : string;
+  status : Rfloor.Solver.status;
+  wasted : int option;
+  wirelength : float option;
+  objective : float option;
+  fc_identified : int;
+  plan : Canonical.plan option;  (** canonical form: region indices *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 128 entries.  @raise Invalid_argument if < 1. *)
+
+type hit = Exact of entry | Near of entry
+
+val find :
+  t ->
+  instance_key:string ->
+  instance_text:string ->
+  options_key:string ->
+  options_text:string ->
+  hit option
+(** Refreshes the returned entry's recency. *)
+
+val store : t -> entry -> unit
+(** Inserts (or replaces the same-key entry), evicting the least
+    recently used entry at capacity. *)
+
+val length : t -> int
+val capacity : t -> int

@@ -1,0 +1,100 @@
+(** Concurrent floorplanning job pool: a priority queue drained by
+    OCaml 5 worker domains, each job running the full
+    {!Rfloor.Solver.solve} pipeline with instance canonicalization, a
+    shared {!Cache}, and cooperative cancellation.
+
+    Per job:
+    + canonicalize the instance ({!Canonical.of_instance});
+    + exact cache hit (same instance and options keys, [Optimal]
+      entry) — answer immediately, zero branch-and-bound nodes;
+    + near hit (same instance, different options, cached plan) — inject
+      the cached plan as an HO seed
+      ([engine = Ho (Some plan)], the warm start of the issue) and
+      solve; the result is stored under the options actually used;
+    + miss — solve with the requested options and store the result.
+
+    Cancellation is cooperative: {!cancel} flips the job's flag, which
+    is polled by the branch-and-bound loop heads (via
+    [Solver.options.cancel], combined with the job's deadline and any
+    caller-supplied token).  A job cancelled mid-solve finishes as
+    [Stopped] carrying the incumbent found so far; one cancelled while
+    still queued finishes as [Stopped] without solving at all. *)
+
+type source =
+  | Solved  (** full solve, cache miss *)
+  | Cache_hit  (** exact canonical-key hit, no solver run *)
+  | Warm_start  (** near hit, solved from the cached plan as HO seed *)
+
+type solved = {
+  outcome : Rfloor.Solver.outcome;
+  source : source;
+  key : string;  (** canonical instance key ([""] for an unsolved stop) *)
+  waited : float;  (** submit-to-finish seconds *)
+}
+
+type result =
+  | Completed of solved
+  | Stopped of solved * string
+      (** early cooperative stop; the string is ["cancel"] or
+          ["deadline"], and [solved.outcome.plan] holds the incumbent
+          at the stop (if any) *)
+  | Failed of string  (** exception text *)
+
+type t
+
+val create :
+  ?workers:int ->
+  ?cache_capacity:int ->
+  ?metrics:Rfloor_metrics.Registry.t ->
+  ?trace:Rfloor_trace.t ->
+  unit ->
+  t
+(** Spawns [workers] (default 1) domains immediately.  A live [metrics]
+    registry receives the [rfloor_service_*] family: queue depth gauge,
+    cache hit/miss/warm-start totals, jobs by outcome, and a
+    submit-to-finish latency histogram.  [trace] receives one [Job]
+    span per job (worker-tagged), independent of any per-job solver
+    trace configured in the submitted options. *)
+
+val submit :
+  t ->
+  ?priority:int ->
+  ?deadline:float ->
+  ?options:Rfloor.Solver.options ->
+  Device.Partition.t ->
+  Device.Spec.t ->
+  int
+(** Enqueues a job and returns its ticket.  Higher [priority] (default
+    0) is claimed first; ties are FIFO.  [deadline] is in seconds from
+    submission; when it passes, the job's cancel token fires and the
+    job finishes as [Stopped _, "deadline"] with its current incumbent
+    — a queued job always {e enters} the solver (only an explicit
+    {!cancel} prevents that), so a warm-started solve still yields a
+    plan even with an already-expired deadline.
+    @raise Invalid_argument after {!shutdown}. *)
+
+val cancel : t -> int -> bool
+(** [false] if the ticket is unknown or the job already finished. *)
+
+val await : t -> int -> result
+(** Blocks until the job finishes.  @raise Invalid_argument on an
+    unknown ticket. *)
+
+type stats = {
+  s_workers : int;
+  s_queued : int;
+  s_running : int;
+  s_finished : int;
+  s_cache_entries : int;
+  s_cache_capacity : int;
+  s_cache_hits : int;
+  s_cache_misses : int;
+  s_warm_starts : int;
+}
+
+val stats : t -> stats
+
+val shutdown : t -> unit
+(** Stops accepting submissions, drains the queue (queued jobs still
+    run — cancel them first for a fast exit), and joins the worker
+    domains.  Idempotent; {!await} keeps working afterwards. *)

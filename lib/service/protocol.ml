@@ -1,0 +1,202 @@
+module J = Rfloor_metrics.Json
+module Solver = Rfloor.Solver
+module Rect = Device.Rect
+
+let version = "rfloor-service/1"
+
+(* ---------------- requests ---------------- *)
+
+type source_ref = Builtin of string | Inline of string
+
+type solve_req = {
+  sq_id : string;
+  sq_device : source_ref;
+  sq_design : source_ref;
+  sq_engine : [ `O | `Ho ];
+  sq_objective : [ `Lex | `Feasibility ];
+  sq_time : float option;
+  sq_priority : int;
+  sq_deadline : float option;
+  sq_workers : int;
+}
+
+type request = Solve of solve_req | Cancel of string | Stats | Shutdown
+
+let ( let* ) = Result.bind
+
+let opt_string key json =
+  match J.member key json with
+  | None -> Ok None
+  | Some (J.Str s) -> Ok (Some s)
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" key)
+
+let opt_num key json =
+  match J.member key json with
+  | None | Some J.Null -> Ok None
+  | Some (J.Num n) -> Ok (Some n)
+  | Some _ -> Error (Printf.sprintf "field %S must be a number" key)
+
+let opt_int ~default key json =
+  let* n = opt_num key json in
+  match n with
+  | None -> Ok default
+  | Some f when Float.is_integer f -> Ok (int_of_float f)
+  | Some _ -> Error (Printf.sprintf "field %S must be an integer" key)
+
+let source ~name_key ~text_key json =
+  let* name = opt_string name_key json in
+  let* text = opt_string text_key json in
+  match (name, text) with
+  | Some n, None -> Ok (Builtin n)
+  | None, Some t -> Ok (Inline t)
+  | Some _, Some _ ->
+    Error (Printf.sprintf "give %S or %S, not both" name_key text_key)
+  | None, None ->
+    Error (Printf.sprintf "missing %S or %S" name_key text_key)
+
+let parse_solve json =
+  let* sq_id = J.get_string "id" json in
+  let* sq_device = source ~name_key:"device" ~text_key:"device_text" json in
+  let* sq_design = source ~name_key:"design" ~text_key:"design_text" json in
+  let* engine = opt_string "engine" json in
+  let* sq_engine =
+    match engine with
+    | None | Some "milp" -> Ok `O
+    | Some ("milp-ho" | "ho") -> Ok `Ho
+    | Some e -> Error (Printf.sprintf "unknown engine %S (milp | milp-ho)" e)
+  in
+  let* objective = opt_string "objective" json in
+  let* sq_objective =
+    match objective with
+    | None | Some "lex" -> Ok `Lex
+    | Some ("feasibility" | "feas") -> Ok `Feasibility
+    | Some o -> Error (Printf.sprintf "unknown objective %S (lex | feasibility)" o)
+  in
+  let* sq_time = opt_num "time" json in
+  let* sq_priority = opt_int ~default:0 "priority" json in
+  let* sq_deadline = opt_num "deadline" json in
+  let* sq_workers = opt_int ~default:1 "workers" json in
+  Ok
+    (Solve
+       {
+         sq_id;
+         sq_device;
+         sq_design;
+         sq_engine;
+         sq_objective;
+         sq_time;
+         sq_priority;
+         sq_deadline;
+         sq_workers;
+       })
+
+let parse_request line =
+  let* json = J.parse line in
+  let* op = J.get_string "op" json in
+  match op with
+  | "solve" -> parse_solve json
+  | "cancel" ->
+    let* id = J.get_string "id" json in
+    Ok (Cancel id)
+  | "stats" -> Ok Stats
+  | "shutdown" -> Ok Shutdown
+  | op -> Error (Printf.sprintf "unknown op %S (solve | cancel | stats | shutdown)" op)
+
+(* ---------------- responses ---------------- *)
+
+let num f = if Float.is_finite f then J.Num f else J.Null
+let opt_field k v = match v with None -> [] | Some j -> [ (k, j) ]
+
+let status_str = function
+  | Solver.Optimal -> "optimal"
+  | Solver.Feasible -> "feasible"
+  | Solver.Infeasible -> "infeasible"
+  | Solver.Unknown -> "unknown"
+
+let source_str = function
+  | Pool.Solved -> "solved"
+  | Pool.Cache_hit -> "cache"
+  | Pool.Warm_start -> "warm"
+
+let plan_json (p : Device.Floorplan.t) =
+  let rect (r : Rect.t) =
+    [
+      ("x", J.Num (float_of_int r.Rect.x));
+      ("y", J.Num (float_of_int r.Rect.y));
+      ("w", J.Num (float_of_int r.Rect.w));
+      ("h", J.Num (float_of_int r.Rect.h));
+    ]
+  in
+  J.Arr
+    (List.map
+       (fun pl ->
+         J.Obj (("region", J.Str pl.Device.Floorplan.p_region) :: rect pl.Device.Floorplan.p_rect))
+       p.Device.Floorplan.placements
+    @ List.map
+        (fun fa ->
+          J.Obj
+            (("region", J.Str fa.Device.Floorplan.fc_region)
+            :: ("copy", J.Num (float_of_int fa.Device.Floorplan.fc_index))
+            :: rect fa.Device.Floorplan.fc_rect))
+        p.Device.Floorplan.fc_areas)
+
+let solved_fields (s : Pool.solved) =
+  let o = s.Pool.outcome in
+  [
+    ("source", J.Str (source_str s.Pool.source));
+    ("status", J.Str (status_str o.Solver.status));
+    ("fc", J.Num (float_of_int o.Solver.fc_identified));
+    ("nodes", J.Num (float_of_int o.Solver.nodes));
+    ("iterations", J.Num (float_of_int o.Solver.simplex_iterations));
+    ("elapsed", num o.Solver.elapsed);
+    ("waited", num s.Pool.waited);
+    ("key", J.Str s.Pool.key);
+  ]
+  @ opt_field "wasted" (Option.map (fun w -> J.Num (float_of_int w)) o.Solver.wasted)
+  @ opt_field "wirelength" (Option.map num o.Solver.wirelength)
+  @ opt_field "objective" (Option.map num o.Solver.objective_value)
+  @ opt_field "stop"
+      (match o.Solver.stop with
+      | Some Solver.Budget -> Some (J.Str "budget")
+      | Some Solver.Cancelled -> Some (J.Str "cancel")
+      | None -> None)
+  @ opt_field "plan" (Option.map plan_json o.Solver.plan)
+
+let frame fields = J.to_string (J.Obj (("v", J.Str version) :: fields))
+
+let result_frame ~id result =
+  frame
+    (("type", J.Str "result")
+    :: ("id", J.Str id)
+    ::
+    (match result with
+    | Pool.Completed s -> ("outcome", J.Str "completed") :: solved_fields s
+    | Pool.Stopped (s, reason) ->
+      ("outcome", J.Str "stopped") :: ("reason", J.Str reason) :: solved_fields s
+    | Pool.Failed msg -> [ ("outcome", J.Str "failed"); ("error", J.Str msg) ]))
+
+let ack_frame ~op ~id ~ok =
+  frame
+    [ ("type", J.Str "ack"); ("op", J.Str op); ("id", J.Str id); ("ok", J.Bool ok) ]
+
+let stats_frame (s : Pool.stats) =
+  let i n = J.Num (float_of_int n) in
+  frame
+    [
+      ("type", J.Str "stats");
+      ("workers", i s.Pool.s_workers);
+      ("queued", i s.Pool.s_queued);
+      ("running", i s.Pool.s_running);
+      ("finished", i s.Pool.s_finished);
+      ("cache_entries", i s.Pool.s_cache_entries);
+      ("cache_capacity", i s.Pool.s_cache_capacity);
+      ("cache_hits", i s.Pool.s_cache_hits);
+      ("cache_misses", i s.Pool.s_cache_misses);
+      ("warm_starts", i s.Pool.s_warm_starts);
+    ]
+
+let error_frame ?id msg =
+  frame
+    (("type", J.Str "error")
+    :: (opt_field "id" (Option.map (fun s -> J.Str s) id)
+       @ [ ("message", J.Str msg) ]))

@@ -1,0 +1,44 @@
+(** The newline-delimited JSON protocol ([rfloor-service/1]) spoken by
+    [rfloor_cli serve] and [rfloor_cli batch]: one request object per
+    input line, one response object per output line, every response
+    carrying [{"v":"rfloor-service/1"}].
+
+    Requests:
+    - [{"op":"solve","id":ID, "device":NAME | "device_text":TEXT,
+       "design":NAME | "design_text":TEXT, "engine":"milp"|"milp-ho",
+       "objective":"lex"|"feasibility", "time":SECONDS,
+       "priority":INT, "deadline":SECONDS, "workers":INT}]
+    - [{"op":"cancel","id":ID}]
+    - [{"op":"stats"}]
+    - [{"op":"shutdown"}]
+
+    Responses: [type] is ["result"] (per solve, in submission order),
+    ["ack"] (per cancel), ["stats"], or ["error"]. *)
+
+type source_ref =
+  | Builtin of string  (** a name the host resolves (e.g. ["mini"]) *)
+  | Inline of string  (** {!Device.Io.parse_grid}/[parse_spec] text *)
+
+type solve_req = {
+  sq_id : string;
+  sq_device : source_ref;
+  sq_design : source_ref;
+  sq_engine : [ `O | `Ho ];
+  sq_objective : [ `Lex | `Feasibility ];
+  sq_time : float option;  (** solver budget, seconds *)
+  sq_priority : int;
+  sq_deadline : float option;  (** cooperative-cancel deadline, seconds *)
+  sq_workers : int;
+}
+
+type request = Solve of solve_req | Cancel of string | Stats | Shutdown
+
+val parse_request : string -> (request, string) result
+
+val result_frame : id:string -> Pool.result -> string
+val ack_frame : op:string -> id:string -> ok:bool -> string
+val stats_frame : Pool.stats -> string
+val error_frame : ?id:string -> string -> string
+
+val version : string
+(** ["rfloor-service/1"]. *)

@@ -1,0 +1,152 @@
+module P = Protocol
+module Solver = Rfloor.Solver
+
+(* The response queue decouples reading from answering: the reader
+   thread parses and submits without ever blocking on a solve, so a
+   [cancel] frame can reach a job that is still queued or mid-solve.
+   The responder domain prints one frame per item strictly in
+   submission order — [Job] items block on the pool — which makes a
+   scripted session's output deterministic (the serve-smoke gate
+   depends on exactly that). *)
+type item =
+  | Job of string * int  (* request id, pool ticket *)
+  | Ready of string  (* pre-rendered frame *)
+  | Stats_item  (* rendered at dequeue time, i.e. after prior jobs *)
+  | Quit
+
+type queue = {
+  mu : Mutex.t;
+  cond : Condition.t;
+  q : item Queue.t;
+}
+
+let push qu item =
+  Mutex.lock qu.mu;
+  Queue.add item qu.q;
+  Condition.signal qu.cond;
+  Mutex.unlock qu.mu
+
+let pop qu =
+  Mutex.lock qu.mu;
+  while Queue.is_empty qu.q do
+    Condition.wait qu.cond qu.mu
+  done;
+  let item = Queue.pop qu.q in
+  Mutex.unlock qu.mu;
+  item
+
+let diag_str d = Format.asprintf "%a" Rfloor_diag.Diagnostic.pp d
+
+let resolve_grid ~devices = function
+  | P.Builtin name -> (
+    match devices name with
+    | Some g -> Ok g
+    | None -> Error (Printf.sprintf "unknown device %S" name))
+  | P.Inline text -> (
+    match Device.Io.parse_grid text with
+    | Ok g -> Ok g
+    | Error d -> Error (diag_str d))
+
+let resolve_spec ~designs = function
+  | P.Builtin name -> (
+    match designs name with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "unknown design %S" name))
+  | P.Inline text -> (
+    match Device.Io.parse_spec text with
+    | Ok s -> Ok s
+    | Error d -> Error (diag_str d))
+
+let ( let* ) = Result.bind
+
+let submit_solve pool ~metrics ~devices ~designs (sq : P.solve_req) =
+  let* grid = resolve_grid ~devices sq.P.sq_device in
+  let* spec = resolve_spec ~designs sq.P.sq_design in
+  let* part =
+    match Device.Partition.columnar grid with
+    | Ok p -> Ok p
+    | Error d -> Error (diag_str d)
+  in
+  let options =
+    Solver.Options.make
+      ~engine:(match sq.P.sq_engine with `O -> Solver.O | `Ho -> Solver.Ho None)
+      ~objective_mode:
+        (match sq.P.sq_objective with
+        | `Lex -> Solver.Lexicographic
+        | `Feasibility -> Solver.Feasibility_only)
+      ?time_limit:sq.P.sq_time ~workers:sq.P.sq_workers ~metrics ()
+  in
+  Ok
+    (Pool.submit pool ~priority:sq.P.sq_priority ?deadline:sq.P.sq_deadline
+       ~options part spec)
+
+let run ?(workers = 1) ?(cache_capacity = 128)
+    ?(metrics = Rfloor_metrics.Registry.null) ?(trace = Rfloor_trace.disabled)
+    ~devices ~designs ic oc =
+  let pool = Pool.create ~workers ~cache_capacity ~metrics ~trace () in
+  let responses = { mu = Mutex.create (); cond = Condition.create (); q = Queue.create () } in
+  let responder =
+    Domain.spawn (fun () ->
+        let rec loop () =
+          match pop responses with
+          | Quit -> ()
+          | Ready frame ->
+            output_string oc frame;
+            output_char oc '\n';
+            flush oc;
+            loop ()
+          | Stats_item ->
+            output_string oc (P.stats_frame (Pool.stats pool));
+            output_char oc '\n';
+            flush oc;
+            loop ()
+          | Job (id, ticket) ->
+            let result = Pool.await pool ticket in
+            output_string oc (P.result_frame ~id result);
+            output_char oc '\n';
+            flush oc;
+            loop ()
+        in
+        loop ())
+  in
+  let tickets : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let rec read_loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line when String.trim line = "" -> read_loop ()
+    | line -> (
+      match P.parse_request line with
+      | Error msg ->
+        push responses (Ready (P.error_frame msg));
+        read_loop ()
+      | Ok P.Shutdown -> ()
+      | Ok P.Stats ->
+        push responses Stats_item;
+        read_loop ()
+      | Ok (P.Cancel id) ->
+        let ok =
+          match Hashtbl.find_opt tickets id with
+          | Some ticket -> Pool.cancel pool ticket
+          | None -> false
+        in
+        push responses (Ready (P.ack_frame ~op:"cancel" ~id ~ok));
+        read_loop ()
+      | Ok (P.Solve sq) ->
+        (if Hashtbl.mem tickets sq.P.sq_id then
+           push responses
+             (Ready
+                (P.error_frame ~id:sq.P.sq_id
+                   (Printf.sprintf "duplicate job id %S" sq.P.sq_id)))
+         else
+           match submit_solve pool ~metrics ~devices ~designs sq with
+           | Ok ticket ->
+             Hashtbl.add tickets sq.P.sq_id ticket;
+             push responses (Job (sq.P.sq_id, ticket))
+           | Error msg ->
+             push responses (Ready (P.error_frame ~id:sq.P.sq_id msg)));
+        read_loop ())
+  in
+  read_loop ();
+  push responses Quit;
+  Domain.join responder;
+  Pool.shutdown pool

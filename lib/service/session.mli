@@ -1,0 +1,28 @@
+(** NDJSON service session: reads {!Protocol} request frames from a
+    channel, runs them on a {!Pool}, writes response frames.
+
+    Concurrency shape: the calling thread is the {e reader} — it
+    parses, submits and never blocks on a solve, so a [cancel] frame
+    can reach a job that is still queued or running.  A dedicated
+    {e responder} domain prints responses strictly in submission order
+    (result frames block on their job), making a scripted session's
+    output deterministic.  [stats] frames are rendered when reached in
+    that order, i.e. after every earlier job has finished. *)
+
+val run :
+  ?workers:int ->
+  ?cache_capacity:int ->
+  ?metrics:Rfloor_metrics.Registry.t ->
+  ?trace:Rfloor_trace.t ->
+  devices:(string -> Device.Grid.t option) ->
+  designs:(string -> Device.Spec.t option) ->
+  in_channel ->
+  out_channel ->
+  unit
+(** Runs until [{"op":"shutdown"}] or end of input, then drains the
+    queue, prints the remaining responses and joins the pool.
+    [devices]/[designs] resolve {!Protocol.Builtin} names (the CLI
+    passes its builtin tables); inline [device_text]/[design_text] go
+    through {!Device.Io}.  [metrics] feeds both the pool's
+    [rfloor_service_*] family and each job's solver instrumentation;
+    [trace] receives per-job [Job] spans. *)

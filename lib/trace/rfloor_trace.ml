@@ -16,6 +16,7 @@ module Event = struct
     | Decode
     | Audit
     | Lp_solve
+    | Job
 
   type payload =
     | Span_start of phase
@@ -26,13 +27,15 @@ module Event = struct
     | Steal of { tasks : int }
     | Worker_idle
     | Restart of { stage : string }
+    | Stopped of { reason : string }
     | Warning of string
     | Message of string
 
   type t = { at : float; worker : int; payload : payload }
 
   let phases =
-    [ Build; Presolve; Lint; Root_lp; Branch_bound; Decode; Audit; Lp_solve ]
+    [ Build; Presolve; Lint; Root_lp; Branch_bound; Decode; Audit; Lp_solve;
+      Job ]
 
   let phase_name = function
     | Build -> "build"
@@ -43,6 +46,7 @@ module Event = struct
     | Decode -> "decode"
     | Audit -> "audit"
     | Lp_solve -> "lp_solve"
+    | Job -> "job"
 
   let phase_of_name s =
     List.find_opt (fun p -> String.equal (phase_name p) s) phases
@@ -56,6 +60,7 @@ module Event = struct
     | Steal _ -> "steal"
     | Worker_idle -> "idle"
     | Restart _ -> "restart"
+    | Stopped _ -> "stopped"
     | Warning _ -> "warning"
     | Message _ -> "message"
 
@@ -73,6 +78,7 @@ module Event = struct
     | Steal { tasks } -> Format.fprintf ppf "donated %d open subproblems" tasks
     | Worker_idle -> Format.fprintf ppf "idle"
     | Restart { stage } -> Format.fprintf ppf "restart: %s" stage
+    | Stopped { reason } -> Format.fprintf ppf "stopped: %s" reason
     | Warning msg -> Format.fprintf ppf "warning: %s" msg
     | Message msg -> Format.fprintf ppf "%s" msg
 
@@ -115,6 +121,8 @@ module Event = struct
       | Steal { tasks } -> Printf.sprintf ",\"tasks\":%d" tasks
       | Worker_idle -> ""
       | Restart { stage } -> Printf.sprintf ",\"stage\":\"%s\"" (json_escape stage)
+      | Stopped { reason } ->
+        Printf.sprintf ",\"reason\":\"%s\"" (json_escape reason)
       | Warning msg | Message msg ->
         Printf.sprintf ",\"msg\":\"%s\"" (json_escape msg)
     in
@@ -315,6 +323,9 @@ module Event = struct
         | "restart" ->
           let* stage = str "stage" in
           Ok (Restart { stage })
+        | "stopped" ->
+          let* reason = str "reason" in
+          Ok (Stopped { reason })
         | "warning" ->
           let* msg = str "msg" in
           Ok (Warning msg)
@@ -733,6 +744,9 @@ let restart t ?(worker = 0) stage =
     Atomic.incr t.t_m.Metrics.restarts;
     if enabled t then send t worker (Event.Restart { stage })
   end
+
+let stopped t ?(worker = 0) reason =
+  if enabled t then send t worker (Event.Stopped { reason })
 
 let add_worker_totals t ~worker ~nodes ~iterations =
   if t.t_live then Metrics.add_worker t.t_m worker nodes iterations

@@ -31,6 +31,7 @@ module Event : sig
     | Decode  (** solution vector -> floorplan, waste/wire metrics *)
     | Audit  (** independent re-verification of the decoded plan *)
     | Lp_solve  (** a standalone simplex solve outside branch-and-bound *)
+    | Job  (** one {!Rfloor_service} job, queue claim to completion *)
 
   type payload =
     | Span_start of phase
@@ -45,6 +46,10 @@ module Event : sig
     | Worker_idle  (** a worker ran out of local work and started polling *)
     | Restart of { stage : string }
         (** a new optimization stage over the same instance *)
+    | Stopped of { reason : string }
+        (** the search stopped early; [reason] is ["cancel"] for a
+            cooperative cancellation and ["budget"] for a time/node
+            limit *)
     | Warning of string
     | Message of string
 
@@ -223,6 +228,10 @@ val steal_attempt : t -> success:bool -> unit
 
 val worker_idle : t -> worker:int -> unit
 val restart : t -> ?worker:int -> string -> unit
+
+val stopped : t -> ?worker:int -> string -> unit
+(** Emits a [Stopped] event (when enabled) naming why the search ended
+    early; solvers emit it once per early stop. *)
 
 val add_worker_totals : t -> worker:int -> nodes:int -> iterations:int -> unit
 (** Called once per worker at the end of a solve; totals accumulate if

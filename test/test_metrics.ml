@@ -219,7 +219,7 @@ let test_solver_populates_metrics () =
   in
   let metrics = R.create () in
   let options =
-    Rfloor.Solver.Options.make ~time_limit:(Some 10.) ~metrics ()
+    Rfloor.Solver.Options.make ~time_limit:10. ~metrics ()
   in
   let o = Rfloor.Solver.solve ~options part spec in
   Alcotest.(check bool) "solved" true (o.Rfloor.Solver.status = Rfloor.Solver.Optimal);

@@ -18,6 +18,7 @@ let sample_events =
     { E.at = 0.008; worker = 0; payload = E.Restart { stage = "stage2-wirelength" } };
     { E.at = 0.009; worker = 0; payload = E.Warning "a \"quoted\"\nwarning" };
     { E.at = 0.010; worker = 0; payload = E.Message "hello" };
+    { E.at = 0.011; worker = 1; payload = E.Stopped { reason = "cancel" } };
   ]
 
 (* nan bounds render as null and come back as nan, so compare via the
@@ -63,7 +64,7 @@ let test_phase_names () =
       | Some p' when p' = p -> ()
       | _ -> Alcotest.failf "phase %s does not round trip" (E.phase_name p))
     [ E.Build; E.Presolve; E.Lint; E.Root_lp; E.Branch_bound; E.Decode;
-      E.Audit; E.Lp_solve ]
+      E.Audit; E.Lp_solve; E.Job ]
 
 let test_ring_capacity () =
   let ring = T.Ring.create ~capacity:8 () in
