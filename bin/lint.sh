@@ -23,13 +23,21 @@
 #                                assert one canonical-key cache hit
 #                                (zero nodes), one cooperative cancel,
 #                                and a schema-valid metrics snapshot.
+#   bin/lint.sh concheck      -- concurrency gate only: exhaust the
+#                                interleaving scenarios and race-detect
+#                                an instrumented 2-worker solve on the
+#                                pinned seed, lint lib/ and bin/ for raw
+#                                sync primitives (RF401..RF403), and
+#                                trace-verify a fresh jsonl solve plus
+#                                two seeded-defect fixtures that must
+#                                be rejected.
 set -eu
 cd "$(dirname "$0")/.."
 
 # one trap for every gate's scratch space (a later trap would replace
 # an earlier one and leak its directory)
-tmp="" btmp="" stmp=""
-trap 'rm -rf "$tmp" "$btmp" "$stmp"' EXIT
+tmp="" btmp="" stmp="" ctmp=""
+trap 'rm -rf "$tmp" "$btmp" "$stmp" "$ctmp"' EXIT
 
 bench_smoke() {
     echo "== bench-smoke (quick instance set, 2s budget)"
@@ -124,6 +132,62 @@ EOF
     echo "serve-smoke passed (cache hit with 0 nodes, cancel acked, metrics valid)"
 }
 
+concheck() {
+    echo "== concheck (interleavings, race detector, source lint, trace invariants)"
+    ctmp=$(mktemp -d)
+    # 1. scenario explorer + detector self-test + recorded 2-worker solve
+    dune exec bin/rfloor_cli.exe -- concheck --seed "${RFLOOR_TEST_SEED:-2015}"
+    # 2. raw Mutex/Condition/Atomic outside lib/sync
+    dune exec bin/rfloor_cli.exe -- lint --sources lib --sources bin
+    # 3. causal invariants of a fresh traced solve
+    cat > "$ctmp/device.txt" <<'EOF'
+name: concheckdev
+ccbccdccbc
+ccbccdccbc
+EOF
+    cat > "$ctmp/design.txt" <<'EOF'
+name: concheckdesign
+region filter clb=2 bram=1
+region decoder clb=2 dsp=1
+net filter decoder 32
+EOF
+    dune exec bin/rfloor_cli.exe -- solve \
+        --device-file "$ctmp/device.txt" --design-file "$ctmp/design.txt" \
+        --engine milp --workers 2 --time 30 \
+        --trace "jsonl:$ctmp/trace.jsonl" > /dev/null
+    dune exec bin/rfloor_cli.exe -- trace-verify "$ctmp/trace.jsonl"
+    # 4. the verifier must still have teeth: seeded defects must fail
+    cat > "$ctmp/bad_span.jsonl" <<'EOF'
+{"t":0.0,"w":0,"ev":"span_start","phase":"build"}
+{"t":0.1,"w":0,"ev":"span_start","phase":"root_lp"}
+{"t":0.2,"w":0,"ev":"span_end","phase":"build"}
+{"t":0.3,"w":0,"ev":"span_end","phase":"root_lp"}
+EOF
+    if dune exec bin/rfloor_cli.exe -- trace-verify "$ctmp/bad_span.jsonl" \
+        > /dev/null 2>&1; then
+        echo "concheck: out-of-order span fixture was accepted (RF431 lost)" >&2
+        exit 1
+    fi
+    cat > "$ctmp/bad_incumbent.jsonl" <<'EOF'
+{"t":0.0,"w":0,"ev":"span_start","phase":"branch_bound"}
+{"t":0.1,"w":0,"ev":"incumbent","obj":5.0,"node":1}
+{"t":0.2,"w":0,"ev":"incumbent","obj":9.0,"node":2}
+{"t":0.3,"w":0,"ev":"incumbent","obj":4.0,"node":3}
+{"t":0.4,"w":0,"ev":"span_end","phase":"branch_bound"}
+EOF
+    if dune exec bin/rfloor_cli.exe -- trace-verify "$ctmp/bad_incumbent.jsonl" \
+        > /dev/null 2>&1; then
+        echo "concheck: non-monotone incumbent fixture was accepted (RF433 lost)" >&2
+        exit 1
+    fi
+    echo "concheck passed (schedules exhausted, solve race-free, sources clean, invariants enforced)"
+}
+
+if [ "${1:-}" = "concheck" ]; then
+    concheck
+    exit 0
+fi
+
 if [ "${1:-}" = "serve-smoke" ]; then
     serve_smoke
     exit 0
@@ -164,5 +228,7 @@ trace_check
 bench_smoke
 
 serve_smoke
+
+concheck
 
 echo "lint.sh: all gates passed"

@@ -23,7 +23,7 @@ let builtin_designs =
 
 let die fmt = Format.kasprintf (fun s -> prerr_endline s; exit 1) fmt
 
-let pp_diag = Rfloor_analysis.Diagnostic.pp
+let pp_diag = Rfloor_diag.Diagnostic.pp
 
 let load_device name file =
   match file with
@@ -304,8 +304,8 @@ let solve_cmd =
          even without -v *)
       List.iter
         (fun d ->
-          Format.printf "%a@." Rfloor_analysis.Diagnostic.pp d)
-        (Rfloor_analysis.Diagnostic.errors r.Rfloor.Solver.diagnostics);
+          Format.printf "%a@." Rfloor_diag.Diagnostic.pp d)
+        (Rfloor_diag.Diagnostic.errors r.Rfloor.Solver.diagnostics);
       print_plan part spec
         (if engine = "milp" then "MILP (O)" else "MILP (HO)")
         r.Rfloor.Solver.plan r.Rfloor.Solver.wasted r.Rfloor.Solver.wirelength
@@ -409,7 +409,7 @@ let export_cmd =
 (* ---------------- lint ---------------- *)
 
 let lint_cmd =
-  let module D = Rfloor_analysis.Diagnostic in
+  let module D = Rfloor_diag.Diagnostic in
   let format_arg =
     Arg.(
       value
@@ -426,12 +426,28 @@ let lint_cmd =
       value & flag
       & info [ "codes" ] ~doc:"Print the RFxxx diagnostic code table and exit.")
   in
-  let run device device_file design design_file format no_model codes =
+  let sources_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "sources" ] ~docv:"DIR"
+          ~doc:
+            "Lint OCaml sources under $(docv) for raw synchronization \
+             primitives (RF401..RF403) instead of a device/design pair.  \
+             Repeatable.")
+  in
+  let run device device_file design design_file format no_model codes sources =
     if codes then
       List.iter
         (fun (code, sev, doc) ->
           Format.printf "%s %-7s %s@." code (D.severity_to_string sev) doc)
         D.all_codes
+    else if sources <> [] then begin
+      let diags = Rfloor_concheck.Source_lint.scan_roots sources in
+      (match format with
+      | `Human -> Format.printf "%a" D.pp_report diags
+      | `Sexp -> print_endline (D.report_to_sexp diags));
+      if D.has_errors diags then exit 1
+    end
     else begin
       let grid = load_device device device_file in
       let spec = load_design design design_file in
@@ -460,7 +476,7 @@ let lint_cmd =
           error-severity findings.")
     Term.(
       const run $ device_arg $ device_file_arg $ design_arg $ design_file_arg
-      $ format_arg $ no_model_arg $ codes_arg)
+      $ format_arg $ no_model_arg $ codes_arg $ sources_arg)
 
 (* ---------------- relocate ---------------- *)
 
@@ -578,6 +594,127 @@ let trace_validate_cmd =
           trace (every line parses, spans balanced), a metrics snapshot or a \
           bench artifact.  Exits non-zero otherwise.")
     Term.(const run $ file_arg $ kind_arg)
+
+(* ---------------- trace-verify ---------------- *)
+
+let trace_verify_cmd =
+  let module D = Rfloor_diag.Diagnostic in
+  let module V = Rfloor_concheck.Trace_verify in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"JSONL trace (from --trace jsonl:FILE).")
+  in
+  let run file =
+    let stats, diags = V.verify (read_whole_file file) in
+    Format.printf
+      "%s: %d lines, %d events, %d branch-and-bound segments, %d workers@."
+      file stats.V.v_lines stats.V.v_events stats.V.v_segments stats.V.v_workers;
+    Format.printf "%a" D.pp_report diags;
+    if D.has_errors diags then exit 1
+  in
+  Cmd.v
+    (Cmd.info "trace-verify"
+       ~doc:
+         "Check the causal invariants of a JSONL solve trace \
+          (RF430..RF435): per-worker span nesting and timestamp \
+          monotonicity, per-segment incumbent monotonicity, node-count \
+          and donation conservation, at most one stop per reason.  \
+          Stricter than trace-validate, which only checks shape.")
+    Term.(const run $ file_arg)
+
+(* ---------------- concheck ---------------- *)
+
+let concheck_cmd =
+  let module D = Rfloor_diag.Diagnostic in
+  let module C = Rfloor_concheck in
+  let seed_arg =
+    Arg.(
+      value & opt int 2015
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Deterministic seed for the scenario data.")
+  in
+  let max_replays_arg =
+    Arg.(
+      value & opt int 2_000_000
+      & info [ "max-replays" ] ~docv:"N"
+          ~doc:"Replay budget per explored scenario.")
+  in
+  (* a tiny pinned instance: big enough that two branch-and-bound
+     workers genuinely overlap, small enough to solve in well under a
+     second even with every sync operation recorded *)
+  let pinned_device = "name: concheckdev\nccbccdccbc\nccbccdccbc\n" in
+  let pinned_design =
+    "name: concheckdesign\n\
+     region filter clb=2 bram=1\n\
+     region decoder clb=2 dsp=1\n\
+     net filter decoder 32\n"
+  in
+  let run seed max_replays =
+    (* 1. exhaustive interleaving exploration (plus the seeded-bug
+       variant that must be caught) *)
+    let outcomes, explore_diags = C.Scenarios.run_all ~max_replays ~seed () in
+    List.iter
+      (fun o ->
+        Format.printf "explore %-24s %7d schedules %8d replays %6d pruned %s@."
+          o.C.Explorer.o_name o.C.Explorer.o_schedules o.C.Explorer.o_replays
+          o.C.Explorer.o_pruned
+          (match o.C.Explorer.o_violation with
+          | Some _ -> "VIOLATION"
+          | None -> if o.C.Explorer.o_exhausted then "exhausted" else "budget"))
+      outcomes;
+    (* 2. race-detector self-test on real two-domain workloads *)
+    let selfs, self_diags = C.Scenarios.detector_self_test () in
+    List.iter
+      (fun s ->
+        Format.printf "detector %-23s expected %-28s %s@." s.C.Scenarios.st_name
+          s.C.Scenarios.st_expected
+          (if s.C.Scenarios.st_pass then "ok" else "FAIL: " ^ s.C.Scenarios.st_detail))
+      selfs;
+    (* 3. record a real two-worker solve and require it race-free *)
+    let grid =
+      match Device.Io.parse_grid pinned_device with
+      | Ok g -> g
+      | Error d -> die "concheck device: %a" pp_diag d
+    in
+    let spec =
+      match Device.Io.parse_spec pinned_design with
+      | Ok s -> s
+      | Error d -> die "concheck design: %a" pp_diag d
+    in
+    let part = partition_of grid in
+    Rfloor_sync.Recorder.start ();
+    let result =
+      Rfloor.Solver.solve
+        ~options:(Rfloor.Solver.Options.make ~workers:2 ~time_limit:30. ())
+        part spec
+    in
+    let events = Rfloor_sync.Recorder.stop () in
+    if result.Rfloor.Solver.status <> Rfloor.Solver.Optimal then
+      die "concheck solve was not optimal (status changed under recording?)";
+    let report, race_diags = C.Race.analyze events in
+    Format.printf
+      "solve    2 workers: %d sync events, %d domains, %d shared cells, %d \
+       races, %d lockset warnings@."
+      report.C.Race.events report.C.Race.domains report.C.Race.cells
+      (List.length report.C.Race.races)
+      (List.length report.C.Race.lockset_warnings);
+    let diags = List.sort D.compare (explore_diags @ self_diags @ race_diags) in
+    Format.printf "%a" D.pp_report diags;
+    if D.has_errors diags then exit 1
+  in
+  Cmd.v
+    (Cmd.info "concheck"
+       ~doc:
+         "Concurrency-correctness gate: exhaustively explore the \
+          interleavings of the repo's racy-by-design scenarios (RF420, \
+          RF421), self-test the vector-clock race detector against seeded \
+          bugs, and record a real two-worker branch-and-bound solve \
+          through the instrumented sync layer, requiring it free of data \
+          races (RF410) and lockset warnings are reported (RF411).  Exits \
+          non-zero on any error-severity finding.")
+    Term.(const run $ seed_arg $ max_replays_arg)
 
 (* ---------------- bench-compare ---------------- *)
 
@@ -752,8 +889,8 @@ let main_cmd =
     (Cmd.info "rfloor" ~version:"1.0.0" ~doc)
     [
       partition_cmd; solve_cmd; feasibility_cmd; export_cmd; lint_cmd;
-      relocate_cmd; sites_cmd; trace_validate_cmd; bench_compare_cmd;
-      serve_cmd; batch_cmd;
+      relocate_cmd; sites_cmd; trace_validate_cmd; trace_verify_cmd;
+      concheck_cmd; bench_compare_cmd; serve_cmd; batch_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

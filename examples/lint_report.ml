@@ -6,7 +6,7 @@
      dune exec examples/lint_report.exe *)
 
 open Device
-module D = Rfloor_analysis.Diagnostic
+module D = Rfloor_diag.Diagnostic
 
 let () =
   let grid = Devices.virtex5_fx70t in

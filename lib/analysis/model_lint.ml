@@ -1,4 +1,4 @@
-module D = Diagnostic
+module D = Rfloor_diag.Diagnostic
 module Lp = Milp.Lp
 
 let family_of_name name =

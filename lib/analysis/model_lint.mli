@@ -8,7 +8,7 @@
     numerical-conditioning report of the coefficient magnitude spread
     per constraint family — big-M hygiene. *)
 
-val run : ?spread_threshold:float -> Milp.Lp.t -> Diagnostic.t list
+val run : ?spread_threshold:float -> Milp.Lp.t -> Rfloor_diag.Diagnostic.t list
 (** All findings.  [spread_threshold] (default [1e8]) is the
     max/min coefficient magnitude ratio above which a constraint
     family is reported as ill-conditioned (RF107). *)

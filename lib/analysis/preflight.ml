@@ -5,4 +5,4 @@ let model lp = Model_lint.run lp
 let run part sp lp = spec part sp @ model lp
 
 let verdict ds =
-  match Diagnostic.errors ds with [] -> Ok () | errs -> Error errs
+  match Rfloor_diag.Diagnostic.errors ds with [] -> Ok () | errs -> Error errs

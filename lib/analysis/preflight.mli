@@ -6,15 +6,15 @@
     branch-and-bound run that would otherwise end in an unexplained
     [Infeasible] (or burn its whole budget to [Unknown]). *)
 
-val spec : Device.Partition.t -> Device.Spec.t -> Diagnostic.t list
+val spec : Device.Partition.t -> Device.Spec.t -> Rfloor_diag.Diagnostic.t list
 (** Alias of {!Spec_lint.run}. *)
 
-val model : Milp.Lp.t -> Diagnostic.t list
+val model : Milp.Lp.t -> Rfloor_diag.Diagnostic.t list
 (** Alias of {!Model_lint.run} with default thresholds. *)
 
-val run : Device.Partition.t -> Device.Spec.t -> Milp.Lp.t -> Diagnostic.t list
+val run : Device.Partition.t -> Device.Spec.t -> Milp.Lp.t -> Rfloor_diag.Diagnostic.t list
 (** Both passes, spec findings first. *)
 
-val verdict : Diagnostic.t list -> (unit, Diagnostic.t list) result
+val verdict : Rfloor_diag.Diagnostic.t list -> (unit, Rfloor_diag.Diagnostic.t list) result
 (** [Ok ()] when no error-severity finding is present; otherwise
     [Error] with just the errors. *)

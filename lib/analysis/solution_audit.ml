@@ -1,5 +1,5 @@
 open Device
-module D = Diagnostic
+module D = Rfloor_diag.Diagnostic
 
 (* Left-to-right tile counts per covered portion: the quantities of
    Eq. 7 (length) and Eq. 9 (elements). *)

@@ -12,4 +12,4 @@ val run :
   Device.Partition.t ->
   Device.Spec.t ->
   Device.Floorplan.t ->
-  Diagnostic.t list
+  Rfloor_diag.Diagnostic.t list

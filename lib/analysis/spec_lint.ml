@@ -1,5 +1,5 @@
 open Device
-module D = Diagnostic
+module D = Rfloor_diag.Diagnostic
 
 (* ------------------------------------------------------------------ *)
 (* Partition invariants (Section III, Properties .3/.4)               *)

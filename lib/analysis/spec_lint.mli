@@ -9,10 +9,10 @@
     (a cheap sweep over {!Device.Compat} — a necessary condition, so an
     [RF006] error proves the MILP infeasible without solving it). *)
 
-val run : Device.Partition.t -> Device.Spec.t -> Diagnostic.t list
+val run : Device.Partition.t -> Device.Spec.t -> Rfloor_diag.Diagnostic.t list
 (** All findings of the pass, unordered. *)
 
-val partition_only : Device.Partition.t -> Diagnostic.t list
+val partition_only : Device.Partition.t -> Rfloor_diag.Diagnostic.t list
 (** Just the partition invariants (RF001-RF003), without a design. *)
 
 val compatible_windows :

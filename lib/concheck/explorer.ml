@@ -1,0 +1,149 @@
+(* Deterministic interleaving exploration by stateless replay.
+
+   A scenario is a recipe for fresh state plus a list of threads, each
+   a [unit -> bool] step function over that state (true = performed a
+   step, false = already finished — and a finished thread's step must
+   be a no-op).  The explorer enumerates every interleaving of the
+   threads' steps by depth-first search over schedule prefixes,
+   re-executing each prefix from a fresh state — the state itself
+   never needs to be snapshotted or undone, so scenarios can close
+   over arbitrary mutable structures (including the real service
+   cache).
+
+   Steps must be non-blocking: whatever a thread would wait for has to
+   be modeled at whole-critical-section granularity (one step = one
+   lock/act/unlock) or CAS granularity.  That is exactly the
+   granularity at which the production code's interleavings differ.
+
+   An optional state fingerprint enables DPOR-lite pruning: two
+   prefixes with the same per-thread progress and the same fingerprint
+   reach identical subtrees, so the second is skipped.  This keeps the
+   4-5 step scenarios below a few thousand replays. *)
+
+module D = Rfloor_diag.Diagnostic
+
+type scenario = {
+  name : string;
+  threads : unit -> (unit -> bool) list;
+      (** allocate fresh state and return its step functions *)
+  check : unit -> (unit, string) result;
+      (** safety property of the state allocated by the latest
+          [threads] call, evaluated at every terminal schedule *)
+  fingerprint : (unit -> string) option;
+      (** digest of the latest state, for pruning; must capture
+          everything the remaining steps and [check] depend on *)
+}
+
+type outcome = {
+  o_name : string;
+  o_schedules : int;  (** terminal schedules checked *)
+  o_replays : int;  (** prefix replays performed (cost measure) *)
+  o_pruned : int;  (** subtrees skipped by fingerprint memoization *)
+  o_violation : (int list * string) option;
+      (** first failing schedule (thread indices) and the message *)
+  o_exhausted : bool;  (** false iff the replay budget ran out *)
+}
+
+let explore ?(max_replays = 2_000_000) (s : scenario) : outcome =
+  let replays = ref 0 in
+  let schedules = ref 0 in
+  let pruned = ref 0 in
+  let violation = ref None in
+  let exhausted = ref true in
+  let memo : (string, unit) Hashtbl.t = Hashtbl.create 1024 in
+  (* Replay [prefix] (oldest step first) from fresh state; returns the
+     step functions with their internal positions advanced. *)
+  let replay prefix =
+    incr replays;
+    let ths = Array.of_list (s.threads ()) in
+    List.iter (fun i -> ignore (ths.(i) ())) prefix;
+    ths
+  in
+  let n = List.length (s.threads ()) in
+  (* [prefix] is newest-first; [counts] is per-thread steps taken *)
+  let rec dfs prefix counts =
+    if !violation <> None || not !exhausted then ()
+    else if !replays > max_replays then exhausted := false
+    else begin
+      let sched = List.rev prefix in
+      (* Probe each thread on its own replay: [true] means the thread
+         is still running, and the replayed state then reflects
+         [sched @ [i]] — exactly what the fingerprint needs. *)
+      let enabled = ref [] in
+      for i = n - 1 downto 0 do
+        let ths = replay sched in
+        if ths.(i) () then begin
+          let fp_key =
+            match s.fingerprint with
+            | None -> None
+            | Some fp ->
+              Some
+                (String.concat ","
+                   (List.mapi
+                      (fun j c -> string_of_int (if j = i then c + 1 else c))
+                      counts)
+                ^ "|" ^ fp ())
+          in
+          enabled := (i, fp_key) :: !enabled
+        end
+      done;
+      match !enabled with
+      | [] ->
+        incr schedules;
+        ignore (replay sched);
+        (match s.check () with
+        | Ok () -> ()
+        | Error msg -> violation := Some (sched, msg))
+      | en ->
+        List.iter
+          (fun (i, fp_key) ->
+            if !violation = None && !exhausted then begin
+              let skip =
+                match fp_key with
+                | None -> false
+                | Some key ->
+                  if Hashtbl.mem memo key then true
+                  else begin
+                    Hashtbl.add memo key ();
+                    false
+                  end
+              in
+              if skip then incr pruned
+              else
+                dfs (i :: prefix)
+                  (List.mapi (fun j c -> if j = i then c + 1 else c) counts)
+            end)
+          en
+    end
+  in
+  dfs [] (List.init n (fun _ -> 0));
+  {
+    o_name = s.name;
+    o_schedules = !schedules;
+    o_replays = !replays;
+    o_pruned = !pruned;
+    o_violation = !violation;
+    o_exhausted = !exhausted;
+  }
+
+let pp_schedule ppf sched =
+  Format.fprintf ppf "[%s]"
+    (String.concat "; " (List.map string_of_int sched))
+
+let diagnostics (o : outcome) : D.t list =
+  let d = [] in
+  let d =
+    if o.o_exhausted then d
+    else
+      D.diagf ~code:"RF421" D.Error (D.Schedule o.o_name)
+        "replay budget exceeded after %d replays (%d schedules checked); \
+         shrink the scenario or raise the budget"
+        o.o_replays o.o_schedules
+      :: d
+  in
+  match o.o_violation with
+  | None -> d
+  | Some (sched, msg) ->
+    D.diagf ~code:"RF420" D.Error (D.Schedule o.o_name)
+      "schedule %a violates the safety property: %s" pp_schedule sched msg
+    :: d

@@ -1,0 +1,42 @@
+(** Exhaustive deterministic interleaving exploration of small
+    concurrent scenarios, by stateless replay.
+
+    Threads are modeled as [unit -> bool] step functions over shared
+    mutable state allocated by {!scenario.threads}: [true] means the
+    thread performed one step, [false] that it has finished (a
+    finished thread's step must be a no-op).  Steps must be
+    non-blocking — model lock-protected code at
+    whole-critical-section granularity, lock-free code at CAS
+    granularity.
+
+    The explorer runs every interleaving of the steps (depth-first
+    over schedule prefixes, re-executing each prefix from fresh
+    state), evaluates {!scenario.check} at every terminal schedule,
+    and reports the first violating schedule.  The optional
+    fingerprint prunes converged prefixes (same per-thread progress,
+    same state digest ⇒ same subtree). *)
+
+type scenario = {
+  name : string;
+  threads : unit -> (unit -> bool) list;
+  check : unit -> (unit, string) result;
+  fingerprint : (unit -> string) option;
+}
+
+type outcome = {
+  o_name : string;
+  o_schedules : int;
+  o_replays : int;
+  o_pruned : int;
+  o_violation : (int list * string) option;
+  o_exhausted : bool;
+}
+
+val explore : ?max_replays:int -> scenario -> outcome
+(** Default budget: 2,000,000 replays.  Exploration stops at the
+    first violation or when the budget runs out ([o_exhausted =
+    false]). *)
+
+val diagnostics : outcome -> Rfloor_diag.Diagnostic.t list
+(** [RF420] for a violation, [RF421] for an exceeded budget; empty
+    when the scenario exhausted cleanly. *)

@@ -1,0 +1,242 @@
+(* FastTrack-style dynamic race detection over Rfloor_sync event logs.
+
+   The log is replayed in recorded order (which the sync layer
+   guarantees equals execution order).  Each domain carries a vector
+   clock; mutexes, atomics, condition variables and spawn/join tokens
+   carry release clocks that build the happens-before relation.  The
+   accesses actually *checked* are the Plain_read/Plain_write events of
+   [Rfloor_sync.Shared] cells — atomics are never data-racy by
+   definition, they only order.
+
+   A second, coarser screen runs alongside: Eraser-style locksets.  A
+   cell written by several domains whose accesses share no common lock
+   gets a warning even when the particular log happens to order every
+   pair (the classic "this schedule got lucky" case). *)
+
+module Sync = Rfloor_sync
+module D = Rfloor_diag.Diagnostic
+
+(* ------------------------------------------------------------------ *)
+(* Vector clocks, over a dense renaming of the domain ids in the log *)
+
+module Vc = struct
+  type t = int array
+
+  let make n = Array.make n 0
+  let copy = Array.copy
+
+  let join a b =
+    for i = 0 to Array.length a - 1 do
+      if b.(i) > a.(i) then a.(i) <- b.(i)
+    done
+
+  (* [leq_at c d i]: does the event stamped [c] happen-before a point
+     whose clock is [d], judged at component [i] (the stamping
+     domain)?  FastTrack's epoch test. *)
+  let ordered ~writer_clock ~writer_dom ~reader_clock =
+    writer_clock.(writer_dom) <= reader_clock.(writer_dom)
+end
+
+type access = {
+  a_dom : int; (* dense domain index *)
+  a_clock : Vc.t; (* clock snapshot at the access *)
+  a_seq : int; (* log position, for the report *)
+}
+
+type cell = {
+  c_name : string;
+  mutable c_last_write : access option;
+  mutable c_reads : (int * access) list; (* per-domain last read *)
+  mutable c_lockset : int list option; (* None = no access yet *)
+  mutable c_domains : int list; (* distinct accessing domains *)
+  mutable c_written : bool;
+  mutable c_raced : bool;
+}
+
+type report = {
+  races : (string * int * int) list; (* cell name, seq of the two accesses *)
+  lockset_warnings : string list; (* cell names *)
+  events : int;
+  domains : int;
+  cells : int;
+}
+
+let intersect a b = List.filter (fun x -> List.mem x b) a
+
+let analyze (log : Sync.Event.t list) : report * D.t list =
+  (* dense domain numbering *)
+  let dom_ids = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Sync.Event.t) ->
+      if not (Hashtbl.mem dom_ids e.Sync.Event.domain) then
+        Hashtbl.add dom_ids e.Sync.Event.domain (Hashtbl.length dom_ids))
+    log;
+  let ndom = max 1 (Hashtbl.length dom_ids) in
+  let dom d = Hashtbl.find dom_ids d in
+  let clocks = Array.init ndom (fun _ -> Vc.make ndom) in
+  (* a domain's own component starts at 1 so that even its first
+     event carries a stamp no fresh clock satisfies: [0 <= 0] must
+     not count as a happens-before edge *)
+  Array.iteri (fun i c -> c.(i) <- 1) clocks;
+  (* per-object release clocks *)
+  let lock_clocks : (int, Vc.t) Hashtbl.t = Hashtbl.create 16 in
+  let atomic_clocks : (int, Vc.t) Hashtbl.t = Hashtbl.create 16 in
+  let cond_clocks : (int, Vc.t) Hashtbl.t = Hashtbl.create 16 in
+  let spawn_clocks : (int, Vc.t) Hashtbl.t = Hashtbl.create 16 in
+  (* per-domain held locks, for the Eraser screen *)
+  let held : int list array = Array.make ndom [] in
+  let cells : (int, cell) Hashtbl.t = Hashtbl.create 16 in
+  let races = ref [] in
+  let diags = ref [] in
+  let get_cell id name =
+    match Hashtbl.find_opt cells id with
+    | Some c -> c
+    | None ->
+      let c =
+        { c_name = name; c_last_write = None; c_reads = [];
+          c_lockset = None; c_domains = []; c_written = false;
+          c_raced = false }
+      in
+      Hashtbl.add cells id c;
+      c
+  in
+  let race cell (prev : access) (cur : access) =
+    if not cell.c_raced then begin
+      cell.c_raced <- true;
+      races := (cell.c_name, prev.a_seq, cur.a_seq) :: !races;
+      diags :=
+        D.diagf ~code:"RF410" D.Error (D.Sync cell.c_name)
+          "conflicting unordered accesses: event #%d and event #%d touch %s \
+           from different domains with no happens-before edge"
+          prev.a_seq cur.a_seq cell.c_name
+        :: !diags
+    end
+  in
+  let join_from tbl id c =
+    match Hashtbl.find_opt tbl id with
+    | Some r -> Vc.join c r
+    | None -> ()
+  in
+  let store_copy tbl id c = Hashtbl.replace tbl id (Vc.copy c) in
+  let seq_of (e : Sync.Event.t) = e.Sync.Event.seq in
+  List.iter
+    (fun (e : Sync.Event.t) ->
+      let d = dom e.Sync.Event.domain in
+      let c = clocks.(d) in
+      let id = e.Sync.Event.obj in
+      (match e.Sync.Event.op with
+      | Sync.Event.Lock_acquire ->
+        join_from lock_clocks id c;
+        held.(d) <- id :: held.(d)
+      | Sync.Event.Lock_release ->
+        store_copy lock_clocks id c;
+        held.(d) <- List.filter (fun m -> m <> id) held.(d)
+      | Sync.Event.Cond_wait_begin ->
+        (* wait releases the paired mutex *)
+        let mu = e.Sync.Event.aux in
+        store_copy lock_clocks mu c;
+        held.(d) <- List.filter (fun m -> m <> mu) held.(d)
+      | Sync.Event.Cond_wait_end ->
+        (* wakeup: joins the signaler's clock and re-acquires the mutex *)
+        let mu = e.Sync.Event.aux in
+        join_from cond_clocks id c;
+        join_from lock_clocks mu c;
+        held.(d) <- mu :: held.(d)
+      | Sync.Event.Cond_signal | Sync.Event.Cond_broadcast ->
+        (match Hashtbl.find_opt cond_clocks id with
+        | Some r -> Vc.join r c
+        | None -> Hashtbl.add cond_clocks id (Vc.copy c))
+      | Sync.Event.Atomic_write | Sync.Event.Atomic_cas true ->
+        (* read-modify-write: both-ways join, the atomic's clock
+           becomes the join of every writer so far *)
+        join_from atomic_clocks id c;
+        store_copy atomic_clocks id c
+      | Sync.Event.Atomic_read | Sync.Event.Atomic_cas false ->
+        join_from atomic_clocks id c
+      | Sync.Event.Spawn -> store_copy spawn_clocks id c
+      | Sync.Event.Child_run -> join_from spawn_clocks id c
+      | Sync.Event.Join -> (
+        (* [obj] is the raw child domain id; its events all precede
+           this one in the log, so its current clock is final *)
+        match Hashtbl.find_opt dom_ids id with
+        | Some child -> Vc.join c clocks.(child)
+        | None -> ())
+      | Sync.Event.Plain_read ->
+        let cell = get_cell id e.Sync.Event.name in
+        let cur = { a_dom = d; a_clock = Vc.copy c; a_seq = seq_of e } in
+        (match cell.c_last_write with
+        | Some w
+          when w.a_dom <> d
+               && not
+                    (Vc.ordered ~writer_clock:w.a_clock ~writer_dom:w.a_dom
+                       ~reader_clock:c) ->
+          race cell w cur
+        | _ -> ());
+        cell.c_reads <-
+          (d, cur) :: List.filter (fun (d', _) -> d' <> d) cell.c_reads;
+        cell.c_lockset <-
+          Some
+            (match cell.c_lockset with
+            | None -> held.(d)
+            | Some ls -> intersect ls held.(d));
+        if not (List.mem d cell.c_domains) then
+          cell.c_domains <- d :: cell.c_domains
+      | Sync.Event.Plain_write ->
+        let cell = get_cell id e.Sync.Event.name in
+        let cur = { a_dom = d; a_clock = Vc.copy c; a_seq = seq_of e } in
+        (match cell.c_last_write with
+        | Some w
+          when w.a_dom <> d
+               && not
+                    (Vc.ordered ~writer_clock:w.a_clock ~writer_dom:w.a_dom
+                       ~reader_clock:c) ->
+          race cell w cur
+        | _ -> ());
+        List.iter
+          (fun (d', (r : access)) ->
+            if
+              d' <> d
+              && not
+                   (Vc.ordered ~writer_clock:r.a_clock ~writer_dom:d'
+                      ~reader_clock:c)
+            then race cell r cur)
+          cell.c_reads;
+        cell.c_last_write <- Some cur;
+        cell.c_written <- true;
+        cell.c_lockset <-
+          Some
+            (match cell.c_lockset with
+            | None -> held.(d)
+            | Some ls -> intersect ls held.(d));
+        if not (List.mem d cell.c_domains) then
+          cell.c_domains <- d :: cell.c_domains);
+      c.(d) <- c.(d) + 1)
+    log;
+  (* Eraser screen: shared, written, no common lock, and not already
+     reported as a concrete race *)
+  let lockset_warnings = ref [] in
+  Hashtbl.iter
+    (fun _ cell ->
+      if
+        cell.c_written
+        && List.length cell.c_domains > 1
+        && cell.c_lockset = Some []
+        && not cell.c_raced
+      then begin
+        lockset_warnings := cell.c_name :: !lockset_warnings;
+        diags :=
+          D.diagf ~code:"RF411" D.Warning (D.Sync cell.c_name)
+            "written from %d domains with an empty common lockset; this \
+             schedule happened to order every access, others may not"
+            (List.length cell.c_domains)
+          :: !diags
+      end)
+    cells;
+  ( {
+      races = List.rev !races;
+      lockset_warnings = List.sort String.compare !lockset_warnings;
+      events = List.length log;
+      domains = ndom;
+      cells = Hashtbl.length cells;
+    },
+    List.sort D.compare !diags )

@@ -1,0 +1,28 @@
+(** Dynamic race detection over {!Rfloor_sync} event logs.
+
+    A FastTrack-style vector-clock pass replays the log (whose order
+    the sync layer guarantees equals execution order), building
+    happens-before edges from mutex release/acquire pairs, atomic
+    writes and successful CASes, condition signal/wait, and domain
+    spawn/join.  The accesses it checks are the [Plain_read] /
+    [Plain_write] events of {!Rfloor_sync.Shared} cells; a pair of
+    conflicting, unordered accesses from different domains is a data
+    race ([RF410]).
+
+    An Eraser-style lockset screen runs alongside: a cell written from
+    several domains whose accesses share no common lock draws a
+    warning ([RF411]) even when this particular schedule ordered every
+    pair. *)
+
+type report = {
+  races : (string * int * int) list;
+      (** cell name and the two unordered event sequence numbers *)
+  lockset_warnings : string list;  (** cell names, sorted *)
+  events : int;
+  domains : int;
+  cells : int;  (** distinct shared cells touched *)
+}
+
+val analyze :
+  Rfloor_sync.Event.t list -> report * Rfloor_diag.Diagnostic.t list
+(** Diagnostics are deduplicated to one per shared cell and sorted. *)

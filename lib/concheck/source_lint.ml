@@ -1,0 +1,217 @@
+(* RF401..RF403: raw synchronization primitives outside lib/sync.
+
+   Everything concurrent in this repo is supposed to build its
+   mutexes, condition variables and atomics from [Rfloor_sync], so the
+   recorder can see them.  This pass scans OCaml sources for the
+   tokens [Mutex], [Condition] and [Atomic] used as a module path
+   root: an occurrence is flagged when it is unqualified (resolving to
+   the standard library) or explicitly rooted at [Stdlib].  Qualified
+   uses like [Sync.Mutex.lock] or type annotations like
+   [Rfloor_sync.Mutex.t] pass, because there the token is preceded by
+   a ['.'] whose qualifier is not [Stdlib].
+
+   Comments (nested) and string literals are stripped first, with line
+   structure preserved, so prose and log messages never trip the
+   lint.  Character literals and prime-suffixed identifiers ([foo'])
+   are handled when deciding whether a quote opens a char literal. *)
+
+module D = Rfloor_diag.Diagnostic
+
+(* Blank out comments and string literals, keeping every '\n' so line
+   numbers survive. *)
+let strip source =
+  let n = String.length source in
+  let b = Buffer.create n in
+  let i = ref 0 in
+  let keep c = Buffer.add_char b c in
+  let blank c = Buffer.add_char b (if c = '\n' then '\n' else ' ') in
+  let is_ident c =
+    match c with
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '\'' -> true
+    | _ -> false
+  in
+  let rec comment depth =
+    if !i >= n then ()
+    else begin
+      let c = source.[!i] in
+      if c = '(' && !i + 1 < n && source.[!i + 1] = '*' then begin
+        blank c;
+        blank '*';
+        i := !i + 2;
+        comment (depth + 1)
+      end
+      else if c = '*' && !i + 1 < n && source.[!i + 1] = ')' then begin
+        blank c;
+        blank ')';
+        i := !i + 2;
+        if depth > 1 then comment (depth - 1)
+      end
+      else begin
+        blank c;
+        incr i;
+        comment depth
+      end
+    end
+  in
+  let string_lit () =
+    (* opening quote already consumed and blanked *)
+    let fin = ref false in
+    while not !fin && !i < n do
+      let c = source.[!i] in
+      if c = '\\' && !i + 1 < n then begin
+        blank c;
+        blank source.[!i + 1];
+        i := !i + 2
+      end
+      else begin
+        blank c;
+        incr i;
+        if c = '"' then fin := true
+      end
+    done
+  in
+  while !i < n do
+    let c = source.[!i] in
+    if c = '(' && !i + 1 < n && source.[!i + 1] = '*' then comment 0
+    else if c = '"' then begin
+      blank c;
+      incr i;
+      string_lit ()
+    end
+    else if c = '\'' then begin
+      (* char literal iff not an identifier prime and the quote closes
+         within a literal's width: 'x' (3), '\n' (4), '\065'/'\xFF' (6) *)
+      let prev_ident = !i > 0 && is_ident source.[!i - 1] in
+      let close_at =
+        if prev_ident || !i + 2 >= n then None
+        else if source.[!i + 1] <> '\\' && source.[!i + 2] = '\'' then
+          Some (!i + 2)
+        else if source.[!i + 1] = '\\' then begin
+          let k = ref (!i + 2) in
+          while !k < n && !k <= !i + 5 && source.[!k] <> '\'' do
+            incr k
+          done;
+          if !k < n && source.[!k] = '\'' then Some !k else None
+        end
+        else None
+      in
+      match close_at with
+      | Some last ->
+        for j = !i to last do
+          blank source.[j]
+        done;
+        i := last + 1
+      | None ->
+        keep c;
+        incr i
+    end
+    else begin
+      keep c;
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+let raw_modules = [ ("Mutex", "RF401"); ("Condition", "RF402"); ("Atomic", "RF403") ]
+
+let is_ident_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '\'' -> true
+  | _ -> false
+
+(* the identifier just before [pos] (skipping nothing else); "" if the
+   preceding char is not part of one *)
+let ident_before text pos =
+  let j = ref pos in
+  while !j > 0 && is_ident_char text.[!j - 1] do
+    decr j
+  done;
+  String.sub text !j (pos - !j)
+
+let scan_text ~path text =
+  let text = strip text in
+  let n = String.length text in
+  let line = ref 1 in
+  let diags = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = text.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if
+      (match c with 'A' .. 'Z' -> true | _ -> false)
+      && ((!i = 0) || not (is_ident_char text.[!i - 1]))
+    then begin
+      let j = ref !i in
+      while !j < n && is_ident_char text.[!j] do
+        incr j
+      done;
+      let token = String.sub text !i (!j - !i) in
+      (match List.assoc_opt token raw_modules with
+      | None -> ()
+      | Some code ->
+        (* qualified occurrence: OK unless the qualifier root is
+           Stdlib; unqualified: flagged *)
+        let flagged =
+          if !i >= 1 && text.[!i - 1] = '.' then
+            String.equal (ident_before text (!i - 1)) "Stdlib"
+          else true
+        in
+        (* a bare token that is not itself used as a module path
+           (no following '.') is someone's constructor or module
+           definition, not a primitive use *)
+        let used_as_path = !j < n && text.[!j] = '.' in
+        if flagged && used_as_path then
+          diags :=
+            D.diagf ~code D.Error
+              (D.Source (path, !line))
+              "raw %s primitive; use Rfloor_sync.%s so the recorder can see \
+               it"
+              token token
+            :: !diags);
+      i := !j
+    end
+    else incr i
+  done;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* Filesystem walk *)
+
+let is_ml_file name =
+  Filename.check_suffix name ".ml" || Filename.check_suffix name ".mli"
+
+let excluded_dir name =
+  match name with
+  | "_build" | ".git" | "sync" -> true (* lib/sync is the one allowed home *)
+  | _ -> false
+
+let rec walk acc path =
+  if Sys.is_directory path then begin
+    let entries = Sys.readdir path in
+    Array.sort String.compare entries;
+    Array.fold_left
+      (fun acc entry ->
+        if excluded_dir entry then acc
+        else walk acc (Filename.concat path entry))
+      acc entries
+  end
+  else if is_ml_file path then path :: acc
+  else acc
+
+let scan_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  scan_text ~path text
+
+let scan_roots roots =
+  let files =
+    List.concat_map
+      (fun root -> if Sys.file_exists root then List.rev (walk [] root) else [])
+      roots
+  in
+  List.concat_map scan_file files

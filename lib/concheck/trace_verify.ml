@@ -1,0 +1,208 @@
+(* Causal-invariant verification of JSONL solve traces (RF430..RF435).
+
+   The tracer's own [validate_jsonl] checks shape (parsable lines,
+   balanced span counts).  This pass checks *meaning*:
+
+   - spans must nest properly per worker, not merely balance (RF431);
+   - each worker's timestamps must be monotone (RF432) — workers
+     write through one locked sink, but each event's timestamp is
+     taken before the lock, so only the per-worker subsequences are
+     ordered;
+   - incumbent objectives must be monotone within one branch-and-bound
+     segment, judged per worker (RF433): the global CAS order makes
+     every worker's subsequence monotone, but cross-worker event
+     order in the file can legally invert the global sequence;
+   - counters must be conserved within a segment (RF434): nodes at
+     depth d can only come from branching nodes at depth d-1 (at most
+     two each), and donated tasks can only be the root or children of
+     explored nodes;
+   - one stop per reason per segment (RF435).
+
+   A "segment" is one [Span_start Branch_bound] .. [Span_end
+   Branch_bound] window; events outside any segment are exempt from
+   the solver-specific checks (other engines emit their own event
+   mixes), but never from RF431/RF432. *)
+
+module T = Rfloor_trace
+module D = Rfloor_diag.Diagnostic
+
+type stats = {
+  v_lines : int;  (** non-blank lines *)
+  v_events : int;  (** parsed events *)
+  v_segments : int;  (** branch-and-bound segments *)
+  v_workers : int;  (** distinct worker ids *)
+}
+
+(* per-(segment, worker) incumbent histories and the like are small;
+   assoc lists keep this dependency-free *)
+let assoc_update k ~default f l =
+  let cur = Option.value ~default (List.assoc_opt k l) in
+  (k, f cur) :: List.remove_assoc k l
+
+let monotone objs =
+  (* consistent direction, non-strict; [objs] oldest first *)
+  let rec dir = function
+    | a :: (b :: _ as rest) ->
+      if b > a then Some `Up else if b < a then Some `Down else dir rest
+    | _ -> None
+  in
+  match dir objs with
+  | None -> true
+  | Some d ->
+    let ok (a, b) = match d with `Up -> b >= a | `Down -> b <= a in
+    let rec pairs = function
+      | a :: (b :: _ as rest) -> ok (a, b) && pairs rest
+      | _ -> true
+    in
+    pairs objs
+
+let verify text =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let lines = ref 0 in
+  let events = ref 0 in
+  let seg = ref (-1) in
+  let in_seg = ref false in
+  let workers = ref [] in
+  (* RF431: per-worker stack of open phases, with the opening line *)
+  let spans : (int * (T.Event.phase * int) list) list ref = ref [] in
+  (* RF432: per-worker last timestamp *)
+  let last_at : (int * (float * int)) list ref = ref [] in
+  (* RF433: (seg, worker) -> objectives, newest first *)
+  let incumbents : ((int * int) * float list) list ref = ref [] in
+  (* RF434: seg -> (depth -> node count), seg -> donated tasks *)
+  let depth_counts : (int * (int * int) list) list ref = ref [] in
+  let donated : (int * int) list ref = ref [] in
+  (* RF435: (seg, reason) -> line of first stop *)
+  let stops : ((int * string) * int) list ref = ref [] in
+  List.iteri
+    (fun idx line ->
+      let ln = idx + 1 in
+      let line = String.trim line in
+      if line <> "" then begin
+        incr lines;
+        match T.Event.of_json line with
+        | Error msg ->
+          add (D.diagf ~code:"RF430" D.Error (D.Trace ln) "%s" msg)
+        | Ok e ->
+          incr events;
+          let w = e.T.Event.worker in
+          if not (List.mem w !workers) then workers := w :: !workers;
+          (* RF432 *)
+          (match List.assoc_opt w !last_at with
+          | Some (prev, prev_ln) when e.T.Event.at < prev ->
+            add
+              (D.diagf ~code:"RF432" D.Error (D.Trace ln)
+                 "worker %d timestamp %.6f precedes %.6f (line %d)" w
+                 e.T.Event.at prev prev_ln)
+          | _ -> ());
+          last_at := (w, (e.T.Event.at, ln)) :: List.remove_assoc w !last_at;
+          (match e.T.Event.payload with
+          | T.Event.Span_start p ->
+            if p = T.Event.Branch_bound then begin
+              incr seg;
+              in_seg := true
+            end;
+            spans := assoc_update w ~default:[] (fun st -> (p, ln) :: st) !spans
+          | T.Event.Span_end p ->
+            (match Option.value ~default:[] (List.assoc_opt w !spans) with
+            | (top, _) :: rest when top = p ->
+              spans := (w, rest) :: List.remove_assoc w !spans
+            | (top, top_ln) :: _ ->
+              add
+                (D.diagf ~code:"RF431" D.Error (D.Trace ln)
+                   "worker %d ends span %s while %s (line %d) is innermost" w
+                   (T.Event.phase_name p) (T.Event.phase_name top) top_ln)
+            | [] ->
+              add
+                (D.diagf ~code:"RF431" D.Error (D.Trace ln)
+                   "worker %d ends span %s with no span open" w
+                   (T.Event.phase_name p)));
+            if p = T.Event.Branch_bound then in_seg := false
+          | T.Event.Incumbent { objective; _ } ->
+            if !in_seg then
+              incumbents :=
+                assoc_update (!seg, w) ~default:[]
+                  (fun l -> objective :: l)
+                  !incumbents
+          | T.Event.Node_explored { depth; _ } ->
+            if !in_seg then
+              depth_counts :=
+                assoc_update !seg ~default:[]
+                  (fun per -> assoc_update depth ~default:0 (fun c -> c + 1) per)
+                  !depth_counts
+          | T.Event.Steal { tasks } ->
+            if !in_seg then
+              donated :=
+                assoc_update !seg ~default:0 (fun c -> c + tasks) !donated
+          | T.Event.Stopped { reason } ->
+            if !in_seg then begin
+              match List.assoc_opt (!seg, reason) !stops with
+              | Some first_ln ->
+                add
+                  (D.diagf ~code:"RF435" D.Error (D.Trace ln)
+                     "duplicate Stopped %S in segment %d (first at line %d)"
+                     reason !seg first_ln)
+              | None -> stops := ((!seg, reason), ln) :: !stops
+            end
+          | _ -> ())
+      end)
+    (String.split_on_char '\n' text);
+  (* RF431: spans left open *)
+  List.iter
+    (fun (w, st) ->
+      List.iter
+        (fun (p, ln) ->
+          add
+            (D.diagf ~code:"RF431" D.Error (D.Trace ln)
+               "worker %d span %s never ends" w (T.Event.phase_name p)))
+        st)
+    !spans;
+  (* RF433 *)
+  List.iter
+    (fun ((s, w), objs) ->
+      if not (monotone (List.rev objs)) then
+        add
+          (D.diagf ~code:"RF433" D.Error (D.Sync (Printf.sprintf "segment %d" s))
+             "worker %d incumbent objectives are not monotone: %s" w
+             (String.concat " -> "
+                (List.rev_map (Printf.sprintf "%.6g") objs))))
+    !incumbents;
+  (* RF434: depth conservation and donation bound, per segment *)
+  List.iter
+    (fun (s, per) ->
+      let count d = Option.value ~default:0 (List.assoc_opt d per) in
+      List.iter
+        (fun (d, c) ->
+          if d > 0 && c > 2 * count (d - 1) then
+            add
+              (D.diagf ~code:"RF434" D.Error
+                 (D.Sync (Printf.sprintf "segment %d" s))
+                 "%d nodes at depth %d but only %d at depth %d (max two \
+                  children per branching node)"
+                 c d (count (d - 1)) (d - 1)))
+        per)
+    !depth_counts;
+  List.iter
+    (fun (s, tasks) ->
+      let nodes =
+        List.fold_left
+          (fun acc (_, c) -> acc + c)
+          0
+          (Option.value ~default:[] (List.assoc_opt s !depth_counts))
+      in
+      if tasks > 1 + (2 * nodes) then
+        add
+          (D.diagf ~code:"RF434" D.Error
+             (D.Sync (Printf.sprintf "segment %d" s))
+             "%d tasks donated but only %d nodes explored can have created \
+              them"
+             tasks nodes))
+    !donated;
+  ( {
+      v_lines = !lines;
+      v_events = !events;
+      v_segments = !seg + 1;
+      v_workers = List.length !workers;
+    },
+    List.sort D.compare !diags )

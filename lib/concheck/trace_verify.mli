@@ -1,0 +1,25 @@
+(** Causal-invariant verification of JSONL solve traces
+    ([RF430]..[RF435]).
+
+    Goes beyond the tracer's shape validation: spans must nest
+    properly per worker (not just balance), per-worker timestamps must
+    be monotone, incumbent objectives must be monotone within one
+    branch-and-bound segment judged per worker, node counts per depth
+    and donated-task totals must be conserved within a segment, and
+    each stop reason may appear at most once per segment.
+
+    A segment is one [branch_bound] span window; events outside any
+    segment are exempt from the solver-specific checks (other engines
+    emit different event mixes) but still subject to nesting and
+    timestamp checks. *)
+
+type stats = {
+  v_lines : int;
+  v_events : int;
+  v_segments : int;
+  v_workers : int;
+}
+
+val verify : string -> stats * Rfloor_diag.Diagnostic.t list
+(** [verify jsonl_text] returns summary statistics and the sorted
+    findings (empty = the trace satisfies every invariant). *)

@@ -1,6 +1,6 @@
 open Device
 module Bb = Milp.Branch_bound
-module Diag = Rfloor_analysis.Diagnostic
+module Diag = Rfloor_diag.Diagnostic
 module T = Rfloor_trace
 
 type engine = O | Ho of Floorplan.t option

@@ -107,7 +107,7 @@ type outcome = {
       (** Why the (final-stage) search ended early; [None] when it ran
           to completion.  With [stop = Some _] the [status] is at best
           [Feasible] and [plan] holds the incumbent at the stop. *)
-  diagnostics : Rfloor_analysis.Diagnostic.t list;
+  diagnostics : Rfloor_diag.Diagnostic.t list;
       (** Preflight lint findings plus the post-solve solution audit;
           on a preflight [Infeasible] these explain the verdict. *)
   report : Rfloor_trace.Report.t;

@@ -13,6 +13,10 @@ type location =
   | Model
   | File of string
   | Env of string
+  | Source of string * int
+  | Sync of string
+  | Schedule of string
+  | Trace of int
 
 type t = {
   code : string;
@@ -42,6 +46,10 @@ let location_to_string = function
   | Model -> "model"
   | File p -> Printf.sprintf "file(%s)" p
   | Env v -> Printf.sprintf "env(%s)" v
+  | Source (f, l) -> Printf.sprintf "%s:%d" f l
+  | Sync o -> Printf.sprintf "sync(%s)" o
+  | Schedule s -> Printf.sprintf "schedule(%s)" s
+  | Trace l -> Printf.sprintf "trace line %d" l
 
 let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
 
@@ -90,6 +98,10 @@ let location_to_sexp = function
   | Model -> "(model)"
   | File p -> Printf.sprintf "(file %s)" (sexp_string p)
   | Env v -> Printf.sprintf "(env %s)" (sexp_string v)
+  | Source (f, l) -> Printf.sprintf "(source %s %d)" (sexp_string f) l
+  | Sync o -> Printf.sprintf "(sync %s)" (sexp_string o)
+  | Schedule s -> Printf.sprintf "(schedule %s)" (sexp_string s)
+  | Trace l -> Printf.sprintf "(trace %d)" l
 
 let to_sexp d =
   Printf.sprintf "((code %s) (severity %s) (location %s) (message %s))" d.code
@@ -144,6 +156,19 @@ let all_codes =
     ("RF302", Error, "design file unreadable or malformed");
     ("RF303", Error, "MPS model file unreadable or malformed");
     ("RF304", Warning, "RFLOOR_BENCH_BUDGET malformed or non-positive; defaulted/clamped");
+    ("RF401", Error, "raw Mutex primitive used outside lib/sync (use Rfloor_sync.Mutex)");
+    ("RF402", Error, "raw Condition primitive used outside lib/sync (use Rfloor_sync.Condition)");
+    ("RF403", Error, "raw Atomic primitive used outside lib/sync (use Rfloor_sync.Atomic)");
+    ("RF410", Error, "data race: conflicting unordered accesses to a shared cell (vector-clock analysis)");
+    ("RF411", Warning, "shared cell accessed by several domains with an empty common lockset");
+    ("RF420", Error, "interleaving explorer found a schedule violating a scenario safety property");
+    ("RF421", Error, "interleaving explorer exceeded its schedule budget before exhausting the scenario");
+    ("RF430", Error, "trace event line unparsable during verification");
+    ("RF431", Error, "trace span nesting unbalanced or out of order");
+    ("RF432", Error, "per-worker trace timestamps not monotone");
+    ("RF433", Error, "incumbent objective not monotone within a branch-and-bound segment");
+    ("RF434", Error, "trace counter conservation violated (nodes vs. spans, steal tasks vs. frontier)");
+    ("RF435", Error, "duplicate Stopped event for one stop reason within a solve segment");
   ]
 
 let describe code =

@@ -26,6 +26,10 @@ type location =
   | Model  (** the MILP as a whole *)
   | File of string  (** an input file, by path (loaders/parsers) *)
   | Env of string  (** an environment variable, by name *)
+  | Source of string * int  (** a source location: path, 1-based line *)
+  | Sync of string  (** a synchronization object, by registration name *)
+  | Schedule of string  (** an interleaving-explorer scenario, by name *)
+  | Trace of int  (** a JSONL trace line, 1-based *)
 
 type t = {
   code : string;

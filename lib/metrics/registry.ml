@@ -1,39 +1,42 @@
 (* Concurrency-safe metrics registry.  See registry.mli for the cost
    model: null handles are Noop constructors (one load-and-branch per
    update), live handles update atomics lock-free, and only
-   registration/snapshot take the mutex. *)
+   registration/snapshot take the mutex.  All synchronization goes
+   through the instrumented Rfloor_sync layer. *)
+
+module Sync = Rfloor_sync
 
 (* Float accumulation without a lock: CAS on the bit pattern. *)
 let add_float_bits a x =
   let rec go () =
-    let cur = Atomic.get a in
+    let cur = Sync.Atomic.get a in
     let next = Int64.bits_of_float (Int64.float_of_bits cur +. x) in
-    if not (Atomic.compare_and_set a cur next) then go ()
+    if not (Sync.Atomic.compare_and_set a cur next) then go ()
   in
   go ()
 
 module Counter = struct
-  type t = Noop | C of int Atomic.t
+  type t = Noop | C of int Sync.Atomic.t
 
-  let incr = function Noop -> () | C a -> Atomic.incr a
+  let incr = function Noop -> () | C a -> Sync.Atomic.incr a
 
   let add t n =
     match t with
     | Noop -> ()
-    | C a -> if n > 0 then ignore (Atomic.fetch_and_add a n)
+    | C a -> if n > 0 then ignore (Sync.Atomic.fetch_and_add a n)
 
-  let value = function Noop -> 0 | C a -> Atomic.get a
+  let value = function Noop -> 0 | C a -> Sync.Atomic.get a
 end
 
 module Gauge = struct
-  type t = Noop | G of int64 Atomic.t
+  type t = Noop | G of int64 Sync.Atomic.t
 
   let set t v =
-    match t with Noop -> () | G a -> Atomic.set a (Int64.bits_of_float v)
+    match t with Noop -> () | G a -> Sync.Atomic.set a (Int64.bits_of_float v)
 
   let value = function
     | Noop -> 0.
-    | G a -> Int64.float_of_bits (Atomic.get a)
+    | G a -> Int64.float_of_bits (Sync.Atomic.get a)
 end
 
 module Histogram = struct
@@ -41,9 +44,9 @@ module Histogram = struct
     | Noop
     | H of {
         bounds : float array; (* finite, strictly increasing *)
-        buckets : int Atomic.t array; (* length bounds + 1; last = +Inf *)
-        total : int Atomic.t;
-        sum_bits : int64 Atomic.t;
+        buckets : int Sync.Atomic.t array; (* length bounds + 1; last = +Inf *)
+        total : int Sync.Atomic.t;
+        sum_bits : int64 Sync.Atomic.t;
       }
 
   let bucket_index bounds v =
@@ -59,12 +62,12 @@ module Histogram = struct
     match t with
     | Noop -> ()
     | H h ->
-      Atomic.incr h.buckets.(bucket_index h.bounds v);
-      Atomic.incr h.total;
+      Sync.Atomic.incr h.buckets.(bucket_index h.bounds v);
+      Sync.Atomic.incr h.total;
       add_float_bits h.sum_bits v
 
-  let count = function Noop -> 0 | H h -> Atomic.get h.total
-  let sum = function Noop -> 0. | H h -> Int64.float_of_bits (Atomic.get h.sum_bits)
+  let count = function Noop -> 0 | H h -> Sync.Atomic.get h.total
+  let sum = function Noop -> 0. | H h -> Int64.float_of_bits (Sync.Atomic.get h.sum_bits)
 end
 
 let seconds_buckets =
@@ -84,11 +87,13 @@ type series = {
   s_instrument : instrument;
 }
 
-type live = { m : Mutex.t; mutable series : series list (* newest first *) }
+type live = { m : Sync.Mutex.t; series : series list Sync.Shared.t (* newest first *) }
 type t = Null | Live of live
 
 let null = Null
-let create () = Live { m = Mutex.create (); series = [] }
+let create () = Live
+    { m = Sync.Mutex.create ~name:"metrics.registry" ();
+      series = Sync.Shared.make ~name:"metrics.registry.series" [] }
 let live = function Null -> false | Live _ -> true
 
 let kind_name = function
@@ -107,12 +112,12 @@ let register reg name labels help same fresh wrap =
   | Live r ->
     if name = "" then invalid_arg "Registry: empty metric name";
     let labels = norm_labels labels in
-    Mutex.lock r.m;
-    Fun.protect ~finally:(fun () -> Mutex.unlock r.m) @@ fun () ->
+    Sync.Mutex.lock r.m;
+    Fun.protect ~finally:(fun () -> Sync.Mutex.unlock r.m) @@ fun () ->
     (match
        List.find_opt
          (fun s -> s.s_name = name && s.s_labels = labels)
-         r.series
+         (Sync.Shared.get r.series)
      with
     | Some s -> (
       match same s.s_instrument with
@@ -126,7 +131,9 @@ let register reg name labels help same fresh wrap =
     | None ->
       (* Prometheus semantics: one kind (and, for histograms, one
          bucket layout) per metric name across all label sets *)
-      (match List.find_opt (fun s -> s.s_name = name) r.series with
+      (match
+         List.find_opt (fun s -> s.s_name = name) (Sync.Shared.get r.series)
+       with
       | Some s when same s.s_instrument = None ->
         invalid_arg
           (Printf.sprintf
@@ -135,16 +142,17 @@ let register reg name labels help same fresh wrap =
              name (kind_name s.s_instrument))
       | _ -> ());
       let v = fresh () in
-      r.series <-
-        { s_name = name; s_labels = labels; s_help = help; s_instrument = wrap v }
-        :: r.series;
+      Sync.Shared.set r.series
+        ({ s_name = name; s_labels = labels; s_help = help;
+           s_instrument = wrap v }
+        :: Sync.Shared.get r.series);
       Some v)
 
 let counter reg ?(help = "") ?(labels = []) name =
   match
     register reg name labels help
       (function I_counter c -> Some c | _ -> None)
-      (fun () -> Counter.C (Atomic.make 0))
+      (fun () -> Counter.C (Sync.Atomic.make 0))
       (fun c -> I_counter c)
   with
   | Some c -> c
@@ -154,7 +162,7 @@ let gauge reg ?(help = "") ?(labels = []) name =
   match
     register reg name labels help
       (function I_gauge g -> Some g | _ -> None)
-      (fun () -> Gauge.G (Atomic.make (Int64.bits_of_float 0.)))
+      (fun () -> Gauge.G (Sync.Atomic.make (Int64.bits_of_float 0.)))
       (fun g -> I_gauge g)
   with
   | Some g -> g
@@ -183,9 +191,9 @@ let histogram reg ?(help = "") ?(labels = []) ?(buckets = seconds_buckets) name 
         Histogram.H
           {
             bounds = Array.copy buckets;
-            buckets = Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
-            total = Atomic.make 0;
-            sum_bits = Atomic.make (Int64.bits_of_float 0.);
+            buckets = Array.init (Array.length buckets + 1) (fun _ -> Sync.Atomic.make 0);
+            total = Sync.Atomic.make 0;
+            sum_bits = Sync.Atomic.make (Int64.bits_of_float 0.);
           })
       (fun h -> I_histogram h)
   with
@@ -226,9 +234,9 @@ let snapshot reg =
   | Null -> []
   | Live r ->
     let series =
-      Mutex.lock r.m;
-      let s = r.series in
-      Mutex.unlock r.m;
+      Sync.Mutex.lock r.m;
+      let s = Sync.Shared.get r.series in
+      Sync.Mutex.unlock r.m;
       s
     in
     let one s =
@@ -251,7 +259,7 @@ let snapshot reg =
            the reported count is the sum of the same reads so the final
            cumulative bucket always equals it *)
         let nb = Array.length bounds in
-        let raw = Array.map Atomic.get cells in
+        let raw = Array.map Sync.Atomic.get cells in
         let total = Array.fold_left ( + ) 0 raw in
         let cum = ref 0 in
         let buckets =
@@ -261,7 +269,7 @@ let snapshot reg =
         in
         Snapshot.Histogram
           { name = s.s_name; help = s.s_help; labels = s.s_labels;
-            buckets; sum = Int64.float_of_bits (Atomic.get sum_bits);
+            buckets; sum = Int64.float_of_bits (Sync.Atomic.get sum_bits);
             count = total }
     in
     List.sort

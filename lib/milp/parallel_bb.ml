@@ -1,4 +1,5 @@
 module Bb = Branch_bound
+module Sync = Rfloor_sync
 
 let workers_from_env ?(default = 1) ?(trace = Rfloor_trace.disabled) () =
   match Sys.getenv_opt "RFLOOR_WORKERS" with
@@ -82,44 +83,45 @@ let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
       if Float.is_finite root_ub.(v) then root_ub.(v) <- Float.round (floor (root_ub.(v) +. 1e-9)))
     int_vars;
   (* ---- shared state ---- *)
-  let inc = Atomic.make { i_key = infinity; i_x = None } in
-  let nodes = Atomic.make 0 and iters = Atomic.make 0 in
-  let unbounded = Atomic.make false in
-  let incomplete = Atomic.make false in
-  let over_budget = Atomic.make false in
-  let cancelled = Atomic.make false in
+  let inc = Sync.Atomic.make ~name:"bb.incumbent" { i_key = infinity; i_x = None } in
+  let nodes = Sync.Atomic.make ~name:"bb.nodes" 0
+  and iters = Sync.Atomic.make ~name:"bb.iters" 0 in
+  let unbounded = Sync.Atomic.make ~name:"bb.unbounded" false in
+  let incomplete = Sync.Atomic.make ~name:"bb.incomplete" false in
+  let over_budget = Sync.Atomic.make ~name:"bb.over_budget" false in
+  let cancelled = Sync.Atomic.make ~name:"bb.cancelled" false in
   (* one-shot guard so a budget stop traces once, not once per worker *)
-  let budget_emitted = Atomic.make false in
-  let root_bound = Atomic.make neg_infinity in
+  let budget_emitted = Sync.Atomic.make ~name:"bb.budget_emitted" false in
+  let root_bound = Sync.Atomic.make ~name:"bb.root_bound" neg_infinity in
   (* Global deque of open subproblems.  Push/claim are mutex-guarded;
      [qlen] is a racy size estimate that only steers the donation
      heuristic, and [active] counts workers mid-dive so that an empty
      deque plus zero active workers means the frontier is exhausted.
      [active] is incremented inside the claim critical section, so no
      worker can observe "empty and idle" while a task is in flight. *)
-  let qm = Mutex.create () in
+  let qm = Sync.Mutex.create ~name:"bb.queue" () in
   let queue : task Queue.t = Queue.create () in
-  let qlen = Atomic.make 0 in
-  let active = Atomic.make 0 in
+  let qlen = Sync.Atomic.make ~name:"bb.qlen" 0 in
+  let active = Sync.Atomic.make ~name:"bb.active" 0 in
   let push_tasks ts =
     if ts <> [] then begin
-      Mutex.lock qm;
+      Sync.Mutex.lock qm;
       List.iter (fun t -> Queue.add t queue) ts;
-      Mutex.unlock qm;
-      ignore (Atomic.fetch_and_add qlen (List.length ts))
+      Sync.Mutex.unlock qm;
+      ignore (Sync.Atomic.fetch_and_add qlen (List.length ts))
     end
   in
   let try_claim () =
-    Mutex.lock qm;
+    Sync.Mutex.lock qm;
     let r =
       if Queue.is_empty queue then None
       else begin
-        Atomic.incr active;
-        ignore (Atomic.fetch_and_add qlen (-1));
+        Sync.Atomic.incr active;
+        ignore (Sync.Atomic.fetch_and_add qlen (-1));
         Some (Queue.pop queue)
       end
     in
-    Mutex.unlock qm;
+    Sync.Mutex.unlock qm;
     r
   in
   (* Per-worker node/iteration tallies: each slot is touched only by
@@ -129,9 +131,9 @@ let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
   (* Lock-free incumbent improvement: retry the CAS until we either
      install the better point or observe someone else already did. *)
   let rec improve k x =
-    let cur = Atomic.get inc in
+    let cur = Sync.Atomic.get inc in
     if k < cur.i_key then
-      if Atomic.compare_and_set inc cur { i_key = k; i_x = Some x } then true
+      if Sync.Atomic.compare_and_set inc cur { i_key = k; i_x = Some x } then true
       else improve k x
     else false
   in
@@ -145,27 +147,27 @@ let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
         (Printf.sprintf "warm incumbent rejected: %s" msg)));
   let gap_abs inc_key = options.Bb.mip_gap *. max 1. (abs_float inc_key) in
   let out_of_budget () =
-    Atomic.get over_budget
+    Sync.Atomic.get over_budget
     ||
     let over =
       (match options.Bb.time_limit with
       | Some tl -> Unix.gettimeofday () -. t0 > tl
       | None -> false)
       || match options.Bb.node_limit with
-         | Some nl -> Atomic.get nodes >= nl
+         | Some nl -> Sync.Atomic.get nodes >= nl
          | None -> false
     in
-    if over then Atomic.set over_budget true;
+    if over then Sync.Atomic.set over_budget true;
     over
   in
   let stop_requested () =
-    Atomic.get unbounded || Atomic.get over_budget || Atomic.get cancelled
+    Sync.Atomic.get unbounded || Sync.Atomic.get over_budget || Sync.Atomic.get cancelled
   in
   (* Donate the shallowest (largest) open subtrees whenever the global
      deque runs short — the stealing happens on the donor's side so the
      deque never needs per-node locking on the hot dive path. *)
   let donate w stack =
-    if workers > 1 && Atomic.get qlen < workers then begin
+    if workers > 1 && Sync.Atomic.get qlen < workers then begin
       let len = List.length !stack in
       if len > 3 then begin
         let keep = (len + 1) / 2 in
@@ -195,33 +197,33 @@ let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
       | [] -> running := false
       | node :: rest ->
         stack := rest;
-        if Atomic.get unbounded then begin
+        if Sync.Atomic.get unbounded then begin
           stack := [];
           running := false
         end
         else if options.Bb.cancel () then begin
           (* cooperative cancellation: return the dive's open nodes to
              the deque so the final dual bound still covers them *)
-          Atomic.set incomplete true;
-          if Atomic.compare_and_set cancelled false true then
+          Sync.Atomic.set incomplete true;
+          if Sync.Atomic.compare_and_set cancelled false true then
             Rfloor_trace.stopped trace ~worker:w "cancel";
           push_tasks (node :: !stack);
           stack := [];
           running := false
         end
         else if out_of_budget () then begin
-          Atomic.set incomplete true;
-          if Atomic.compare_and_set budget_emitted false true then
+          Sync.Atomic.set incomplete true;
+          if Sync.Atomic.compare_and_set budget_emitted false true then
             Rfloor_trace.stopped trace ~worker:w "budget";
           push_tasks (node :: !stack);
           stack := [];
           running := false
         end
         else begin
-          let inc_key = (Atomic.get inc).i_key in
+          let inc_key = (Sync.Atomic.get inc).i_key in
           if node.t_bound >= inc_key -. gap_abs inc_key then () (* pruned by bound *)
           else begin
-            ignore (Atomic.fetch_and_add nodes 1);
+            ignore (Sync.Atomic.fetch_and_add nodes 1);
             local_nodes.(w) <- local_nodes.(w) + 1;
             Rfloor_trace.node_explored trace ~worker:w ~depth:node.t_depth
               ~bound:(unkey node.t_bound);
@@ -238,18 +240,18 @@ let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
               Rfloor_metrics.Registry.Histogram.observe h_lp_iters
                 (float_of_int r.Simplex.iterations)
             end;
-            ignore (Atomic.fetch_and_add iters r.Simplex.iterations);
+            ignore (Sync.Atomic.fetch_and_add iters r.Simplex.iterations);
             local_iters.(w) <- local_iters.(w) + r.Simplex.iterations;
             match r.Simplex.status with
             | Simplex.Infeasible -> ()
-            | Simplex.Iter_limit -> Atomic.set incomplete true
+            | Simplex.Iter_limit -> Sync.Atomic.set incomplete true
             | Simplex.Unbounded ->
               (* any node's ray is a ray of the root relaxation *)
-              Atomic.set unbounded true
+              Sync.Atomic.set unbounded true
             | Simplex.Optimal -> (
               let bound = key r.Simplex.objective in
-              if node.t_depth = 0 then Atomic.set root_bound bound;
-              let inc_key = (Atomic.get inc).i_key in
+              if node.t_depth = 0 then Sync.Atomic.set root_bound bound;
+              let inc_key = (Sync.Atomic.get inc).i_key in
               if bound >= inc_key -. gap_abs inc_key then ()
               else
                 match
@@ -262,7 +264,7 @@ let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
                   let obj_key = key (Lp.objective_value lp x) in
                   if improve obj_key x then
                     Rfloor_trace.incumbent trace ~worker:w
-                      ~objective:(unkey obj_key) ~node:(Atomic.get nodes)
+                      ~objective:(unkey obj_key) ~node:(Sync.Atomic.get nodes)
                 | Some v ->
                   let f = r.Simplex.x.(v) in
                   let fl = Float.round (floor (f +. options.Bb.int_eps)) in
@@ -294,11 +296,11 @@ let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
       match claimed with
       | Some t ->
         Fun.protect
-          ~finally:(fun () -> Atomic.decr active)
+          ~finally:(fun () -> Sync.Atomic.decr active)
           (fun () -> process w t);
         worker_loop w 0
       | None ->
-        if Atomic.get active = 0 then () (* frontier exhausted *)
+        if Sync.Atomic.get active = 0 then () (* frontier exhausted *)
         else begin
           if idle_spins = 0 then Rfloor_trace.worker_idle trace ~worker:w;
           if idle_spins < 200 then Domain.cpu_relax () else Unix.sleepf 0.0002;
@@ -308,34 +310,35 @@ let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
   in
   push_tasks [ { t_lb = root_lb; t_ub = root_ub; t_bound = neg_infinity; t_depth = 0 } ];
   let domains =
-    List.init (workers - 1) (fun i -> Domain.spawn (fun () -> worker_loop (i + 1) 0))
+    List.init (workers - 1) (fun i -> Sync.Domain.spawn ~name:(Printf.sprintf "bb.worker%d" (i + 1))
+          (fun () -> worker_loop (i + 1) 0))
   in
   worker_loop 0 0;
-  List.iter Domain.join domains;
+  List.iter Sync.Domain.join domains;
   for w = 0 to workers - 1 do
     Rfloor_trace.add_worker_totals trace ~worker:w ~nodes:local_nodes.(w)
       ~iterations:local_iters.(w)
   done;
   let leftover =
-    Mutex.lock qm;
+    Sync.Mutex.lock qm;
     let l = List.of_seq (Queue.to_seq queue) in
-    Mutex.unlock qm;
+    Sync.Mutex.unlock qm;
     l
   in
-  let final = Atomic.get inc in
-  let complete = leftover = [] && not (Atomic.get incomplete) in
+  let final = Sync.Atomic.get inc in
+  let complete = leftover = [] && not (Sync.Atomic.get incomplete) in
   let bound_key =
-    if Atomic.get unbounded then neg_infinity
+    if Sync.Atomic.get unbounded then neg_infinity
     else if complete then final.i_key
     else
       List.fold_left
         (fun acc t ->
           min acc
-            (if t.t_bound = neg_infinity then Atomic.get root_bound else t.t_bound))
+            (if t.t_bound = neg_infinity then Sync.Atomic.get root_bound else t.t_bound))
         final.i_key leftover
   in
   let status =
-    if Atomic.get unbounded then Bb.Unbounded
+    if Sync.Atomic.get unbounded then Bb.Unbounded
     else
       match (final.i_x, complete) with
       | Some _, true -> Bb.Optimal
@@ -344,8 +347,8 @@ let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
       | None, false -> Bb.Unknown
   in
   let stop =
-    if Atomic.get unbounded then None (* conclusive, even with open nodes *)
-    else if Atomic.get cancelled then Some Bb.Cancelled
+    if Sync.Atomic.get unbounded then None (* conclusive, even with open nodes *)
+    else if Sync.Atomic.get cancelled then Some Bb.Cancelled
     else if not complete then Some Bb.Budget
     else None
   in
@@ -354,8 +357,8 @@ let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
     incumbent =
       (match final.i_x with Some x -> Some (unkey final.i_key, x) | None -> None);
     best_bound = unkey bound_key;
-    nodes = Atomic.get nodes;
-    simplex_iterations = Atomic.get iters;
+    nodes = Sync.Atomic.get nodes;
+    simplex_iterations = Sync.Atomic.get iters;
     elapsed = Unix.gettimeofday () -. t0;
     stop;
   }

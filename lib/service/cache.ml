@@ -1,3 +1,5 @@
+module Sync = Rfloor_sync
+
 type entry = {
   instance_key : string;
   options_key : string;
@@ -14,29 +16,38 @@ type entry = {
 type slot = { entry : entry; mutable used : int }
 
 type t = {
-  mu : Mutex.t;
+  mu : Sync.Mutex.t;
   table : (string, slot) Hashtbl.t;  (* instance_key ^ "/" ^ options_key *)
   capacity : int;
-  mutable tick : int;
+  tick : int Sync.Shared.t;
 }
 
 let create ?(capacity = 128) () =
   if capacity < 1 then invalid_arg "Cache.create: capacity < 1";
-  { mu = Mutex.create (); table = Hashtbl.create 64; capacity; tick = 0 }
+  { mu = Sync.Mutex.create ~name:"cache.mu" ();
+    table = Hashtbl.create 64;
+    capacity;
+    tick = Sync.Shared.make ~name:"cache.tick" 0 }
 
 let capacity t = t.capacity
 
 let locked t f =
-  Mutex.lock t.mu;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+  Sync.Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Sync.Mutex.unlock t.mu) f
 
 let length t = locked t (fun () -> Hashtbl.length t.table)
+
+let keys t =
+  locked t (fun () ->
+      List.sort String.compare
+        (Hashtbl.fold (fun k _ acc -> k :: acc) t.table []))
 
 let full_key ik ok = ik ^ "/" ^ ok
 
 let touch t slot =
-  t.tick <- t.tick + 1;
-  slot.used <- t.tick
+  let tick = Sync.Shared.get t.tick + 1 in
+  Sync.Shared.set t.tick tick;
+  slot.used <- tick
 
 type hit = Exact of entry | Near of entry
 

@@ -50,3 +50,7 @@ val store : t -> entry -> unit
 
 val length : t -> int
 val capacity : t -> int
+
+val keys : t -> string list
+(** All stored full keys ([instance_key ^ "/" ^ options_key]), sorted.
+    For tests and diagnostics. *)

@@ -1,4 +1,5 @@
 module Solver = Rfloor.Solver
+module Sync = Rfloor_sync
 module T = Rfloor_trace
 module R = Rfloor_metrics.Registry
 
@@ -23,7 +24,7 @@ type job = {
   priority : int;
   deadline : float option;  (* absolute, Unix.gettimeofday scale *)
   submitted : float;
-  cancel_flag : bool Atomic.t;
+  cancel_flag : bool Sync.Atomic.t;
   part : Device.Partition.t;
   spec : Device.Spec.t;
   options : Solver.options;
@@ -31,8 +32,8 @@ type job = {
 }
 
 type t = {
-  mu : Mutex.t;
-  cond : Condition.t;
+  mu : Sync.Mutex.t;
+  cond : Sync.Condition.t;
   mutable queue : job list;  (* claimed highest priority first, then FIFO *)
   jobs : (int, job) Hashtbl.t;
   mutable next_id : int;
@@ -43,10 +44,10 @@ type t = {
   trace : T.t;
   metrics : R.t;
   (* under [mu] *)
-  mutable cache_hits : int;
-  mutable cache_misses : int;
-  mutable warm_starts : int;
-  mutable finished : int;
+  cache_hits : int Sync.Shared.t;
+  cache_misses : int Sync.Shared.t;
+  warm_starts : int Sync.Shared.t;
+  finished : int Sync.Shared.t;
   (* metric handles (atomic; safe outside the lock) *)
   m_depth : R.Gauge.t;
   m_hits : R.Counter.t;
@@ -59,8 +60,10 @@ type t = {
 }
 
 let locked t f =
-  Mutex.lock t.mu;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+  Sync.Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Sync.Mutex.unlock t.mu) f
+
+let bump c = Sync.Shared.set c (Sync.Shared.get c + 1)
 
 let queue_depth_unlocked t = List.length t.queue
 
@@ -120,7 +123,7 @@ let run_job t job =
   in
   match hit with
   | Some (Cache.Exact e) ->
-    locked t (fun () -> t.cache_hits <- t.cache_hits + 1);
+    locked t (fun () -> bump t.cache_hits);
     R.Counter.incr t.m_hits;
     Completed
       {
@@ -135,13 +138,13 @@ let run_job t job =
       | Some (Cache.Near _) when job.options.Solver.engine <> Solver.O ->
         (* the request already pins an engine mode with its own seed
            semantics; don't override it *)
-        locked t (fun () -> t.cache_misses <- t.cache_misses + 1);
+        locked t (fun () -> bump t.cache_misses);
         R.Counter.incr t.m_misses;
         (job.options, okey, otext, Solved)
       | Some (Cache.Near e) -> (
         match e.Cache.plan with
         | Some plan ->
-          locked t (fun () -> t.warm_starts <- t.warm_starts + 1);
+          locked t (fun () -> bump t.warm_starts);
           R.Counter.incr t.m_warm;
           let seed = Canonical.decode_plan canon plan in
           let options = { job.options with Solver.engine = Solver.Ho (Some seed) } in
@@ -150,17 +153,17 @@ let run_job t job =
           let okey, otext = Canonical.options_key canon options in
           (options, okey, otext, Warm_start)
         | None ->
-          locked t (fun () -> t.cache_misses <- t.cache_misses + 1);
+          locked t (fun () -> bump t.cache_misses);
           R.Counter.incr t.m_misses;
           (job.options, okey, otext, Solved))
       | _ ->
-        locked t (fun () -> t.cache_misses <- t.cache_misses + 1);
+        locked t (fun () -> bump t.cache_misses);
         R.Counter.incr t.m_misses;
         (job.options, okey, otext, Solved)
     in
     let user_cancel = options.Solver.cancel in
     let cancel () =
-      Atomic.get job.cancel_flag
+      Sync.Atomic.get job.cancel_flag
       || (match job.deadline with
          | Some d -> Unix.gettimeofday () > d
          | None -> false)
@@ -174,7 +177,7 @@ let run_job t job =
     (match outcome.Solver.stop with
     | Some Solver.Cancelled ->
       let reason =
-        if Atomic.get job.cancel_flag then "cancel"
+        if Sync.Atomic.get job.cancel_flag then "cancel"
         else if
           match job.deadline with
           | Some d -> Unix.gettimeofday () > d
@@ -217,13 +220,13 @@ let finish t job result waited =
   R.Histogram.observe t.m_seconds waited;
   locked t (fun () ->
       job.state <- Done result;
-      t.finished <- t.finished + 1;
-      Condition.broadcast t.cond)
+      bump t.finished;
+      Sync.Condition.broadcast t.cond)
 
 let run t w job =
   let result =
     T.span t.trace ~worker:w T.Event.Job (fun () ->
-        if Atomic.get job.cancel_flag then
+        if Sync.Atomic.get job.cancel_flag then
           (* cancelled while still queued: a clean stop, no solve *)
           Stopped
             ( { outcome = empty_outcome; source = Solved; key = ""; waited = 0. },
@@ -242,7 +245,7 @@ let run t w job =
   finish t job result waited
 
 let rec worker_loop t w =
-  Mutex.lock t.mu;
+  Sync.Mutex.lock t.mu;
   let rec claim () =
     match pop_best t with
     | Some job ->
@@ -251,12 +254,12 @@ let rec worker_loop t w =
     | None ->
       if t.stop then None
       else begin
-        Condition.wait t.cond t.mu;
+        Sync.Condition.wait t.cond t.mu;
         claim ()
       end
   in
   let job = claim () in
-  Mutex.unlock t.mu;
+  Sync.Mutex.unlock t.mu;
   match job with
   | None -> ()
   | Some job ->
@@ -276,8 +279,8 @@ let create ?(workers = 1) ?(cache_capacity = 128) ?(metrics = R.null)
   in
   let t =
     {
-      mu = Mutex.create ();
-      cond = Condition.create ();
+      mu = Sync.Mutex.create ~name:"pool.mu" ();
+      cond = Sync.Condition.create ~name:"pool.cond" ();
       queue = [];
       jobs = Hashtbl.create 64;
       next_id = 0;
@@ -287,10 +290,10 @@ let create ?(workers = 1) ?(cache_capacity = 128) ?(metrics = R.null)
       cache = Cache.create ~capacity:cache_capacity ();
       trace;
       metrics;
-      cache_hits = 0;
-      cache_misses = 0;
-      warm_starts = 0;
-      finished = 0;
+      cache_hits = Sync.Shared.make ~name:"pool.cache_hits" 0;
+      cache_misses = Sync.Shared.make ~name:"pool.cache_misses" 0;
+      warm_starts = Sync.Shared.make ~name:"pool.warm_starts" 0;
+      finished = Sync.Shared.make ~name:"pool.finished" 0;
       m_depth =
         R.gauge metrics ~help:"Jobs waiting in the service queue"
           "rfloor_service_queue_depth";
@@ -311,7 +314,10 @@ let create ?(workers = 1) ?(cache_capacity = 128) ?(metrics = R.null)
           "rfloor_service_job_seconds";
     }
   in
-  t.domains <- List.init workers (fun w -> Domain.spawn (fun () -> worker_loop t w));
+  t.domains <-
+    List.init workers (fun w ->
+        Sync.Domain.spawn ~name:(Printf.sprintf "pool.worker%d" w) (fun () ->
+            worker_loop t w));
   t
 
 let submit t ?(priority = 0) ?deadline ?(options = Solver.default_options) part
@@ -326,7 +332,7 @@ let submit t ?(priority = 0) ?deadline ?(options = Solver.default_options) part
           priority;
           deadline = Option.map (fun d -> now +. d) deadline;
           submitted = now;
-          cancel_flag = Atomic.make false;
+          cancel_flag = Sync.Atomic.make ~name:"pool.job.cancel" false;
           part;
           spec;
           options;
@@ -336,7 +342,7 @@ let submit t ?(priority = 0) ?deadline ?(options = Solver.default_options) part
       Hashtbl.add t.jobs job.id job;
       t.queue <- job :: t.queue;
       set_depth t;
-      Condition.broadcast t.cond;
+      Sync.Condition.broadcast t.cond;
       job.id)
 
 let cancel t id =
@@ -347,7 +353,7 @@ let cancel t id =
         match job.state with
         | Done _ -> false
         | Queued | Running ->
-          Atomic.set job.cancel_flag true;
+          Sync.Atomic.set job.cancel_flag true;
           true))
 
 let await t id =
@@ -357,16 +363,16 @@ let await t id =
         | None -> invalid_arg (Printf.sprintf "Pool.await: unknown job %d" id)
         | Some job -> job)
   in
-  Mutex.lock t.mu;
+  Sync.Mutex.lock t.mu;
   let rec wait () =
     match job.state with
     | Done r -> r
     | Queued | Running ->
-      Condition.wait t.cond t.mu;
+      Sync.Condition.wait t.cond t.mu;
       wait ()
   in
   let r = wait () in
-  Mutex.unlock t.mu;
+  Sync.Mutex.unlock t.mu;
   r
 
 type stats = {
@@ -392,21 +398,21 @@ let stats t =
         s_workers = t.workers;
         s_queued = queue_depth_unlocked t;
         s_running = running;
-        s_finished = t.finished;
+        s_finished = Sync.Shared.get t.finished;
         s_cache_entries = Cache.length t.cache;
         s_cache_capacity = Cache.capacity t.cache;
-        s_cache_hits = t.cache_hits;
-        s_cache_misses = t.cache_misses;
-        s_warm_starts = t.warm_starts;
+        s_cache_hits = Sync.Shared.get t.cache_hits;
+        s_cache_misses = Sync.Shared.get t.cache_misses;
+        s_warm_starts = Sync.Shared.get t.warm_starts;
       })
 
 let shutdown t =
   let domains =
     locked t (fun () ->
         t.stop <- true;
-        Condition.broadcast t.cond;
+        Sync.Condition.broadcast t.cond;
         let d = t.domains in
         t.domains <- [];
         d)
   in
-  List.iter Domain.join domains
+  List.iter Sync.Domain.join domains

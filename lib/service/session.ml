@@ -1,4 +1,5 @@
 module P = Protocol
+module Sync = Rfloor_sync
 module Solver = Rfloor.Solver
 
 (* The response queue decouples reading from answering: the reader
@@ -15,24 +16,24 @@ type item =
   | Quit
 
 type queue = {
-  mu : Mutex.t;
-  cond : Condition.t;
+  mu : Sync.Mutex.t;
+  cond : Sync.Condition.t;
   q : item Queue.t;
 }
 
 let push qu item =
-  Mutex.lock qu.mu;
+  Sync.Mutex.lock qu.mu;
   Queue.add item qu.q;
-  Condition.signal qu.cond;
-  Mutex.unlock qu.mu
+  Sync.Condition.signal qu.cond;
+  Sync.Mutex.unlock qu.mu
 
 let pop qu =
-  Mutex.lock qu.mu;
+  Sync.Mutex.lock qu.mu;
   while Queue.is_empty qu.q do
-    Condition.wait qu.cond qu.mu
+    Sync.Condition.wait qu.cond qu.mu
   done;
   let item = Queue.pop qu.q in
-  Mutex.unlock qu.mu;
+  Sync.Mutex.unlock qu.mu;
   item
 
 let diag_str d = Format.asprintf "%a" Rfloor_diag.Diagnostic.pp d
@@ -84,9 +85,13 @@ let run ?(workers = 1) ?(cache_capacity = 128)
     ?(metrics = Rfloor_metrics.Registry.null) ?(trace = Rfloor_trace.disabled)
     ~devices ~designs ic oc =
   let pool = Pool.create ~workers ~cache_capacity ~metrics ~trace () in
-  let responses = { mu = Mutex.create (); cond = Condition.create (); q = Queue.create () } in
+  let responses =
+    { mu = Sync.Mutex.create ~name:"session.responses.mu" ();
+      cond = Sync.Condition.create ~name:"session.responses.cond" ();
+      q = Queue.create () }
+  in
   let responder =
-    Domain.spawn (fun () ->
+    Sync.Domain.spawn ~name:"session.responder" (fun () ->
         let rec loop () =
           match pop responses with
           | Quit -> ()
@@ -148,5 +153,5 @@ let run ?(workers = 1) ?(cache_capacity = 128)
   in
   read_loop ();
   push responses Quit;
-  Domain.join responder;
+  Sync.Domain.join responder;
   Pool.shutdown pool

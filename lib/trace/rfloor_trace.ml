@@ -1,5 +1,9 @@
 (* Structured solver observability: typed events, pluggable sinks,
-   atomic metrics.  See rfloor_trace.mli for the cost model. *)
+   atomic metrics.  See rfloor_trace.mli for the cost model.  All
+   synchronization goes through the instrumented Rfloor_sync layer so
+   the concheck race detector can observe it. *)
+
+module Sync = Rfloor_sync
 
 let clock_ns () = Monotonic_clock.now ()
 
@@ -348,7 +352,7 @@ end
 (* ------------------------------------------------------------------ *)
 (* Sinks *)
 
-type sink = Null | Fn of { f : Event.t -> unit; m : Mutex.t }
+type sink = Null | Fn of { f : Event.t -> unit; m : Sync.Mutex.t }
 
 module Sink = struct
   type t = sink
@@ -356,14 +360,12 @@ module Sink = struct
   let null = Null
   let is_null = function Null -> true | Fn _ -> false
 
-  let of_fn f = Fn { f; m = Mutex.create () }
+  let of_fn f = Fn { f; m = Sync.Mutex.create ~name:"trace.sink" () }
 
   let send sink e =
     match sink with
     | Null -> ()
-    | Fn { f; m } ->
-      Mutex.lock m;
-      Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> f e)
+    | Fn { f; m } -> Sync.Mutex.protect m (fun () -> f e)
 
   let of_log_fn ?(progress_every = 500) log =
     let nodes_seen = ref 0 in
@@ -401,43 +403,37 @@ module Ring = struct
   type t = {
     cap : int;
     buf : Event.t option array;
-    mutable next : int;  (* total events ever seen *)
-    m : Mutex.t;
+    next : int Sync.Shared.t;  (* total events ever seen; under [m] *)
+    m : Sync.Mutex.t;
   }
 
   let create ?(capacity = 65536) () =
     { cap = max 1 capacity; buf = Array.make (max 1 capacity) None;
-      next = 0; m = Mutex.create () }
+      next = Sync.Shared.make ~name:"trace.ring.next" 0;
+      m = Sync.Mutex.create ~name:"trace.ring" () }
 
   let sink r =
     Sink.of_fn (fun e ->
-        Mutex.lock r.m;
-        r.buf.(r.next mod r.cap) <- Some e;
-        r.next <- r.next + 1;
-        Mutex.unlock r.m)
+        Sync.Mutex.protect r.m (fun () ->
+            let next = Sync.Shared.get r.next in
+            r.buf.(next mod r.cap) <- Some e;
+            Sync.Shared.set r.next (next + 1)))
 
   let events r =
-    Mutex.lock r.m;
-    let total = r.next in
-    let kept = min total r.cap in
-    let out =
-      List.init kept (fun i ->
-          Option.get r.buf.((total - kept + i) mod r.cap))
-    in
-    Mutex.unlock r.m;
-    out
+    Sync.Mutex.protect r.m (fun () ->
+        let total = Sync.Shared.get r.next in
+        let kept = min total r.cap in
+        List.init kept (fun i ->
+            Option.get r.buf.((total - kept + i) mod r.cap)))
 
   let dropped r =
-    Mutex.lock r.m;
-    let d = max 0 (r.next - r.cap) in
-    Mutex.unlock r.m;
-    d
+    Sync.Mutex.protect r.m (fun () ->
+        max 0 (Sync.Shared.get r.next - r.cap))
 
   let clear r =
-    Mutex.lock r.m;
-    Array.fill r.buf 0 r.cap None;
-    r.next <- 0;
-    Mutex.unlock r.m
+    Sync.Mutex.protect r.m (fun () ->
+        Array.fill r.buf 0 r.cap None;
+        Sync.Shared.set r.next 0)
 end
 
 (* ------------------------------------------------------------------ *)
@@ -447,64 +443,65 @@ module Metrics = struct
   let max_depth_bucket = 64
 
   type t = {
-    incumbents : int Atomic.t;
-    cuts : int Atomic.t;
-    steal_attempts : int Atomic.t;
-    steal_successes : int Atomic.t;
-    tasks_donated : int Atomic.t;
-    idle_events : int Atomic.t;
-    restarts : int Atomic.t;
-    warnings : int Atomic.t;
-    m : Mutex.t;
+    incumbents : int Sync.Atomic.t;
+    cuts : int Sync.Atomic.t;
+    steal_attempts : int Sync.Atomic.t;
+    steal_successes : int Sync.Atomic.t;
+    tasks_donated : int Sync.Atomic.t;
+    idle_events : int Sync.Atomic.t;
+    restarts : int Sync.Atomic.t;
+    warnings : int Sync.Atomic.t;
+    m : Sync.Mutex.t;
     (* phase -> (seconds, completed spans), kept in order of first use *)
-    mutable phases : (Event.phase * (float * int)) list;
+    phases : (Event.phase * (float * int)) list Sync.Shared.t;
     (* worker -> (nodes, simplex iterations) *)
-    mutable workers : (int * (int * int)) list;
-    depth_hist : int Atomic.t array;
+    workers : (int * (int * int)) list Sync.Shared.t;
+    depth_hist : int Sync.Atomic.t array;
   }
 
   let create () =
     {
-      incumbents = Atomic.make 0;
-      cuts = Atomic.make 0;
-      steal_attempts = Atomic.make 0;
-      steal_successes = Atomic.make 0;
-      tasks_donated = Atomic.make 0;
-      idle_events = Atomic.make 0;
-      restarts = Atomic.make 0;
-      warnings = Atomic.make 0;
-      m = Mutex.create ();
-      phases = [];
-      workers = [];
-      depth_hist = Array.init max_depth_bucket (fun _ -> Atomic.make 0);
+      incumbents = Sync.Atomic.make 0;
+      cuts = Sync.Atomic.make 0;
+      steal_attempts = Sync.Atomic.make 0;
+      steal_successes = Sync.Atomic.make 0;
+      tasks_donated = Sync.Atomic.make 0;
+      idle_events = Sync.Atomic.make 0;
+      restarts = Sync.Atomic.make 0;
+      warnings = Sync.Atomic.make 0;
+      m = Sync.Mutex.create ~name:"trace.metrics" ();
+      phases = Sync.Shared.make ~name:"trace.metrics.phases" [];
+      workers = Sync.Shared.make ~name:"trace.metrics.workers" [];
+      depth_hist = Array.init max_depth_bucket (fun _ -> Sync.Atomic.make 0);
     }
 
   let add_phase t phase dt =
-    Mutex.lock t.m;
-    (match List.assoc_opt phase t.phases with
-    | Some (s, c) ->
-      t.phases <-
-        List.map
-          (fun (p, v) -> if p = phase then (p, (s +. dt, c + 1)) else (p, v))
-          t.phases
-    | None -> t.phases <- t.phases @ [ (phase, (dt, 1)) ]);
-    Mutex.unlock t.m
+    Sync.Mutex.protect t.m (fun () ->
+        let phases = Sync.Shared.get t.phases in
+        match List.assoc_opt phase phases with
+        | Some (s, c) ->
+          Sync.Shared.set t.phases
+            (List.map
+               (fun (p, v) ->
+                 if p = phase then (p, (s +. dt, c + 1)) else (p, v))
+               phases)
+        | None -> Sync.Shared.set t.phases (phases @ [ (phase, (dt, 1)) ]))
 
   let add_worker t worker nodes iters =
-    Mutex.lock t.m;
-    (match List.assoc_opt worker t.workers with
-    | Some (n, i) ->
-      t.workers <-
-        List.map
-          (fun (w, v) ->
-            if w = worker then (w, (n + nodes, i + iters)) else (w, v))
-          t.workers
-    | None -> t.workers <- (worker, (nodes, iters)) :: t.workers);
-    Mutex.unlock t.m
+    Sync.Mutex.protect t.m (fun () ->
+        let workers = Sync.Shared.get t.workers in
+        match List.assoc_opt worker workers with
+        | Some (n, i) ->
+          Sync.Shared.set t.workers
+            (List.map
+               (fun (w, v) ->
+                 if w = worker then (w, (n + nodes, i + iters)) else (w, v))
+               workers)
+        | None -> Sync.Shared.set t.workers ((worker, (nodes, iters)) :: workers))
 
   let bump_depth t depth =
     let b = if depth < 0 then 0 else min depth (max_depth_bucket - 1) in
-    Atomic.incr t.depth_hist.(b)
+    Sync.Atomic.incr t.depth_hist.(b)
 end
 
 (* ------------------------------------------------------------------ *)
@@ -699,7 +696,7 @@ let messagef t ?(worker = 0) fmt =
 
 let warn t ?(worker = 0) msg =
   if t.t_live then begin
-    Atomic.incr t.t_m.Metrics.warnings;
+    Sync.Atomic.incr t.t_m.Metrics.warnings;
     if enabled t then send t worker (Event.Warning msg)
   end
 
@@ -711,37 +708,37 @@ let node_explored t ~worker ~depth ~bound =
 
 let incumbent t ~worker ~objective ~node =
   if t.t_live then begin
-    Atomic.incr t.t_m.Metrics.incumbents;
+    Sync.Atomic.incr t.t_m.Metrics.incumbents;
     if enabled t then send t worker (Event.Incumbent { objective; node })
   end
 
 let cuts_added t ~worker ~rounds ~cuts =
   if t.t_live && cuts > 0 then begin
-    ignore (Atomic.fetch_and_add t.t_m.Metrics.cuts cuts);
+    ignore (Sync.Atomic.fetch_and_add t.t_m.Metrics.cuts cuts);
     if enabled t then send t worker (Event.Cut_added { rounds; cuts })
   end
 
 let steal t ~worker ~tasks =
   if t.t_live && tasks > 0 then begin
-    ignore (Atomic.fetch_and_add t.t_m.Metrics.tasks_donated tasks);
+    ignore (Sync.Atomic.fetch_and_add t.t_m.Metrics.tasks_donated tasks);
     if enabled t then send t worker (Event.Steal { tasks })
   end
 
 let steal_attempt t ~success =
   if t.t_live then begin
-    Atomic.incr t.t_m.Metrics.steal_attempts;
-    if success then Atomic.incr t.t_m.Metrics.steal_successes
+    Sync.Atomic.incr t.t_m.Metrics.steal_attempts;
+    if success then Sync.Atomic.incr t.t_m.Metrics.steal_successes
   end
 
 let worker_idle t ~worker =
   if t.t_live then begin
-    Atomic.incr t.t_m.Metrics.idle_events;
+    Sync.Atomic.incr t.t_m.Metrics.idle_events;
     if enabled t then send t worker Event.Worker_idle
   end
 
 let restart t ?(worker = 0) stage =
   if t.t_live then begin
-    Atomic.incr t.t_m.Metrics.restarts;
+    Sync.Atomic.incr t.t_m.Metrics.restarts;
     if enabled t then send t worker (Event.Restart { stage })
   end
 
@@ -753,24 +750,24 @@ let add_worker_totals t ~worker ~nodes ~iterations =
 
 let report t ~nodes ~simplex_iterations ~elapsed =
   let m = t.t_m in
-  Mutex.lock m.Metrics.m;
+  Sync.Mutex.lock m.Metrics.m;
   let phases =
     List.map
       (fun (p, (s, c)) ->
         { Report.ps_phase = p; ps_seconds = s; ps_count = c })
-      m.Metrics.phases
+      (Sync.Shared.get m.Metrics.phases)
   in
   let workers =
     List.map
       (fun (w, (n, i)) ->
         { Report.ws_worker = w; ws_nodes = n; ws_iterations = i })
-      (List.sort compare m.Metrics.workers)
+      (List.sort compare (Sync.Shared.get m.Metrics.workers))
   in
-  Mutex.unlock m.Metrics.m;
+  Sync.Mutex.unlock m.Metrics.m;
   let depth_histogram =
     let out = ref [] in
     for b = Metrics.max_depth_bucket - 1 downto 0 do
-      let c = Atomic.get m.Metrics.depth_hist.(b) in
+      let c = Sync.Atomic.get m.Metrics.depth_hist.(b) in
       if c > 0 then out := (b, c) :: !out
     done;
     !out
@@ -792,14 +789,14 @@ let report t ~nodes ~simplex_iterations ~elapsed =
     Report.nodes;
     simplex_iterations;
     elapsed;
-    incumbents = Atomic.get m.Metrics.incumbents;
-    cuts = Atomic.get m.Metrics.cuts;
-    steal_attempts = Atomic.get m.Metrics.steal_attempts;
-    steal_successes = Atomic.get m.Metrics.steal_successes;
-    tasks_donated = Atomic.get m.Metrics.tasks_donated;
-    idle_events = Atomic.get m.Metrics.idle_events;
-    restarts = Atomic.get m.Metrics.restarts;
-    warnings = Atomic.get m.Metrics.warnings;
+    incumbents = Sync.Atomic.get m.Metrics.incumbents;
+    cuts = Sync.Atomic.get m.Metrics.cuts;
+    steal_attempts = Sync.Atomic.get m.Metrics.steal_attempts;
+    steal_successes = Sync.Atomic.get m.Metrics.steal_successes;
+    tasks_donated = Sync.Atomic.get m.Metrics.tasks_donated;
+    idle_events = Sync.Atomic.get m.Metrics.idle_events;
+    restarts = Sync.Atomic.get m.Metrics.restarts;
+    warnings = Sync.Atomic.get m.Metrics.warnings;
     phases;
     workers;
     depth_histogram;

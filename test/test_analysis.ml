@@ -4,7 +4,7 @@
    preflight short-circuit. *)
 
 open Device
-module D = Rfloor_analysis.Diagnostic
+module D = Rfloor_diag.Diagnostic
 module Spec_lint = Rfloor_analysis.Spec_lint
 module Model_lint = Rfloor_analysis.Model_lint
 module Audit = Rfloor_analysis.Solution_audit
@@ -357,6 +357,48 @@ let test_code_table () =
       Alcotest.(check int) "code shape" 5 (String.length code))
     D.all_codes
 
+(* The registered code table is the single source of truth: codes must
+   be unique, carry a non-empty description, and every code must appear
+   in the DESIGN.md table with the same severity. *)
+let repo_root () =
+  let root = ref (Sys.getcwd ()) in
+  while not (Sys.file_exists (Filename.concat !root "DESIGN.md")) do
+    let parent = Filename.dirname !root in
+    if parent = !root then Alcotest.fail "repo root (DESIGN.md) not found";
+    root := parent
+  done;
+  !root
+
+let test_code_registry () =
+  let names = List.map (fun (c, _, _) -> c) D.all_codes in
+  Alcotest.(check int) "codes unique" (List.length names)
+    (List.length (List.sort_uniq compare names));
+  Alcotest.(check (list string)) "codes sorted" (List.sort compare names) names;
+  List.iter
+    (fun (code, _, doc) ->
+      Alcotest.(check bool) (code ^ " documented") true (String.length doc > 0))
+    D.all_codes;
+  let design =
+    let path = Filename.concat (repo_root ()) "DESIGN.md" in
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  List.iter
+    (fun (code, sev, _) ->
+      let sev_name =
+        match sev with
+        | D.Error -> "Error"
+        | D.Warning -> "Warning"
+        | D.Info -> "Info"
+      in
+      let row = Printf.sprintf "| %s | %s |" code sev_name in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s in DESIGN.md as %s" code sev_name)
+        true (contains design row))
+    D.all_codes
+
 let suites =
   [
     ( "analysis.spec_lint",
@@ -401,5 +443,6 @@ let suites =
       [
         Alcotest.test_case "rendering" `Quick test_rendering;
         Alcotest.test_case "code table" `Quick test_code_table;
+        Alcotest.test_case "code registry vs DESIGN.md" `Quick test_code_registry;
       ] );
   ]

@@ -144,9 +144,9 @@ let test_random_floorplans_audit () =
     | Some plan ->
       incr solved;
       let ds = Rfloor_analysis.Solution_audit.run part spec plan in
-      if Rfloor_analysis.Diagnostic.has_errors ds then
+      if Rfloor_diag.Diagnostic.has_errors ds then
         Alcotest.failf "seed %d: decoded floorplan fails the audit:@.%s" seed
-          (Format.asprintf "%a" Rfloor_analysis.Diagnostic.pp_report ds)
+          (Format.asprintf "%a" Rfloor_diag.Diagnostic.pp_report ds)
   done;
   Alcotest.(check bool) "at least one random spec solved" true (!solved > 0)
 

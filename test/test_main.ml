@@ -5,4 +5,4 @@ let () =
    @ Test_bitstream.suites
    @ Test_sdr.suites @ Test_runtime.suites @ Test_io.suites
    @ Test_differential.suites @ Test_formats.suites @ Test_trace.suites
-  @ Test_metrics.suites @ Test_service.suites)
+  @ Test_metrics.suites @ Test_service.suites @ Test_concheck.suites)

@@ -253,9 +253,9 @@ let test_presolve_proven_infeasible () =
   Alcotest.(check bool) "preflight flags RF106" true
     (List.exists
        (fun d ->
-         d.Rfloor_analysis.Diagnostic.code = "RF106"
-         && d.Rfloor_analysis.Diagnostic.severity
-            = Rfloor_analysis.Diagnostic.Error)
+         d.Rfloor_diag.Diagnostic.code = "RF106"
+         && d.Rfloor_diag.Diagnostic.severity
+            = Rfloor_diag.Diagnostic.Error)
        ds);
   match Presolve.tighten lp with
   | Presolve.Proven_infeasible -> ()

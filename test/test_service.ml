@@ -323,6 +323,112 @@ let test_pool_soak () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "submit after shutdown accepted"
 
+(* ------------------------------------------------------------------ *)
+(* Cache under concurrency *)
+
+module Cache = Rfloor_service.Cache
+module R = Rfloor_metrics.Registry
+
+let cache_entry k =
+  {
+    Cache.instance_key = k;
+    options_key = "opts";
+    instance_text = "text:" ^ k;
+    options_text = "otext";
+    status = Solver.Optimal;
+    wasted = Some 0;
+    wirelength = Some 0.;
+    objective = Some 0.;
+    fc_identified = 0;
+    plan = None;
+  }
+
+let cache_find cache k =
+  Cache.find cache ~instance_key:k ~instance_text:("text:" ^ k)
+    ~options_key:"opts" ~options_text:"otext"
+
+(* Four domains hammer one capacity-bounded cache with interleaved
+   inserts, hits and misses over overlapping key ranges.  Afterwards
+   the size bound holds, stored keys are unique, and every surviving
+   entry still round-trips as an exact hit. *)
+let test_cache_concurrent () =
+  let capacity = 8 in
+  let cache = Cache.create ~capacity () in
+  let key d i = Printf.sprintf "k%02d" ((i + (d * 5)) mod 24) in
+  let errors = Atomic.make 0 in
+  let work d () =
+    for i = 0 to 399 do
+      let k = key d i in
+      (match cache_find cache k with
+      | Some (Cache.Exact e) | Some (Cache.Near e) ->
+        (* a hit must carry the entry it was stored under *)
+        if e.Cache.instance_text <> "text:" ^ e.Cache.instance_key then
+          Atomic.incr errors
+      | None -> Cache.store cache (cache_entry k));
+      if Cache.length cache > capacity then Atomic.incr errors
+    done
+  in
+  let domains = List.init 4 (fun d -> Domain.spawn (work d)) in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "no invariant violations inside domains" 0
+    (Atomic.get errors);
+  Alcotest.(check bool) "size bound" true (Cache.length cache <= capacity);
+  let keys = Cache.keys cache in
+  Alcotest.(check int) "length agrees with keys" (Cache.length cache)
+    (List.length keys);
+  Alcotest.(check (list string)) "keys unique" (List.sort_uniq compare keys)
+    keys;
+  (* every survivor answers an exact hit with its own payload *)
+  List.iter
+    (fun full ->
+      let k = List.hd (String.split_on_char '/' full) in
+      match cache_find cache k with
+      | Some (Cache.Exact e) ->
+        Alcotest.(check string) (k ^ " payload") ("text:" ^ k)
+          e.Cache.instance_text
+      | Some (Cache.Near _) | None -> Alcotest.failf "%s: not an exact hit" k)
+    keys
+
+(* Hits and misses must be conserved: pool stats and the
+   rfloor_service_* metric counters agree with the submission mix. *)
+let test_pool_hit_miss_conservation () =
+  let reg = R.create () in
+  let pool = Pool.create ~metrics:reg () in
+  let part = Lazy.force mini_part and spec = toy_spec () in
+  let options =
+    Solver.Options.make ~objective_mode:Solver.Feasibility_only ~time_limit:30.
+      ()
+  in
+  (* one miss, then two exact hits of the same canonical instance *)
+  ignore (await_solved pool "seed" (Pool.submit pool ~options part spec));
+  ignore (await_solved pool "hit1" (Pool.submit pool ~options part spec));
+  ignore
+    (await_solved pool "hit2"
+       (Pool.submit pool ~options part (relabel_spec spec)));
+  (* a geometrically different instance: a second miss *)
+  let prng = Generators.Prng.make (Generators.case_seed (Generators.base_seed ()) 55) in
+  let part2 = Generators.random_partition prng in
+  let spec2 = Generators.random_spec prng part2 in
+  ignore (await_solved pool "other" (Pool.submit pool ~options part2 spec2));
+  let st = Pool.stats pool in
+  Alcotest.(check int) "stats hits" 2 st.Pool.s_cache_hits;
+  Alcotest.(check int) "stats misses" 2 st.Pool.s_cache_misses;
+  Alcotest.(check int) "hits + misses = jobs" 4
+    (st.Pool.s_cache_hits + st.Pool.s_cache_misses);
+  let counter_total name =
+    List.fold_left
+      (fun acc m ->
+        match m with
+        | R.Snapshot.Counter { name = n; value; _ } when n = name -> acc + value
+        | _ -> acc)
+      0 (R.snapshot reg)
+  in
+  Alcotest.(check int) "metric hits agree" st.Pool.s_cache_hits
+    (counter_total "rfloor_service_cache_hits_total");
+  Alcotest.(check int) "metric misses agree" st.Pool.s_cache_misses
+    (counter_total "rfloor_service_cache_misses_total");
+  Pool.shutdown pool
+
 let suites =
   [
     ( "service.canonical",
@@ -345,5 +451,7 @@ let suites =
         Alcotest.test_case "deadline stops with incumbent" `Quick test_pool_deadline_stop;
         Alcotest.test_case "queued cancel" `Quick test_pool_queued_cancel;
         Alcotest.test_case "four-worker soak" `Quick test_pool_soak;
+        Alcotest.test_case "four-domain cache storm" `Quick test_cache_concurrent;
+        Alcotest.test_case "hit/miss conservation vs metrics" `Quick test_pool_hit_miss_conservation;
       ] );
   ]
