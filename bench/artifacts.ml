@@ -45,13 +45,13 @@ let toy_spec =
          r "R2" [ (Resource.Clb, 2); (Resource.Dsp, 1) ];
        ])
 
-let quick_entry ~budget ~workers (name, objective_mode) =
+let quick_entry ~budget ~workers (name, objective_mode, warm_lp) =
   let part = Partition.columnar_exn Devices.mini in
   let spec = Lazy.force toy_spec in
   let metrics = R.create () in
   let options =
     Rfloor.Solver.Options.make ~time_limit:budget ~workers ~metrics
-      ~objective_mode ()
+      ~objective_mode ~warm_lp ()
   in
   let o = Rfloor.Solver.solve ~options part spec in
   {
@@ -66,14 +66,20 @@ let quick_entry ~budget ~workers (name, objective_mode) =
     e_metrics = Some (R.to_json_value (R.snapshot metrics));
   }
 
+(* mini-toy-lex runs twice, with and without LP warm starts: the pair
+   of entries records the warm-vs-cold simplex-pivot comparison (and
+   the rfloor_lp_*_total counters in e_metrics) in every artifact, so
+   bench-compare history tracks the warm-start win. *)
 let quick_entries ~budget ~workers () =
   List.map
     (quick_entry ~budget ~workers)
     [
-      ("mini-toy-lex", Rfloor.Solver.Lexicographic);
-      ("mini-toy-feas", Rfloor.Solver.Feasibility_only);
+      ("mini-toy-lex", Rfloor.Solver.Lexicographic, true);
+      ("mini-toy-lex-coldlp", Rfloor.Solver.Lexicographic, false);
+      ("mini-toy-feas", Rfloor.Solver.Feasibility_only, true);
       ( "mini-toy-weighted",
-        Rfloor.Solver.Weighted Rfloor.Objective.default_weights );
+        Rfloor.Solver.Weighted Rfloor.Objective.default_weights,
+        true );
     ]
 
 (* ---- fx70t set: the paper's evaluation workload, exact engine ---- *)

@@ -148,13 +148,24 @@ let run_parallel_speedup ?(trace_mode = `Off) () =
           part Sdr.sdr2)
   in
   let lp = Rfloor.Model.lp model in
+  let metrics = Rfloor_metrics.Registry.create () in
   let opts =
     {
       Milp.Branch_bound.default_options with
       time_limit = Some budget;
       node_limit = Some 400;
       priorities = Some (Rfloor.Model.branching_priorities model);
+      metrics;
     }
+  in
+  (* cold baseline for the warm-start pivot comparison: same tree, no
+     parent-basis dual re-solves, and its own registry so the counters
+     printed below belong to the warm runs only *)
+  let cold =
+    Milp.Branch_bound.solve
+      ~options:
+        { opts with warm_lp = false; metrics = Rfloor_metrics.Registry.null }
+      lp
   in
   let seq =
     Milp.Branch_bound.solve ~options:{ opts with trace = tracer_seq } lp
@@ -169,8 +180,25 @@ let run_parallel_speedup ?(trace_mode = `Off) () =
       label r.Milp.Branch_bound.nodes r.Milp.Branch_bound.simplex_iterations
       r.Milp.Branch_bound.elapsed
   in
+  show "cold LP" cold;
   show "sequential" seq;
   show (Printf.sprintf "%d workers" workers) par;
+  Printf.printf
+    "  warm-start pivots: %d warm vs %d cold (%d saved across %d nodes)\n%!"
+    seq.Milp.Branch_bound.simplex_iterations
+    cold.Milp.Branch_bound.simplex_iterations
+    (cold.Milp.Branch_bound.simplex_iterations
+    - seq.Milp.Branch_bound.simplex_iterations)
+    seq.Milp.Branch_bound.nodes;
+  let counter name =
+    Rfloor_metrics.Registry.Counter.value
+      (Rfloor_metrics.Registry.counter metrics name)
+  in
+  Printf.printf
+    "  lp counters (seq+par): %d factorizations, %d ft updates, %d warm starts\n%!"
+    (counter "rfloor_lp_factorizations_total")
+    (counter "rfloor_lp_ft_updates_total")
+    (counter "rfloor_lp_warm_starts_total");
   let rate (r : Milp.Branch_bound.result) =
     float_of_int r.Milp.Branch_bound.nodes /. max 1e-9 r.Milp.Branch_bound.elapsed
   in

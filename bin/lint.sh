@@ -23,6 +23,13 @@
 #                                assert one canonical-key cache hit
 #                                (zero nodes), one cooperative cancel,
 #                                and a schema-valid metrics snapshot.
+#   bin/lint.sh simplex-check -- LP-core gate only: the sparse-LU
+#                                property suite (L·U=P·B, ftran/btran,
+#                                update-vs-refactor), the simplex
+#                                fixtures, and a 50-instance mini
+#                                differential (sparse vs frozen dense
+#                                reference, warm vs cold) at the pinned
+#                                seed.
 #   bin/lint.sh concheck      -- concurrency gate only: exhaust the
 #                                interleaving scenarios and race-detect
 #                                an instrumented 2-worker solve on the
@@ -183,6 +190,25 @@ EOF
     echo "concheck passed (schedules exhausted, solve race-free, sources clean, invariants enforced)"
 }
 
+simplex_check() {
+    echo "== simplex-check (LU properties, fixtures, 50-instance mini differential)"
+    seed="${RFLOOR_TEST_SEED:-2015}"
+    RFLOOR_TEST_SEED="$seed" dune exec test/test_main.exe -- test simplex_core.lu
+    RFLOOR_TEST_SEED="$seed" dune exec test/test_main.exe -- test milp.simplex
+    # cases 3-5 of the differential suite are the LP-core trio (sparse
+    # vs dense reference, warm child re-solves, cold-vs-warm B&B);
+    # RFLOOR_SIMPLEX_DIFF=50 shrinks them to a smoke-sized sample
+    RFLOOR_TEST_SEED="$seed" RFLOOR_SIMPLEX_DIFF=50 \
+        dune exec test/test_main.exe -- test differential 3-5
+    echo "simplex-check passed (properties, fixtures, mini differential at seed $seed)"
+}
+
+if [ "${1:-}" = "simplex-check" ]; then
+    dune build
+    simplex_check
+    exit 0
+fi
+
 if [ "${1:-}" = "concheck" ]; then
     concheck
     exit 0
@@ -222,6 +248,8 @@ dune runtest
 
 echo "== rfloor_cli lint (fx70t / sdr)"
 dune exec bin/rfloor_cli.exe -- lint --device fx70t --design sdr
+
+simplex_check
 
 trace_check
 

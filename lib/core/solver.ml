@@ -17,6 +17,7 @@ type options = {
   node_limit : int option;
   paper_literal_l : bool;
   warm_start : bool;
+  warm_lp : bool;
   preflight : bool;
   workers : int;
   trace : T.sink;
@@ -29,8 +30,9 @@ module Options = struct
 
   let make ?(engine = O) ?(objective_mode = Lexicographic) ?(time_limit = 60.)
       ?node_limit ?(paper_literal_l = false) ?(warm_start = true)
-      ?(preflight = true) ?(workers = 1) ?(trace = T.Sink.null)
-      ?(metrics = Rfloor_metrics.Registry.null) ?(cancel = Bb.never_cancel) () =
+      ?(warm_lp = true) ?(preflight = true) ?(workers = 1)
+      ?(trace = T.Sink.null) ?(metrics = Rfloor_metrics.Registry.null)
+      ?(cancel = Bb.never_cancel) () =
     {
       engine;
       objective_mode;
@@ -40,6 +42,7 @@ module Options = struct
       node_limit;
       paper_literal_l;
       warm_start;
+      warm_lp;
       preflight;
       workers;
       trace;
@@ -90,6 +93,7 @@ let bb_options options trace model stage_time =
     trace;
     metrics = options.metrics;
     cancel = options.cancel;
+    warm_lp = options.warm_lp;
   }
 
 let warm_plan options part spec =

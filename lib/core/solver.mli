@@ -26,6 +26,13 @@ type options = {
   node_limit : int option;
   paper_literal_l : bool;
   warm_start : bool;
+  warm_lp : bool;
+      (** Warm-start each branch-and-bound child's LP from its parent's
+          optimal basis via the dual simplex (default [true]).  Purely a
+          speed knob: any doubtful warm solve falls back to a cold
+          solve, so results never depend on it.  Distinct from
+          [warm_start], which seeds the MILP incumbent from the
+          combinatorial engine. *)
   preflight : bool;
       (** Run the {!Rfloor_analysis} spec and model lints before
           solving and audit the decoded plan after (default [true]).
@@ -68,6 +75,7 @@ module Options : sig
     ?node_limit:int ->
     ?paper_literal_l:bool ->
     ?warm_start:bool ->
+    ?warm_lp:bool ->
     ?preflight:bool ->
     ?workers:int ->
     ?trace:Rfloor_trace.sink ->

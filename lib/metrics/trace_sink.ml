@@ -45,6 +45,14 @@ let sink reg =
         "rfloor_stops_total"
     in
     let warnings = counter ~help:"Warning events" "rfloor_warnings_total" in
+    let refactors =
+      counter ~help:"LP basis refactorizations seen in the trace"
+        "rfloor_trace_lp_refactor_total"
+    in
+    let warm_events =
+      counter ~help:"Warm-started LP re-solves seen in the trace"
+        "rfloor_trace_lp_warm_total"
+    in
     (* per-phase histograms and per-worker counters, created on first
        sight; the tables below are only touched under the sink mutex *)
     let phase_hist : (E.phase, Registry.Histogram.t) Hashtbl.t =
@@ -110,6 +118,8 @@ let sink reg =
           Hashtbl.replace idle_since e.E.worker e.E.at
         | E.Restart _ -> Registry.Counter.incr restarts
         | E.Stopped _ -> Registry.Counter.incr stops
+        | E.Lp_refactor _ -> Registry.Counter.incr refactors
+        | E.Lp_warm _ -> Registry.Counter.incr warm_events
         | E.Warning _ -> Registry.Counter.incr warnings
         | E.Message _ -> ())
   end

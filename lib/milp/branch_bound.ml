@@ -22,6 +22,7 @@ type options = {
   gomory_rounds : int;
   metrics : Rfloor_metrics.Registry.t;
   cancel : unit -> bool;
+  warm_lp : bool;
 }
 
 let never_cancel () = false
@@ -37,6 +38,7 @@ let default_options =
     gomory_rounds = 0;
     metrics = Rfloor_metrics.Registry.null;
     cancel = never_cancel;
+    warm_lp = true;
   }
 
 (* Per-LP profiling handles shared with Parallel_bb: same series names,
@@ -51,7 +53,14 @@ let lp_histograms reg =
 let objective_key dir obj =
   match dir with Lp.Minimize -> obj | Lp.Maximize -> -.obj
 
-type node = { n_lb : float array; n_ub : float array; n_bound : float; n_depth : int }
+type node = {
+  n_lb : float array;
+  n_ub : float array;
+  n_bound : float;
+  n_depth : int;
+  n_basis : Simplex.Basis.t option;
+      (* parent's optimal basis; seeds the dual-simplex warm start *)
+}
 
 let frac x = x -. Float.round x
 
@@ -78,6 +87,9 @@ let solve ?(options = default_options) ?(worker = 0) ?incumbent lp =
      below skips the clock reads entirely. *)
   let mlive = Rfloor_metrics.Registry.live options.metrics in
   let h_lp_iters, h_lp_seconds = lp_histograms options.metrics in
+  (* LP counters registered once per run, not per node: registration
+     takes the registry mutex, counter updates are lock-free *)
+  let instr = if mlive then Some (Simplex.instruments options.metrics) else None in
   let t0 = Unix.gettimeofday () in
   (* root-node branch-and-cut: strengthen a private copy with GMI cuts *)
   let lp =
@@ -120,7 +132,11 @@ let solve ?(options = default_options) ?(worker = 0) ?incumbent lp =
   let cancelled = ref false in
   (* stack of open nodes; each carries the bound inherited from its
      parent's LP relaxation *)
-  let stack = ref [ { n_lb = root_lb; n_ub = root_ub; n_bound = neg_infinity; n_depth = 0 } ] in
+  let stack =
+    ref
+      [ { n_lb = root_lb; n_ub = root_ub; n_bound = neg_infinity; n_depth = 0;
+          n_basis = None } ]
+  in
   let root_bound = ref neg_infinity in
   let unbounded = ref false in
   let stopped = ref false in
@@ -158,11 +174,16 @@ let solve ?(options = default_options) ?(worker = 0) ?incumbent lp =
         Rfloor_trace.node_explored trace ~worker ~depth:node.n_depth
           ~bound:(unkey node.n_bound);
         let t_lp = if mlive then Unix.gettimeofday () else 0. in
-        let r =
+        let warm = if options.warm_lp then node.n_basis else None in
+        let solve_node () =
+          Simplex.Core.solve_warm ~lb:node.n_lb ~ub:node.n_ub ?warm ?instr
+            ~trace ~worker core
+        in
+        let r, node_basis =
           if node.n_depth = 0 then
             Rfloor_trace.span trace ~worker Rfloor_trace.Event.Root_lp
-              (fun () -> Simplex.Core.solve ~lb:node.n_lb ~ub:node.n_ub core)
-          else Simplex.Core.solve ~lb:node.n_lb ~ub:node.n_ub core
+              solve_node
+          else solve_node ()
         in
         if mlive then begin
           Rfloor_metrics.Registry.Histogram.observe h_lp_seconds
@@ -204,11 +225,13 @@ let solve ?(options = default_options) ?(worker = 0) ?incumbent lp =
               let down () =
                 let ub = Array.copy node.n_ub in
                 ub.(v) <- min ub.(v) fl;
-                { n_lb = Array.copy node.n_lb; n_ub = ub; n_bound = bound; n_depth = node.n_depth + 1 }
+                { n_lb = Array.copy node.n_lb; n_ub = ub; n_bound = bound;
+                  n_depth = node.n_depth + 1; n_basis = node_basis }
               and up () =
                 let lb = Array.copy node.n_lb in
                 lb.(v) <- max lb.(v) (fl +. 1.);
-                { n_lb = lb; n_ub = Array.copy node.n_ub; n_bound = bound; n_depth = node.n_depth + 1 }
+                { n_lb = lb; n_ub = Array.copy node.n_ub; n_bound = bound;
+                  n_depth = node.n_depth + 1; n_basis = node_basis }
               in
               (* explore the child nearest to the LP value first *)
               let first, second = if frac f <= 0. then (down (), up ()) else (up (), down ()) in
@@ -227,7 +250,11 @@ let solve ?(options = default_options) ?(worker = 0) ?incumbent lp =
           min acc (if nd.n_bound = neg_infinity then !root_bound else nd.n_bound))
         !inc_key !stack
   in
-  let elapsed = Unix.gettimeofday () -. t0 in
+  (* one monotone sample against the call's own start; the clamp keeps
+     elapsed non-negative even if the wall clock steps backwards, and a
+     node handed back by a cooperative stop is never double-charged
+     because no per-node time accumulates anywhere *)
+  let elapsed = Float.max 0. (Unix.gettimeofday () -. t0) in
   Rfloor_trace.add_worker_totals trace ~worker ~nodes:!nodes ~iterations:!iters;
   let status =
     if !unbounded then Unbounded

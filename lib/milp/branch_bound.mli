@@ -28,7 +28,10 @@ type result = {
   elapsed : float;
       (** Wall-clock seconds ([Unix.gettimeofday]-based).  Wall clock —
           not CPU time — so that a parallel run ({!Parallel_bb}) reports
-          the time the caller actually waited. *)
+          the time the caller actually waited.  Sampled exactly once
+          against this call's own start and clamped non-negative, so a
+          node handed back by a cooperative stop can never be charged
+          twice. *)
   stop : stop_reason option;
       (** Why the search ended early; [None] when it ran to completion
           (status [Optimal], [Infeasible] or [Unbounded]).  [Cancelled]
@@ -61,6 +64,11 @@ type options = {
           (before each node's LP solve).  Returning [true] stops the
           search with [stop = Some Cancelled], keeping the incumbent
           found so far.  Default {!never_cancel}. *)
+  warm_lp : bool;
+      (** Warm-start each child node's LP from its parent's optimal
+          basis through the dual simplex ({!Simplex.Core.solve_warm});
+          any doubtful warm solve falls back to a cold solve, so this
+          only changes speed, never results.  Default [true]. *)
 }
 
 val never_cancel : unit -> bool

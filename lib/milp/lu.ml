@@ -1,0 +1,241 @@
+(* Sparse LU of a simplex basis with a product-form update file.
+
+   The factorization is left-looking: column j of the basis is
+   scattered into a dense scratch vector, eliminated against the
+   already-computed columns in pivot-step order, and the largest
+   remaining entry (partial pivoting) becomes the step-j pivot.  L is
+   stored column-wise in original-row coordinates with a unit diagonal
+   implied; U is stored column-wise in pivot-step coordinates with an
+   explicit diagonal.
+
+   Basis changes append product-form etas (r, w, w_r) where w is the
+   ftran image of the incoming column: the new basis is B·E with E the
+   identity whose column r is w, so ftran applies the eta inverses
+   oldest-first after the LU solve and btran applies the transposes
+   newest-first before it. *)
+
+exception Singular
+
+type eta = {
+  e_r : int; (* basis position of the replaced column *)
+  e_entries : (int * float) array; (* nonzeros of w, position-indexed *)
+  e_pivot : float; (* w.(e_r) *)
+}
+
+type t = {
+  m : int;
+  perm : int array; (* pivot step -> original row *)
+  rowpos : int array; (* original row -> pivot step *)
+  lcols : (int * float) array array; (* per step: (orig row, multiplier) *)
+  ucols : (int * float) array array; (* per step: (earlier step, coef) *)
+  diag : float array;
+  lu_fill : int;
+  mutable etas : eta array; (* first n_etas slots, oldest first *)
+  mutable n_etas : int;
+  mutable eta_fill : int;
+  mutable unstable : bool;
+  fw : float array; (* solve scratch *)
+}
+
+let size t = t.m
+
+let factor_pivot_tol = 1e-12
+let eta_drop_tol = 1e-13
+let eta_pivot_tol = 1e-9
+let base_eta_cap = 64
+
+let factor ~m col_iter basis =
+  let perm = Array.make m (-1) in
+  let rowpos = Array.make m (-1) in
+  let lcols = Array.make m [||] in
+  let ucols = Array.make m [||] in
+  let diag = Array.make m 0. in
+  let x = Array.make m 0. in
+  let touched = Array.make m false in
+  let touch_list = Array.make m 0 in
+  let fill = ref 0 in
+  for j = 0 to m - 1 do
+    let nt = ref 0 in
+    let touch r =
+      if not touched.(r) then begin
+        touched.(r) <- true;
+        touch_list.(!nt) <- r;
+        incr nt
+      end
+    in
+    col_iter basis.(j) (fun r c ->
+        touch r;
+        x.(r) <- x.(r) +. c);
+    (* left-looking elimination in step order; updates from step k only
+       reach rows pivoted later, so an ascending scan is complete *)
+    let uacc = ref [] in
+    for k = 0 to j - 1 do
+      let pr = perm.(k) in
+      if touched.(pr) && x.(pr) <> 0. then begin
+        let ukj = x.(pr) in
+        uacc := (k, ukj) :: !uacc;
+        Array.iter
+          (fun (r, mult) ->
+            touch r;
+            x.(r) <- x.(r) -. (mult *. ukj))
+          lcols.(k)
+      end
+    done;
+    let best = ref (-1) and bestv = ref 0. in
+    for ti = 0 to !nt - 1 do
+      let r = touch_list.(ti) in
+      if rowpos.(r) < 0 then begin
+        let a = abs_float x.(r) in
+        if a > !bestv then begin
+          bestv := a;
+          best := r
+        end
+      end
+    done;
+    if !best < 0 || !bestv < factor_pivot_tol then raise Singular;
+    let pr = !best in
+    let d = x.(pr) in
+    diag.(j) <- d;
+    perm.(j) <- pr;
+    rowpos.(pr) <- j;
+    let lacc = ref [] in
+    for ti = 0 to !nt - 1 do
+      let r = touch_list.(ti) in
+      if rowpos.(r) < 0 && x.(r) <> 0. then lacc := (r, x.(r) /. d) :: !lacc;
+      touched.(r) <- false;
+      x.(r) <- 0.
+    done;
+    lcols.(j) <- Array.of_list !lacc;
+    ucols.(j) <- Array.of_list !uacc;
+    fill := !fill + Array.length lcols.(j) + Array.length ucols.(j) + 1
+  done;
+  {
+    m;
+    perm;
+    rowpos;
+    lcols;
+    ucols;
+    diag;
+    lu_fill = !fill;
+    etas = [||];
+    n_etas = 0;
+    eta_fill = 0;
+    unstable = false;
+    fw = Array.make m 0.;
+  }
+
+let ftran t b =
+  let m = t.m in
+  let z = t.fw in
+  (* L-solve: read b in original-row space, collect z in step space *)
+  for k = 0 to m - 1 do
+    let zk = b.(t.perm.(k)) in
+    z.(k) <- zk;
+    if zk <> 0. then
+      Array.iter (fun (r, mult) -> b.(r) <- b.(r) -. (mult *. zk)) t.lcols.(k)
+  done;
+  (* U back-substitution; b's row-space values are dead, reuse it for
+     the basis-position result *)
+  for j = m - 1 downto 0 do
+    let yj = z.(j) /. t.diag.(j) in
+    if yj <> 0. then
+      Array.iter (fun (k, u) -> z.(k) <- z.(k) -. (u *. yj)) t.ucols.(j);
+    b.(j) <- yj
+  done;
+  (* eta inverses, oldest first *)
+  for i = 0 to t.n_etas - 1 do
+    let e = t.etas.(i) in
+    let br = b.(e.e_r) in
+    if br <> 0. then begin
+      let tp = br /. e.e_pivot in
+      Array.iter
+        (fun (idx, wv) ->
+          if idx = e.e_r then b.(idx) <- tp
+          else b.(idx) <- b.(idx) -. (wv *. tp))
+        e.e_entries
+    end
+  done
+
+let btran t c =
+  let m = t.m in
+  (* transposed etas, newest first; c stays basis-position indexed *)
+  for i = t.n_etas - 1 downto 0 do
+    let e = t.etas.(i) in
+    let s = ref 0. in
+    Array.iter
+      (fun (idx, wv) -> if idx <> e.e_r then s := !s +. (wv *. c.(idx)))
+      e.e_entries;
+    c.(e.e_r) <- (c.(e.e_r) -. !s) /. e.e_pivot
+  done;
+  (* U^T forward solve into step space *)
+  let v = t.fw in
+  for j = 0 to m - 1 do
+    let s = ref c.(j) in
+    Array.iter (fun (k, u) -> s := !s -. (u *. v.(k))) t.ucols.(j);
+    v.(j) <- !s /. t.diag.(j)
+  done;
+  (* L^T backward solve; lcols.(k) rows pivot strictly after step k, so
+     the in-place descending sweep only reads finished entries *)
+  for k = m - 1 downto 0 do
+    let s = ref v.(k) in
+    Array.iter
+      (fun (r, mult) -> s := !s -. (mult *. v.(t.rowpos.(r))))
+      t.lcols.(k);
+    v.(k) <- !s
+  done;
+  for k = 0 to m - 1 do
+    c.(t.perm.(k)) <- v.(k)
+  done
+
+let push t e =
+  if t.n_etas = Array.length t.etas then begin
+    let cap = max 8 (2 * Array.length t.etas) in
+    let a = Array.make cap e in
+    Array.blit t.etas 0 a 0 t.n_etas;
+    t.etas <- a
+  end;
+  t.etas.(t.n_etas) <- e;
+  t.n_etas <- t.n_etas + 1
+
+let update t r w =
+  let entries = ref [] and count = ref 0 and maxa = ref 0. in
+  for i = t.m - 1 downto 0 do
+    let wi = w.(i) in
+    if wi <> 0. && (i = r || abs_float wi > eta_drop_tol) then begin
+      entries := (i, wi) :: !entries;
+      incr count;
+      let a = abs_float wi in
+      if a > !maxa then maxa := a
+    end
+  done;
+  let wr = w.(r) in
+  push t { e_r = r; e_entries = Array.of_list !entries; e_pivot = wr };
+  t.eta_fill <- t.eta_fill + !count;
+  if abs_float wr < eta_pivot_tol *. (1. +. !maxa) then t.unstable <- true
+
+let eta_count t = t.n_etas
+let fill t = t.lu_fill
+let unstable t = t.unstable
+
+let needs_refactor ?(cap = base_eta_cap) t =
+  t.unstable || t.n_etas >= cap || t.eta_fill > 4 * (t.lu_fill + t.m)
+
+let perm t = Array.copy t.perm
+
+let dense_l t =
+  let m = t.m in
+  let a = Array.init m (fun _ -> Array.make m 0.) in
+  for k = 0 to m - 1 do
+    a.(k).(k) <- 1.;
+    Array.iter (fun (r, mult) -> a.(t.rowpos.(r)).(k) <- mult) t.lcols.(k)
+  done;
+  a
+
+let dense_u t =
+  let m = t.m in
+  let a = Array.init m (fun _ -> Array.make m 0.) in
+  for j = 0 to m - 1 do
+    a.(j).(j) <- t.diag.(j);
+    Array.iter (fun (k, u) -> a.(k).(j) <- u) t.ucols.(j)
+  done;
+  a

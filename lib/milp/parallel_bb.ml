@@ -21,7 +21,15 @@ let workers_from_env ?(default = 1) ?(trace = Rfloor_trace.disabled) () =
    Carrying the full arrays (not deltas) keeps claiming O(1) for the
    thief: the shared Simplex.Core is immutable, so a worker can solve
    any overlay without rebuilding anything. *)
-type task = { t_lb : float array; t_ub : float array; t_bound : float; t_depth : int }
+type task = {
+  t_lb : float array;
+  t_ub : float array;
+  t_bound : float;
+  t_depth : int;
+  t_basis : Simplex.Basis.t option;
+      (* parent's optimal basis — immutable, so a donated task carries
+         its warm-start seed safely across domains *)
+}
 
 (* The shared incumbent: primal key (minimization order) plus the
    point.  A single immutable record per update makes the CAS loop
@@ -55,6 +63,11 @@ let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
      observations are lock-free atomics so all workers share them. *)
   let mlive = Rfloor_metrics.Registry.live options.Bb.metrics in
   let h_lp_iters, h_lp_seconds = Bb.lp_histograms options.Bb.metrics in
+  (* LP counters registered once before any domain spawns; updates are
+     lock-free atomics shared by all workers *)
+  let instr =
+    if mlive then Some (Simplex.instruments options.Bb.metrics) else None
+  in
   let t0 = Unix.gettimeofday () in
   (* Root branch-and-cut runs once, before any worker exists; ditto any
      caller-side preflight (Core.Solver lints the root model exactly
@@ -228,11 +241,16 @@ let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
             Rfloor_trace.node_explored trace ~worker:w ~depth:node.t_depth
               ~bound:(unkey node.t_bound);
             let t_lp = if mlive then Unix.gettimeofday () else 0. in
-            let r =
+            let warm = if options.Bb.warm_lp then node.t_basis else None in
+            let solve_node () =
+              Simplex.Core.solve_warm ~lb:node.t_lb ~ub:node.t_ub ?warm
+                ?instr ~trace ~worker:w core
+            in
+            let r, node_basis =
               if node.t_depth = 0 then
                 Rfloor_trace.span trace ~worker:w Rfloor_trace.Event.Root_lp
-                  (fun () -> Simplex.Core.solve ~lb:node.t_lb ~ub:node.t_ub core)
-              else Simplex.Core.solve ~lb:node.t_lb ~ub:node.t_ub core
+                  solve_node
+              else solve_node ()
             in
             if mlive then begin
               Rfloor_metrics.Registry.Histogram.observe h_lp_seconds
@@ -272,12 +290,12 @@ let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
                     let ub = Array.copy node.t_ub in
                     ub.(v) <- min ub.(v) fl;
                     { t_lb = Array.copy node.t_lb; t_ub = ub; t_bound = bound;
-                      t_depth = node.t_depth + 1 }
+                      t_depth = node.t_depth + 1; t_basis = node_basis }
                   and up () =
                     let lb = Array.copy node.t_lb in
                     lb.(v) <- max lb.(v) (fl +. 1.);
                     { t_lb = lb; t_ub = Array.copy node.t_ub; t_bound = bound;
-                      t_depth = node.t_depth + 1 }
+                      t_depth = node.t_depth + 1; t_basis = node_basis }
                   in
                   let first, second =
                     if frac f <= 0. then (down (), up ()) else (up (), down ())
@@ -308,7 +326,9 @@ let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
         end
     end
   in
-  push_tasks [ { t_lb = root_lb; t_ub = root_ub; t_bound = neg_infinity; t_depth = 0 } ];
+  push_tasks
+    [ { t_lb = root_lb; t_ub = root_ub; t_bound = neg_infinity; t_depth = 0;
+        t_basis = None } ];
   let domains =
     List.init (workers - 1) (fun i -> Sync.Domain.spawn ~name:(Printf.sprintf "bb.worker%d" (i + 1))
           (fun () -> worker_loop (i + 1) 0))
@@ -359,6 +379,8 @@ let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
     best_bound = unkey bound_key;
     nodes = Sync.Atomic.get nodes;
     simplex_iterations = Sync.Atomic.get iters;
-    elapsed = Unix.gettimeofday () -. t0;
+    (* single monotone sample, clamped: re-queued nodes from a
+       cooperative stop never double-charge the elapsed time *)
+    elapsed = Float.max 0. (Unix.gettimeofday () -. t0);
     stop;
   }

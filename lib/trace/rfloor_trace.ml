@@ -32,6 +32,8 @@ module Event = struct
     | Worker_idle
     | Restart of { stage : string }
     | Stopped of { reason : string }
+    | Lp_refactor of { reason : string }
+    | Lp_warm of { result : string }
     | Warning of string
     | Message of string
 
@@ -65,6 +67,8 @@ module Event = struct
     | Worker_idle -> "idle"
     | Restart _ -> "restart"
     | Stopped _ -> "stopped"
+    | Lp_refactor _ -> "refactor"
+    | Lp_warm _ -> "warm"
     | Warning _ -> "warning"
     | Message _ -> "message"
 
@@ -83,6 +87,8 @@ module Event = struct
     | Worker_idle -> Format.fprintf ppf "idle"
     | Restart { stage } -> Format.fprintf ppf "restart: %s" stage
     | Stopped { reason } -> Format.fprintf ppf "stopped: %s" reason
+    | Lp_refactor { reason } -> Format.fprintf ppf "lp refactorize: %s" reason
+    | Lp_warm { result } -> Format.fprintf ppf "lp warm start: %s" result
     | Warning msg -> Format.fprintf ppf "warning: %s" msg
     | Message msg -> Format.fprintf ppf "%s" msg
 
@@ -125,8 +131,10 @@ module Event = struct
       | Steal { tasks } -> Printf.sprintf ",\"tasks\":%d" tasks
       | Worker_idle -> ""
       | Restart { stage } -> Printf.sprintf ",\"stage\":\"%s\"" (json_escape stage)
-      | Stopped { reason } ->
+      | Stopped { reason } | Lp_refactor { reason } ->
         Printf.sprintf ",\"reason\":\"%s\"" (json_escape reason)
+      | Lp_warm { result } ->
+        Printf.sprintf ",\"result\":\"%s\"" (json_escape result)
       | Warning msg | Message msg ->
         Printf.sprintf ",\"msg\":\"%s\"" (json_escape msg)
     in
@@ -330,6 +338,12 @@ module Event = struct
         | "stopped" ->
           let* reason = str "reason" in
           Ok (Stopped { reason })
+        | "refactor" ->
+          let* reason = str "reason" in
+          Ok (Lp_refactor { reason })
+        | "warm" ->
+          let* result = str "result" in
+          Ok (Lp_warm { result })
         | "warning" ->
           let* msg = str "msg" in
           Ok (Warning msg)
@@ -744,6 +758,12 @@ let restart t ?(worker = 0) stage =
 
 let stopped t ?(worker = 0) reason =
   if enabled t then send t worker (Event.Stopped { reason })
+
+let lp_refactor t ?(worker = 0) reason =
+  if enabled t then send t worker (Event.Lp_refactor { reason })
+
+let lp_warm t ?(worker = 0) result =
+  if enabled t then send t worker (Event.Lp_warm { result })
 
 let add_worker_totals t ~worker ~nodes ~iterations =
   if t.t_live then Metrics.add_worker t.t_m worker nodes iterations

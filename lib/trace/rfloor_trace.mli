@@ -50,6 +50,15 @@ module Event : sig
         (** the search stopped early; [reason] is ["cancel"] for a
             cooperative cancellation and ["budget"] for a time/node
             limit *)
+    | Lp_refactor of { reason : string }
+        (** the simplex rebuilt its basis factorization; [reason] is
+            ["periodic"] (eta cap / fill growth), ["stability"] (a
+            dubious update pivot), or ["singular"] (a fresh
+            factorization after a degenerate install) *)
+    | Lp_warm of { result : string }
+        (** a warm-started LP re-solve finished; [result] is ["dual"]
+            when the dual simplex ran from the parent basis and
+            ["fallback"] when the solve fell back to a cold start *)
     | Warning of string
     | Message of string
 
@@ -232,6 +241,14 @@ val restart : t -> ?worker:int -> string -> unit
 val stopped : t -> ?worker:int -> string -> unit
 (** Emits a [Stopped] event (when enabled) naming why the search ended
     early; solvers emit it once per early stop. *)
+
+val lp_refactor : t -> ?worker:int -> string -> unit
+(** Emits an [Lp_refactor] event (when enabled) naming why the simplex
+    rebuilt its basis factorization. *)
+
+val lp_warm : t -> ?worker:int -> string -> unit
+(** Emits an [Lp_warm] event (when enabled) recording how a
+    warm-started LP re-solve finished (["dual"] or ["fallback"]). *)
 
 val add_worker_totals : t -> worker:int -> nodes:int -> iterations:int -> unit
 (** Called once per worker at the end of a solve; totals accumulate if

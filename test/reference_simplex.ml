@@ -1,0 +1,483 @@
+(* Reference LP solver for differential testing.
+
+   This is the pre-sparse dense-tableau simplex (explicit B^-1,
+   Gauss-Jordan refactorization, Dantzig pricing with a Bland
+   fallback), frozen as an oracle.  It shares no code with the live
+   [Milp.Simplex] sparse revised solver, so agreement between the two
+   on status and objective is meaningful evidence.  Trace, metrics and
+   basis-sink plumbing are stripped; the algorithm is otherwise
+   untouched.  Do not "improve" this file — its value is being old. *)
+
+module Lp = Milp.Lp
+
+type status = Optimal | Infeasible | Unbounded | Iter_limit
+
+type outcome = {
+  status : status;
+  objective : float;
+  x : float array;
+  iterations : int;
+}
+
+let feas_eps = 1e-7
+let dual_eps = 1e-7
+let pivot_eps = 1e-9
+let refactor_every = 150
+let bland_after = 400 (* consecutive degenerate pivots before Bland's rule *)
+
+module P = struct
+  (* Columns are laid out as: structural vars [0, n), slacks [n, n+m),
+     artificials [n+m, n+2m).  Slack and artificial columns are unit
+     vectors and never stored explicitly. *)
+  type t = {
+    n : int;
+    m : int;
+    cols : (int * float) array array; (* structural sparse columns *)
+    cost : float array; (* minimization costs for structural vars *)
+    dir : Lp.dir;
+    obj_constant : float;
+    b : float array;
+    lb0 : float array; (* default bounds, length n + 2m *)
+    ub0 : float array;
+  }
+
+  let of_lp lp =
+    let n = Lp.num_vars lp in
+    let m = Lp.num_constrs lp in
+    let cols_acc = Array.make n [] in
+    let b = Array.make m 0. in
+    Lp.iter_constrs lp (fun i terms _ rhs ->
+        b.(i) <- rhs;
+        List.iter (fun (c, v) -> cols_acc.(v) <- (i, c) :: cols_acc.(v)) terms);
+    let cols = Array.map (fun l -> Array.of_list (List.rev l)) cols_acc in
+    let dir = Lp.objective_dir lp in
+    let sign = match dir with Lp.Minimize -> 1. | Lp.Maximize -> -1. in
+    let cost = Array.init n (fun v -> sign *. Lp.objective_coeff lp v) in
+    let total = n + m + m in
+    let lb0 = Array.make total 0. and ub0 = Array.make total 0. in
+    for v = 0 to n - 1 do
+      lb0.(v) <- Lp.var_lb lp v;
+      ub0.(v) <- Lp.var_ub lp v
+    done;
+    Lp.iter_constrs lp (fun i _ sense _ ->
+        (* row + slack = rhs, so: Le -> slack >= 0; Ge -> slack <= 0 *)
+        let l, u =
+          match sense with
+          | Lp.Le -> (0., infinity)
+          | Lp.Ge -> (neg_infinity, 0.)
+          | Lp.Eq -> (0., 0.)
+        in
+        lb0.(n + i) <- l;
+        ub0.(n + i) <- u);
+    (* artificial bounds are set per-solve from the initial residual *)
+    { n; m; cols; cost; dir; obj_constant = Lp.objective_constant lp; b; lb0; ub0 }
+end
+
+type state = {
+  core : P.t;
+  total : int; (* n + 2m *)
+  lb : float array;
+  ub : float array;
+  cost : float array; (* current phase costs, length total *)
+  x : float array;
+  basis : int array; (* column basic in each row *)
+  basic_row : int array; (* column -> row, or -1 if nonbasic *)
+  binv : float array array;
+  y : float array; (* duals, scratch *)
+  w : float array; (* ftran result, scratch *)
+  mutable iters : int;
+  mutable since_refactor : int;
+  mutable degen_streak : int;
+}
+
+let col_iter st j f =
+  let n = st.core.P.n in
+  if j < n then Array.iter (fun (r, c) -> f r c) st.core.P.cols.(j)
+  else f (if j < n + st.core.P.m then j - n else j - n - st.core.P.m) 1.
+
+(* w := B^-1 * column j *)
+let ftran st j =
+  Array.fill st.w 0 st.core.P.m 0.;
+  col_iter st j (fun r c ->
+      let w = st.w and binv = st.binv in
+      for i = 0 to st.core.P.m - 1 do
+        w.(i) <- w.(i) +. (binv.(i).(r) *. c)
+      done)
+
+(* y := (B^-1)^T * cost_B *)
+let btran st =
+  let m = st.core.P.m in
+  Array.fill st.y 0 m 0.;
+  for i = 0 to m - 1 do
+    let cb = st.cost.(st.basis.(i)) in
+    if cb <> 0. then begin
+      let row = st.binv.(i) and y = st.y in
+      for k = 0 to m - 1 do
+        y.(k) <- y.(k) +. (cb *. row.(k))
+      done
+    end
+  done
+
+let reduced_cost st j =
+  let d = ref st.cost.(j) in
+  col_iter st j (fun r c -> d := !d -. (st.y.(r) *. c));
+  !d
+
+(* Recompute basic variable values from nonbasic values. *)
+let compute_basics st =
+  let m = st.core.P.m in
+  let r = Array.copy st.core.P.b in
+  for j = 0 to st.total - 1 do
+    if st.basic_row.(j) < 0 && st.x.(j) <> 0. then
+      col_iter st j (fun i c -> r.(i) <- r.(i) -. (c *. st.x.(j)))
+  done;
+  for i = 0 to m - 1 do
+    let s = ref 0. in
+    let row = st.binv.(i) in
+    for k = 0 to m - 1 do
+      s := !s +. (row.(k) *. r.(k))
+    done;
+    st.x.(st.basis.(i)) <- !s
+  done
+
+exception Singular_basis
+
+(* Rebuild binv from scratch by Gauss-Jordan elimination with partial
+   pivoting on the current basis matrix. *)
+let refactor st =
+  let m = st.core.P.m in
+  let a = Array.init m (fun _ -> Array.make m 0.) in
+  for i = 0 to m - 1 do
+    col_iter st st.basis.(i) (fun r c -> a.(r).(i) <- c)
+  done;
+  let inv = Array.init m (fun i -> Array.init m (fun k -> if i = k then 1. else 0.)) in
+  for col = 0 to m - 1 do
+    let piv = ref col in
+    for i = col + 1 to m - 1 do
+      if abs_float a.(i).(col) > abs_float a.(!piv).(col) then piv := i
+    done;
+    if abs_float a.(!piv).(col) < 1e-12 then raise Singular_basis;
+    if !piv <> col then begin
+      let t = a.(col) in a.(col) <- a.(!piv); a.(!piv) <- t;
+      let t = inv.(col) in inv.(col) <- inv.(!piv); inv.(!piv) <- t
+    end;
+    let d = a.(col).(col) in
+    for k = 0 to m - 1 do
+      a.(col).(k) <- a.(col).(k) /. d;
+      inv.(col).(k) <- inv.(col).(k) /. d
+    done;
+    for i = 0 to m - 1 do
+      if i <> col then begin
+        let f = a.(i).(col) in
+        if f <> 0. then
+          for k = 0 to m - 1 do
+            a.(i).(k) <- a.(i).(k) -. (f *. a.(col).(k));
+            inv.(i).(k) <- inv.(i).(k) -. (f *. inv.(col).(k))
+          done
+      end
+    done
+  done;
+  for i = 0 to m - 1 do
+    Array.blit inv.(i) 0 st.binv.(i) 0 m
+  done;
+  st.since_refactor <- 0;
+  compute_basics st
+
+(* Update binv after column [enter] replaces the basic column of row
+   [rrow]; st.w must hold B^-1 * A_enter. *)
+let update_binv st rrow =
+  let m = st.core.P.m in
+  let wr = st.w.(rrow) in
+  let prow = st.binv.(rrow) in
+  for k = 0 to m - 1 do
+    prow.(k) <- prow.(k) /. wr
+  done;
+  for i = 0 to m - 1 do
+    if i <> rrow then begin
+      let f = st.w.(i) in
+      if f <> 0. then begin
+        let row = st.binv.(i) in
+        for k = 0 to m - 1 do
+          row.(k) <- row.(k) -. (f *. prow.(k))
+        done
+      end
+    end
+  done
+
+(* Entering-variable choice.  Returns (j, sigma) where sigma = +1 to
+   increase from lower bound, -1 to decrease from upper bound. *)
+let price st ~bland =
+  btran st;
+  let best = ref (-1) and best_sigma = ref 1. and best_score = ref dual_eps in
+  let consider j =
+    if st.basic_row.(j) < 0 && st.lb.(j) < st.ub.(j) then begin
+      let d = reduced_cost st j in
+      let at_lb = st.x.(j) <= st.lb.(j) +. feas_eps in
+      let at_ub = st.x.(j) >= st.ub.(j) -. feas_eps in
+      let free = (not at_lb) && not at_ub in
+      let try_dir sigma score =
+        if score > !best_score then begin
+          best := j;
+          best_sigma := sigma;
+          best_score := score;
+          true
+        end
+        else false
+      in
+      let improved =
+        if (at_lb || free) && d < -.dual_eps then try_dir 1. (-.d)
+        else if (at_ub || free) && d > dual_eps then try_dir (-1.) d
+        else false
+      in
+      improved
+    end
+    else false
+  in
+  if bland then begin
+    (try
+       for j = 0 to st.total - 1 do
+         if consider j then raise Exit
+       done
+     with Exit -> ())
+  end
+  else
+    for j = 0 to st.total - 1 do
+      ignore (consider j)
+    done;
+  if !best < 0 then None else Some (!best, !best_sigma)
+
+type step = Step_ok | Step_unbounded
+
+(* Ratio test + pivot for entering column [j] moving in direction
+   [sigma].  Implements bound flips and basis changes. *)
+let step st ~bland j sigma =
+  ftran st j;
+  let m = st.core.P.m in
+  (* max step before x_j hits its own opposite bound *)
+  let own_limit =
+    let range = st.ub.(j) -. st.lb.(j) in
+    if Float.is_finite range then range else infinity
+  in
+  let limit = ref own_limit and leave = ref (-1) and leave_to_ub = ref false in
+  for i = 0 to m - 1 do
+    let wi = st.w.(i) *. sigma in
+    if abs_float wi > pivot_eps then begin
+      let bi = st.basis.(i) in
+      let xi = st.x.(bi) in
+      let t, to_ub =
+        if wi > 0. then ((xi -. st.lb.(bi)) /. wi, false)
+        else ((st.ub.(bi) -. xi) /. -.wi, true)
+      in
+      let t = max t 0. in
+      if t < !limit -. 1e-10 then begin
+        limit := t;
+        leave := i;
+        leave_to_ub := to_ub
+      end
+      else if t <= !limit +. 1e-10 && !leave >= 0 then begin
+        (* tie-break: Bland wants the smallest basic index, otherwise
+           prefer the numerically largest pivot *)
+        let prefer =
+          if bland then bi < st.basis.(!leave)
+          else abs_float st.w.(i) > abs_float st.w.(!leave)
+        in
+        if prefer then begin
+          leave := i;
+          leave_to_ub := to_ub
+        end
+      end
+    end
+  done;
+  if !limit = infinity then Step_unbounded
+  else begin
+    let t = !limit in
+    if t > feas_eps then st.degen_streak <- 0
+    else st.degen_streak <- st.degen_streak + 1;
+    (* move entering variable and update basics *)
+    st.x.(j) <- st.x.(j) +. (sigma *. t);
+    if t > 0. then
+      for i = 0 to m - 1 do
+        let bi = st.basis.(i) in
+        st.x.(bi) <- st.x.(bi) -. (sigma *. t *. st.w.(i))
+      done;
+    (match !leave with
+    | -1 ->
+      (* bound flip: entering variable reached its other bound, basis
+         unchanged; snap to the bound to kill drift *)
+      st.x.(j) <- (if sigma > 0. then st.ub.(j) else st.lb.(j))
+    | r ->
+      let out = st.basis.(r) in
+      st.x.(out) <- (if !leave_to_ub then st.ub.(out) else st.lb.(out));
+      update_binv st r;
+      st.basis.(r) <- j;
+      st.basic_row.(out) <- -1;
+      st.basic_row.(j) <- r;
+      st.since_refactor <- st.since_refactor + 1;
+      if st.since_refactor >= refactor_every then (try refactor st with Singular_basis -> ()));
+    Step_ok
+  end
+
+let iterate st ~max_iters ~phase1 =
+  let unbounded = ref false and hit_limit = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    if st.iters >= max_iters then begin
+      hit_limit := true;
+      continue_ := false
+    end
+    else begin
+      let bland = st.degen_streak > bland_after in
+      match price st ~bland with
+      | None -> continue_ := false
+      | Some (j, sigma) -> (
+        st.iters <- st.iters + 1;
+        match step st ~bland j sigma with
+        | Step_ok -> ()
+        | Step_unbounded ->
+          if phase1 then
+            (* phase-1 objective is bounded below by 0; an "unbounded"
+              ray here is numerical noise *)
+            continue_ := false
+          else begin
+            unbounded := true;
+            continue_ := false
+          end)
+    end
+  done;
+  if !unbounded then Unbounded else if !hit_limit then Iter_limit else Optimal
+
+let current_cost st =
+  let s = ref 0. in
+  for j = 0 to st.total - 1 do
+    if st.cost.(j) <> 0. then s := !s +. (st.cost.(j) *. st.x.(j))
+  done;
+  !s
+
+let solve_core ?max_iters ?lb ?ub (core : P.t) =
+  let n = core.P.n and m = core.P.m in
+  let max_iters =
+    match max_iters with Some k -> k | None -> 20_000 + (60 * (m + n))
+  in
+  let total = n + m + m in
+  let wlb = Array.copy core.P.lb0 and wub = Array.copy core.P.ub0 in
+  (match lb with Some l -> Array.blit l 0 wlb 0 n | None -> ());
+  (match ub with Some u -> Array.blit u 0 wub 0 n | None -> ());
+  let bad_bounds = ref false in
+  for v = 0 to n - 1 do
+    if wlb.(v) > wub.(v) +. 1e-12 then bad_bounds := true
+  done;
+  if !bad_bounds then
+    { status = Infeasible; objective = nan; x = Array.make n nan; iterations = 0 }
+  else begin
+    let st =
+      {
+        core;
+        total;
+        lb = wlb;
+        ub = wub;
+        cost = Array.make total 0.;
+        x = Array.make total 0.;
+        basis = Array.init m (fun i -> n + m + i);
+        basic_row = Array.make total (-1);
+        binv = Array.init m (fun i -> Array.init m (fun k -> if i = k then 1. else 0.));
+        y = Array.make m 0.;
+        w = Array.make m 0.;
+        iters = 0;
+        since_refactor = 0;
+        degen_streak = 0;
+      }
+    in
+    for i = 0 to m - 1 do
+      st.basic_row.(n + m + i) <- i
+    done;
+    (* nonbasic start: nearest finite bound, or 0 for free variables *)
+    for j = 0 to n + m - 1 do
+      st.x.(j) <-
+        (if Float.is_finite st.lb.(j) then st.lb.(j)
+         else if Float.is_finite st.ub.(j) then st.ub.(j)
+         else 0.)
+    done;
+    (* artificial values = residuals; sign determines their bounds and
+       phase-1 costs *)
+    let resid = Array.copy core.P.b in
+    for j = 0 to n + m - 1 do
+      if st.x.(j) <> 0. then
+        col_iter st j (fun r c -> resid.(r) <- resid.(r) -. (c *. st.x.(j)))
+    done;
+    let need_phase1 = ref false in
+    for i = 0 to m - 1 do
+      let s = n + i and a = n + m + i in
+      if resid.(i) >= st.lb.(s) -. 1e-12 && resid.(i) <= st.ub.(s) +. 1e-12
+      then begin
+        (* slack crash: the row is satisfied with its own slack basic;
+           the artificial is fixed out, phase 1 never touches it *)
+        st.basis.(i) <- s;
+        st.basic_row.(s) <- i;
+        st.basic_row.(a) <- -1;
+        st.x.(s) <- min st.ub.(s) (max st.lb.(s) resid.(i));
+        st.x.(a) <- 0.;
+        st.lb.(a) <- 0.;
+        st.ub.(a) <- 0.;
+        st.cost.(a) <- 0.
+      end
+      else begin
+        st.x.(a) <- resid.(i);
+        if resid.(i) >= 0. then begin
+          st.lb.(a) <- 0.;
+          st.ub.(a) <- infinity;
+          st.cost.(a) <- 1.
+        end
+        else begin
+          st.lb.(a) <- neg_infinity;
+          st.ub.(a) <- 0.;
+          st.cost.(a) <- -1.
+        end;
+        if abs_float resid.(i) > feas_eps then need_phase1 := true
+      end
+    done;
+    let fail_status status =
+      { status; objective = nan; x = Array.sub st.x 0 n; iterations = st.iters }
+    in
+    let phase1_result =
+      if not !need_phase1 then Optimal
+      else begin
+        let r = iterate st ~max_iters ~phase1:true in
+        match r with
+        | Iter_limit -> Iter_limit
+        | Optimal | Unbounded | Infeasible ->
+          if abs_float (current_cost st) > 1e-6 then Infeasible else Optimal
+      end
+    in
+    match phase1_result with
+    | Iter_limit -> fail_status Iter_limit
+    | Infeasible -> fail_status Infeasible
+    | Unbounded | Optimal -> (
+      (* fix artificials at zero and install phase-2 costs *)
+      for i = 0 to m - 1 do
+        let a = n + m + i in
+        st.lb.(a) <- 0.;
+        st.ub.(a) <- 0.;
+        st.cost.(a) <- 0.;
+        if st.basic_row.(a) < 0 then st.x.(a) <- 0.
+      done;
+      Array.fill st.cost 0 total 0.;
+      Array.blit core.P.cost 0 st.cost 0 n;
+      st.degen_streak <- 0;
+      match iterate st ~max_iters:(max_iters + st.iters) ~phase1:false with
+      | Iter_limit -> fail_status Iter_limit
+      | Infeasible -> fail_status Infeasible
+      | Unbounded -> fail_status Unbounded
+      | Optimal ->
+        (try refactor st with Singular_basis -> ());
+        let internal = ref 0. in
+        for v = 0 to n - 1 do
+          internal := !internal +. (core.P.cost.(v) *. st.x.(v))
+        done;
+        let objective =
+          core.P.obj_constant
+          +. (match core.P.dir with Lp.Minimize -> !internal | Lp.Maximize -> -. !internal)
+        in
+        { status = Optimal; objective; x = Array.sub st.x 0 n; iterations = st.iters })
+  end
+
+let solve ?max_iters ?lb ?ub lp = solve_core ?max_iters ?lb ?ub (P.of_lp lp)

@@ -104,6 +104,158 @@ let test_presolve_differential () =
           case.G.c_family)
   done
 
+(* ------------------------------------------------------------------ *)
+(* Sparse revised simplex vs the frozen dense reference, and the
+   warm-start path vs cold re-solves.
+
+   [Reference_simplex] is the pre-sparse dense-tableau solver kept in
+   test/ as an oracle; it shares no code with the live [Simplex].
+   RFLOOR_SIMPLEX_DIFF scales the instance count (bin/lint.sh
+   simplex-check runs a 50-instance subset; the default is 200). *)
+
+module Ref = Reference_simplex
+
+let simplex_diff_count () =
+  match Sys.getenv_opt "RFLOOR_SIMPLEX_DIFF" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n > 0 -> n
+    | _ -> 200)
+  | None -> 200
+
+let ref_status_name = function
+  | Ref.Optimal -> "Optimal"
+  | Ref.Infeasible -> "Infeasible"
+  | Ref.Unbounded -> "Unbounded"
+  | Ref.Iter_limit -> "Iter_limit"
+
+let lp_status_name = function
+  | Simplex.Optimal -> "Optimal"
+  | Simplex.Infeasible -> "Infeasible"
+  | Simplex.Unbounded -> "Unbounded"
+  | Simplex.Iter_limit -> "Iter_limit"
+
+let test_sparse_vs_reference () =
+  let base = G.base_seed () in
+  for i = 0 to simplex_diff_count () - 1 do
+    let seed = G.case_seed base (5_000 + i) in
+    let case = G.milp_case ~seed in
+    let lp = case.G.c_lp in
+    let old_r = Ref.solve lp in
+    let new_r = Simplex.solve lp in
+    if ref_status_name old_r.Ref.status <> lp_status_name new_r.Simplex.status
+    then
+      Alcotest.failf "seed %d (%s): LP status differs: reference %s, sparse %s"
+        seed case.G.c_family
+        (ref_status_name old_r.Ref.status)
+        (lp_status_name new_r.Simplex.status);
+    match old_r.Ref.status with
+    | Ref.Optimal ->
+      let a = old_r.Ref.objective and b = new_r.Simplex.objective in
+      if Float.abs (a -. b) > 1e-6 *. Float.max 1. (Float.abs a) then
+        Alcotest.failf
+          "seed %d (%s): LP objective differs: reference %.9f, sparse %.9f"
+          seed case.G.c_family a b
+    | _ -> ()
+  done
+
+(* Branch-style child re-solves: tighten one variable bound off the
+   root optimum (exactly what B&B does) and pin the warm dual re-solve
+   against a cold solve of the same child. *)
+let test_warm_child_resolves () =
+  let base = G.base_seed () in
+  let checked = ref 0 in
+  for i = 0 to simplex_diff_count () - 1 do
+    let seed = G.case_seed base (6_000 + i) in
+    let case = G.milp_case ~seed in
+    let lp = case.G.c_lp in
+    let core = Simplex.Core.of_lp lp in
+    let n = Simplex.Core.num_vars core in
+    let root, basis = Simplex.Core.solve_warm core in
+    match (root.Simplex.status, basis) with
+    | Simplex.Optimal, Some parent when n > 0 ->
+      let prng = G.Prng.make (seed + 17) in
+      let v = G.Prng.int prng n in
+      let fl = Float.round (floor (root.Simplex.x.(v) +. 1e-6)) in
+      let root_lb = Array.init n (fun j -> Lp.var_lb lp j) in
+      let root_ub = Array.init n (fun j -> Lp.var_ub lp j) in
+      let children =
+        [
+          ( "down",
+            root_lb,
+            Array.init n (fun j ->
+                if j = v then Float.min root_ub.(j) fl else root_ub.(j)) );
+          ( "up",
+            Array.init n (fun j ->
+                if j = v then Float.max root_lb.(j) (fl +. 1.) else root_lb.(j)),
+            root_ub );
+        ]
+      in
+      List.iter
+        (fun (tag, lb, ub) ->
+          let cold = Simplex.Core.solve ~lb ~ub core in
+          let wr, _ = Simplex.Core.solve_warm ~lb ~ub ~warm:parent core in
+          incr checked;
+          if lp_status_name cold.Simplex.status
+             <> lp_status_name wr.Simplex.status
+          then
+            Alcotest.failf
+              "seed %d (%s, %s child): cold status %s, warm status %s" seed
+              case.G.c_family tag
+              (lp_status_name cold.Simplex.status)
+              (lp_status_name wr.Simplex.status);
+          match cold.Simplex.status with
+          | Simplex.Optimal ->
+            let a = cold.Simplex.objective and b = wr.Simplex.objective in
+            if Float.abs (a -. b) > 1e-6 *. Float.max 1. (Float.abs a) then
+              Alcotest.failf
+                "seed %d (%s, %s child): cold objective %.9f, warm %.9f" seed
+                case.G.c_family tag a b
+          | _ -> ())
+        children
+    | _ -> ()
+  done;
+  Alcotest.(check bool) "some warm child re-solves exercised" true (!checked > 0)
+
+(* Whole-tree cold-vs-warm: disabling warm starts must not change what
+   any solver configuration returns, sequential or across the parallel
+   worker matrix. *)
+let test_cold_vs_warm_bb () =
+  let base = G.base_seed () in
+  let cold_opts = { Bb.default_options with Bb.warm_lp = false } in
+  for i = 0 to (simplex_diff_count () / 2) - 1 do
+    let seed = G.case_seed base (7_000 + i) in
+    let case = G.milp_case ~seed in
+    let lp = case.G.c_lp in
+    let warm = Bb.solve lp in
+    let cold = Bb.solve ~options:cold_opts lp in
+    let check_pair what a b =
+      if a.Bb.status <> b.Bb.status then
+        Alcotest.failf "seed %d (%s): %s: warm status %s, cold status %s" seed
+          case.G.c_family what (status_name a.Bb.status)
+          (status_name b.Bb.status);
+      match (a.Bb.incumbent, b.Bb.incumbent) with
+      | Some (oa, _), Some (ob, _) ->
+        if Float.abs (oa -. ob) > obj_tol then
+          Alcotest.failf "seed %d (%s): %s: warm objective %.6f, cold %.6f"
+            seed case.G.c_family what oa ob
+      | None, None -> ()
+      | _ ->
+        Alcotest.failf "seed %d (%s): %s: incumbent presence differs" seed
+          case.G.c_family what
+    in
+    check_pair "sequential" warm cold;
+    Option.iter (check_incumbent ~seed ~what:"cold sequential" lp)
+      cold.Bb.incumbent;
+    List.iter
+      (fun w ->
+        let pw = Parallel_bb.solve ~workers:w lp in
+        let pc = Parallel_bb.solve ~workers:w ~options:cold_opts lp in
+        check_pair (Printf.sprintf "parallel(%d) warm vs seq warm" w) warm pw;
+        check_pair (Printf.sprintf "parallel(%d) warm vs cold" w) pw pc)
+      (G.worker_counts ())
+  done
+
 let test_generated_partitions_properties () =
   let base = G.base_seed () in
   for i = 0 to 49 do
@@ -263,6 +415,12 @@ let suites =
           test_seq_vs_parallel;
         Alcotest.test_case "presolve+solve vs raw solve on 100 random MILPs" `Quick
           test_presolve_differential;
+        Alcotest.test_case "sparse simplex vs dense reference on 200 LPs" `Quick
+          test_sparse_vs_reference;
+        Alcotest.test_case "warm dual child re-solves match cold solves" `Quick
+          test_warm_child_resolves;
+        Alcotest.test_case "B&B with warm starts off matches warm, all workers"
+          `Quick test_cold_vs_warm_bb;
         Alcotest.test_case "random floorplans pass the solution audit" `Quick
           test_random_floorplans_audit;
         Alcotest.test_case "parallel elapsed vs sequential (soft)" `Quick

@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "rfloor"
-    (Test_milp.suites @ Test_device.suites @ Test_search.suites
+    (Test_simplex_core.suites @ Test_milp.suites @ Test_device.suites
+   @ Test_search.suites
    @ Test_core.suites @ Test_analysis.suites @ Test_baselines.suites
    @ Test_bitstream.suites
    @ Test_sdr.suites @ Test_runtime.suites @ Test_io.suites

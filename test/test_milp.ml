@@ -500,6 +500,195 @@ let test_mps_writer_shape () =
   Alcotest.(check bool) "has ROWS" true (contains s "ROWS");
   Alcotest.(check bool) "has marker" true (contains s "INTORG")
 
+(* ------------------------------------------------------------------ *)
+(* Sparse LP core fixtures: cycling, warm-start fallback, refactor
+   triggers, ill-conditioned bases *)
+
+module R = Rfloor_metrics.Registry
+
+let counter reg name = R.Counter.value (R.counter reg name)
+
+(* Beale's classic cycling LP: Dantzig-style pricing with fixed
+   tie-breaking cycles forever on it; the anti-cycling path (degenerate
+   streak -> Bland's rule) must terminate at the optimum -1/20. *)
+let test_simplex_beale_cycling () =
+  let lp = Lp.create ~name:"beale" () in
+  let x1 = Lp.add_var lp ~name:"x1" () in
+  let x2 = Lp.add_var lp ~name:"x2" () in
+  let x3 = Lp.add_var lp ~name:"x3" () in
+  let x4 = Lp.add_var lp ~name:"x4" () in
+  Lp.add_constr lp [ (0.25, x1); (-60., x2); (-1. /. 25., x3); (9., x4) ] Lp.Le 0.;
+  Lp.add_constr lp [ (0.5, x1); (-90., x2); (-1. /. 50., x3); (3., x4) ] Lp.Le 0.;
+  Lp.add_constr lp [ (1., x3) ] Lp.Le 1.;
+  Lp.set_objective lp Lp.Minimize
+    [ (-0.75, x1); (150., x2); (-1. /. 50., x3); (6., x4) ];
+  let r = Simplex.solve lp in
+  Alcotest.(check bool) "terminates at optimum" true (r.Simplex.status = Simplex.Optimal);
+  check_float "beale objective" (-0.05) r.Simplex.objective
+
+(* A parent basis recorded with x fixed at 0 carries a negative reduced
+   cost for x at its lower bound; re-solving with x freed makes that
+   basis dual infeasible, so the warm path must decline and the cold
+   fallback must still produce the right answer. *)
+let test_warm_dual_infeasible_falls_back () =
+  let lp = Lp.create ~name:"warm_fallback" () in
+  let x = Lp.add_var lp ~name:"x" ~lb:0. ~ub:5. () in
+  Lp.add_constr lp [ (1., x) ] Lp.Le 7.;
+  Lp.set_objective lp Lp.Maximize [ (1., x) ];
+  let core = Simplex.Core.of_lp lp in
+  let reg = R.create () in
+  let instr = Simplex.instruments reg in
+  (* parent: x fixed at 0 (think "branched down to zero") *)
+  let fixed = [| 0. |] in
+  let parent_r, parent_basis =
+    Simplex.Core.solve_warm ~lb:fixed ~ub:fixed ~instr core
+  in
+  Alcotest.(check bool) "parent optimal" true
+    (parent_r.Simplex.status = Simplex.Optimal);
+  let parent = Option.get parent_basis in
+  let warm_before = counter reg "rfloor_lp_warm_starts_total" in
+  (* child widens the bounds back out: dual infeasible warm start *)
+  let r, _ =
+    Simplex.Core.solve_warm ~lb:[| 0. |] ~ub:[| 5. |] ~warm:parent ~instr core
+  in
+  Alcotest.(check bool) "fallback solved" true (r.Simplex.status = Simplex.Optimal);
+  check_float "fallback objective" 5. r.Simplex.objective;
+  Alcotest.(check int) "warm counter untouched by the fallback" warm_before
+    (counter reg "rfloor_lp_warm_starts_total");
+  (* positive control: a bound tightening keeps the parent basis dual
+     feasible, and the dual path must serve it warm *)
+  let root_r, root_basis = Simplex.Core.solve_warm ~instr core in
+  Alcotest.(check bool) "root optimal" true (root_r.Simplex.status = Simplex.Optimal);
+  let root = Option.get root_basis in
+  let warm_before = counter reg "rfloor_lp_warm_starts_total" in
+  let r, _ =
+    Simplex.Core.solve_warm ~lb:[| 0. |] ~ub:[| 3. |] ~warm:root ~instr core
+  in
+  Alcotest.(check bool) "warm child optimal" true (r.Simplex.status = Simplex.Optimal);
+  check_float "warm child objective" 3. r.Simplex.objective;
+  Alcotest.(check int) "warm counter incremented" (warm_before + 1)
+    (counter reg "rfloor_lp_warm_starts_total")
+
+(* A solve that pivots past the eta cap must refactorize mid-solve:
+   more than 64 product-form updates forces at least one periodic
+   rebuild on top of the initial and final factorizations.  The
+   instance is a dense seeded LP big enough that devex still needs
+   >64 basis changes; the objective is pinned against the frozen dense
+   reference solver. *)
+let test_refactor_trigger () =
+  let prng = Generators.Prng.make (Generators.base_seed () + 31337) in
+  let lp = Lp.create ~name:"refactor_mill" () in
+  let n = 120 in
+  let xs =
+    Array.init n (fun i ->
+        Lp.add_var lp ~name:(Printf.sprintf "x%d" i) ~lb:0. ~ub:10. ())
+  in
+  for r = 0 to n - 1 do
+    let terms = ref [] in
+    Array.iteri
+      (fun j x ->
+        if j = r || Generators.Prng.int prng 100 < 35 then
+          terms := (float_of_int (Generators.Prng.range prng 1 9), x) :: !terms)
+      xs;
+    Lp.add_constr lp !terms Lp.Le (float_of_int (Generators.Prng.range prng 20 60))
+  done;
+  Lp.set_objective lp Lp.Maximize
+    (Array.to_list
+       (Array.map
+          (fun x -> (float_of_int (Generators.Prng.range prng 1 9), x))
+          xs));
+  let reg = R.create () in
+  let r = Simplex.solve ~metrics:reg lp in
+  Alcotest.(check bool) "mill optimal" true (r.Simplex.status = Simplex.Optimal);
+  let reference = Reference_simplex.solve lp in
+  Alcotest.(check bool) "reference optimal" true
+    (reference.Reference_simplex.status = Reference_simplex.Optimal);
+  check_float "objective matches dense reference"
+    reference.Reference_simplex.objective r.Simplex.objective;
+  let ft = counter reg "rfloor_lp_ft_updates_total" in
+  let factors = counter reg "rfloor_lp_factorizations_total" in
+  Alcotest.(check bool)
+    (Printf.sprintf "enough pivots to cross the eta cap (%d updates)" ft)
+    true (ft > 64);
+  (* initial + at least one periodic + final *)
+  Alcotest.(check bool)
+    (Printf.sprintf "periodic refactorization happened (%d factors)" factors)
+    true (factors >= 3)
+
+(* Ill-conditioned (Hilbert-like) constraint rows: the sparse LU with
+   partial pivoting and stability-triggered refactorization must still
+   agree with the dense reference. *)
+let test_ill_conditioned_basis () =
+  let lp = Lp.create ~name:"hilbert" () in
+  let n = 8 in
+  let xs =
+    Array.init n (fun i ->
+        Lp.add_var lp ~name:(Printf.sprintf "h%d" i) ~lb:0. ~ub:100. ())
+  in
+  for r = 0 to n - 1 do
+    let terms =
+      Array.to_list
+        (Array.mapi (fun j x -> (1. /. float_of_int (r + j + 1), x)) xs)
+    in
+    Lp.add_constr lp terms Lp.Le 1.
+  done;
+  Lp.set_objective lp Lp.Maximize
+    (Array.to_list (Array.map (fun x -> (1., x)) xs));
+  let r = Simplex.solve lp in
+  let reference = Reference_simplex.solve lp in
+  Alcotest.(check bool) "hilbert optimal" true (r.Simplex.status = Simplex.Optimal);
+  Alcotest.(check bool) "reference optimal" true
+    (reference.Reference_simplex.status = Reference_simplex.Optimal);
+  if
+    Float.abs (r.Simplex.objective -. reference.Reference_simplex.objective)
+    > 1e-5 *. Float.max 1. (Float.abs reference.Reference_simplex.objective)
+  then
+    Alcotest.failf "hilbert objective: sparse %.9f, dense reference %.9f"
+      r.Simplex.objective reference.Reference_simplex.objective
+
+(* Regression for elapsed accounting around cooperative stops: a
+   cancelled solve hands its node back to the open list, and [elapsed]
+   must stay a single non-negative sample of this call's own wall
+   time — never accumulate across the requeue or go negative. *)
+let test_elapsed_monotone_on_stops () =
+  let lp = Generators.hard_knapsack ~seed:(Generators.base_seed ()) in
+  let check what (r : Branch_bound.result) outer =
+    if r.Branch_bound.elapsed < 0. then
+      Alcotest.failf "%s: negative elapsed %g" what r.Branch_bound.elapsed;
+    if r.Branch_bound.elapsed > outer +. 0.25 then
+      Alcotest.failf "%s: elapsed %g exceeds the call's own wall time %g"
+        what r.Branch_bound.elapsed outer
+  in
+  let polls = ref 0 in
+  let opts =
+    {
+      Branch_bound.default_options with
+      Branch_bound.cancel =
+        (fun () ->
+          incr polls;
+          !polls >= 5);
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = Branch_bound.solve ~options:opts lp in
+  check "sequential cancel" r (Unix.gettimeofday () -. t0);
+  Alcotest.(check bool) "cancel stop reported" true
+    (r.Branch_bound.stop = Some Branch_bound.Cancelled);
+  let opts = { Branch_bound.default_options with node_limit = Some 3 } in
+  let t0 = Unix.gettimeofday () in
+  let r = Branch_bound.solve ~options:opts lp in
+  check "sequential budget" r (Unix.gettimeofday () -. t0);
+  let polls = Atomic.make 0 in
+  let opts =
+    {
+      Branch_bound.default_options with
+      Branch_bound.cancel = (fun () -> Atomic.fetch_and_add polls 1 >= 40);
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = Parallel_bb.solve ~options:opts ~workers:2 lp in
+  check "parallel cancel" r (Unix.gettimeofday () -. t0)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let suites =
@@ -513,6 +702,15 @@ let suites =
         Alcotest.test_case "equalities" `Quick test_simplex_equalities;
         Alcotest.test_case "negative bounds" `Quick test_simplex_negative_bounds;
         Alcotest.test_case "free variables" `Quick test_simplex_free_vars;
+        Alcotest.test_case "beale cycling fixture" `Quick test_simplex_beale_cycling;
+        Alcotest.test_case "dual-infeasible warm start falls back" `Quick
+          test_warm_dual_infeasible_falls_back;
+        Alcotest.test_case "eta cap forces mid-solve refactorization" `Quick
+          test_refactor_trigger;
+        Alcotest.test_case "ill-conditioned basis stays accurate" `Quick
+          test_ill_conditioned_basis;
+        Alcotest.test_case "elapsed stays monotone across stops" `Quick
+          test_elapsed_monotone_on_stops;
       ] );
     ( "milp.branch_bound",
       [

@@ -148,7 +148,7 @@ let test_bb_cancel () =
 (* Parallel cancel: every worker observes the token, but exactly one
    Stopped trace event may be emitted. *)
 let test_parallel_cancel () =
-  let lp = Generators.hard_knapsack ~seed:(Generators.case_seed (Generators.base_seed ()) 78) in
+  let lp = Generators.hard_knapsack ~seed:(Generators.case_seed (Generators.base_seed ()) 79) in
   let ring = T.Ring.create ~capacity:4096 () in
   let polls = Atomic.make 0 in
   let options =
