@@ -66,6 +66,77 @@ let quick_entry ~budget ~workers (name, objective_mode, warm_lp) =
     e_metrics = Some (R.to_json_value (R.snapshot metrics));
   }
 
+(* reloc-twin-cuts / reloc-twin-nocuts: the symmetry/packing-cut twin.
+   Three requested copies of R1's area make the copies interchangeable,
+   so the lexicographic symmetry chains actually bite.  The device is a
+   DSP column next to a CLB column: every copy competes for the single
+   DSP column, which is exactly the regime where the per-portion
+   packing rows tighten the root relaxation.  A single-stage
+   (wasted-frames) branch-and-bound run with and without the cut
+   families records the node saving in every artifact.  The runs go
+   through Model.build + Branch_bound.solve directly so both prove
+   optimality well inside the smoke budget and the node counts compare
+   tree sizes, not time-sliced throughput. *)
+let reloc_grid =
+  lazy
+    (Grid.of_columns ~name:"reloc-twin" ~rows:4
+       [ Resource.tile_type Resource.Dsp; Resource.tile_type Resource.Clb ])
+
+let reloc_spec =
+  lazy
+    (Spec.make ~name:"artifact-reloc"
+       ~relocs:[ { Spec.target = "R1"; copies = 3; mode = Spec.Soft 1. } ]
+       [ { Spec.r_name = "R1"; demand = [ (Resource.Dsp, 2) ] } ])
+
+let cuts_entry ~budget (name, cuts) =
+  let part = Partition.columnar_exn (Lazy.force reloc_grid) in
+  let spec = Lazy.force reloc_spec in
+  let metrics = R.create () in
+  let model =
+    Rfloor.Model.build
+      ~options:
+        {
+          Rfloor.Model.objective = Rfloor.Model.Wasted_frames_only;
+          paper_literal_l = false;
+          pair_relations = [];
+          extra_waste_cap = None;
+          cuts;
+        }
+      part spec
+  in
+  let r =
+    Milp.Branch_bound.solve
+      ~options:
+        {
+          Milp.Branch_bound.default_options with
+          time_limit = Some budget;
+          priorities = Some (Rfloor.Model.branching_priorities model);
+          metrics;
+        }
+      (Rfloor.Model.lp model)
+  in
+  ignore
+    (R.Counter.add
+       (R.counter metrics "rfloor_cuts_applied_total")
+       (Rfloor.Model.cuts_applied model));
+  {
+    A.e_instance = name;
+    e_status =
+      (match r.Milp.Branch_bound.status with
+      | Milp.Branch_bound.Optimal -> "optimal"
+      | Milp.Branch_bound.Feasible -> "feasible"
+      | Milp.Branch_bound.Infeasible -> "infeasible"
+      | Milp.Branch_bound.Unbounded -> "unbounded"
+      | Milp.Branch_bound.Unknown -> "unknown");
+    e_objective = Option.map fst r.Milp.Branch_bound.incumbent;
+    e_wasted = Option.map fst r.Milp.Branch_bound.incumbent;
+    e_nodes = r.Milp.Branch_bound.nodes;
+    e_simplex_iterations = r.Milp.Branch_bound.simplex_iterations;
+    e_elapsed = r.Milp.Branch_bound.elapsed;
+    e_report = None;
+    e_metrics = Some (R.to_json_value (R.snapshot metrics));
+  }
+
 (* mini-toy-lex runs twice, with and without LP warm starts: the pair
    of entries records the warm-vs-cold simplex-pivot comparison (and
    the rfloor_lp_*_total counters in e_metrics) in every artifact, so
@@ -81,6 +152,9 @@ let quick_entries ~budget ~workers () =
         Rfloor.Solver.Weighted Rfloor.Objective.default_weights,
         true );
     ]
+  @ List.map
+      (cuts_entry ~budget)
+      [ ("reloc-twin-cuts", true); ("reloc-twin-nocuts", false) ]
 
 (* ---- fx70t set: the paper's evaluation workload, exact engine ---- *)
 

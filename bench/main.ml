@@ -5,6 +5,7 @@
      dune exec bench/main.exe -- --report X   -- one report (see --list)
      dune exec bench/main.exe -- --bench-only
      dune exec bench/main.exe -- --parallel-only
+     dune exec bench/main.exe -- --portfolio-only
      dune exec bench/main.exe -- --artifact LABEL [--artifact-dir D]
                                  [--instances quick|fx70t]
                                               -- write BENCH_LABEL.json for
@@ -144,6 +145,7 @@ let run_parallel_speedup ?(trace_mode = `Off) () =
               paper_literal_l = false;
               pair_relations = [];
               extra_waste_cap = None;
+              cuts = true;
             }
           part Sdr.sdr2)
   in
@@ -221,6 +223,71 @@ let run_parallel_speedup ?(trace_mode = `Off) () =
   in
   Printf.printf "  parallel-report: %s\n%!" (Rfloor_trace.Report.to_json report)
 
+(* Racing strategy portfolio on the quick-bench relocation instance
+   (the mini-device toy with 2 requested free-compatible copies, the
+   smallest instance where the symmetry cuts fire).  The number that
+   matters is total nodes: the combinatorial member proves stage-1
+   optimality almost immediately and cancels the MILP member, so the
+   portfolio's summed node count (B&B nodes + heuristic iterations)
+   stays below milp:2 run to completion. *)
+let run_portfolio_bench () =
+  let part = Lazy.force quick_part in
+  let spec =
+    let r name demand = { Device.Spec.r_name = name; demand } in
+    Device.Spec.make ~name:"portfolio-quick"
+      ~nets:(Device.Spec.chain_nets ~weight:1. [ "R1"; "R2" ])
+      ~relocs:[ { Device.Spec.target = "R1"; copies = 2; mode = Device.Spec.Soft 1. } ]
+      [
+        r "R1" [ (Device.Resource.Clb, 2); (Device.Resource.Bram, 1) ];
+        r "R2" [ (Device.Resource.Clb, 2); (Device.Resource.Dsp, 1) ];
+      ]
+  in
+  let budget = Reports.budget () in
+  Printf.printf
+    "\n==== strategy portfolio (mini relocation instance, 2 copies) ====\n%!";
+  let solve strategy =
+    let metrics = Rfloor_metrics.Registry.create () in
+    let options =
+      Rfloor.Solver.Options.make ~time_limit:budget ~strategy ~metrics ()
+    in
+    (Rfloor.Solver.solve ~options part spec, metrics)
+  in
+  let counter ?labels metrics name =
+    Rfloor_metrics.Registry.Counter.value
+      (Rfloor_metrics.Registry.counter metrics ?labels name)
+  in
+  let milp2 = Rfloor.Solver.Strategy.milp ~workers:2 () in
+  let members = [ milp2; Rfloor.Solver.Strategy.combinatorial () ] in
+  let portfolio = Rfloor.Solver.Strategy.portfolio members in
+  let show strategy (o, metrics) =
+    Printf.printf "  %-36s %-10s nodes %6d  elapsed %6.2fs  cuts %d\n%!"
+      (Rfloor.Solver.Strategy.to_string strategy)
+      (match o.Rfloor.Solver.status with
+      | Rfloor.Solver.Optimal -> "optimal"
+      | Rfloor.Solver.Feasible -> "feasible"
+      | Rfloor.Solver.Infeasible -> "infeasible"
+      | Rfloor.Solver.Unknown -> "unknown")
+      o.Rfloor.Solver.nodes o.Rfloor.Solver.elapsed
+      (counter metrics "rfloor_cuts_applied_total")
+  in
+  let alone = solve milp2 in
+  let raced = solve portfolio in
+  show milp2 alone;
+  show portfolio raced;
+  let _, race_metrics = raced in
+  List.iter
+    (fun s ->
+      let label = Rfloor.Solver.Strategy.to_string s in
+      Printf.printf "  wins[%-13s] %d\n%!" label
+        (counter race_metrics "rfloor_portfolio_wins_total"
+           ~labels:[ ("strategy", label) ]))
+    members;
+  let nodes (o, _) = o.Rfloor.Solver.nodes in
+  Printf.printf "  portfolio vs milp:2 nodes: %d vs %d (%s)\n%!" (nodes raced)
+    (nodes alone)
+    (if nodes raced < nodes alone then "portfolio explored less"
+     else "no node saving this run")
+
 let () =
   let args = Array.to_list Sys.argv in
   let rec find_report = function
@@ -271,12 +338,17 @@ let () =
           Printf.eprintf "unknown report %s; use --list\n" name;
           exit 1)
       | None ->
-        if List.mem "--parallel-only" args then
-          run_parallel_speedup ~trace_mode ()
+        if List.mem "--portfolio-only" args then
+          run_portfolio_bench ()
+        else if List.mem "--parallel-only" args then begin
+          run_parallel_speedup ~trace_mode ();
+          run_portfolio_bench ()
+        end
         else begin
           if not (List.mem "--report-only" args) then begin
             run_benches ();
-            run_parallel_speedup ~trace_mode ()
+            run_parallel_speedup ~trace_mode ();
+            run_portfolio_bench ()
           end;
           if not (List.mem "--bench-only" args) then Reports.all ()
         end)

@@ -291,7 +291,13 @@ let ablation () =
     Rfloor.Solver.Options.make ~time_limit:b ~workers:(workers ()) ()
   in
   run "O, relocation constraint" base;
-  run "HO (search seed)" { base with engine = Rfloor.Solver.Ho None };
+  run "HO (search seed)"
+    {
+      base with
+      strategy =
+        Rfloor.Solver.Strategy.milp ~workers:(workers ())
+          ~engine:(Rfloor.Solver.Ho None) ();
+    };
   let soft =
     Spec.with_relocs spec [ { Spec.target = "R1"; copies = 1; mode = Spec.Soft 1. } ]
   in
@@ -302,7 +308,12 @@ let ablation () =
   in
   line "  %-28s %s" "relocation as a metric" (Format.asprintf "%a" Rfloor.Solver.pp_outcome o);
   run "paper-literal l bounds" { base with paper_literal_l = true };
-  run "cold start (no warm seed)" { base with warm_start = false };
+  run "cold start (no warm seed)"
+    {
+      base with
+      strategy =
+        Rfloor.Solver.Strategy.milp ~workers:(workers ()) ~warm_start:false ();
+    };
   let sa = Baselines.Annealing.solve part spec in
   line "  %-28s wasted=%s wl=%s (no relocation awareness)" "SA baseline [9]-style"
     (match sa.Baselines.Annealing.wasted with Some w -> string_of_int w | None -> "-")

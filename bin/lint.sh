@@ -38,13 +38,21 @@
 #                                trace-verify a fresh jsonl solve plus
 #                                two seeded-defect fixtures that must
 #                                be rejected.
+#   bin/lint.sh portfolio-check -- strategy/portfolio gate only: the
+#                                Strategy grammar suite (round-trips,
+#                                RF501/RF502), a 25-instance cuts-on/off
+#                                differential at the pinned seed, the
+#                                race-cancellation tests (losers observe
+#                                the cooperative stop), a raw-sync lint
+#                                of lib/portfolio, and a CLI solve
+#                                through --strategy portfolio:[...].
 set -eu
 cd "$(dirname "$0")/.."
 
 # one trap for every gate's scratch space (a later trap would replace
 # an earlier one and leak its directory)
-tmp="" btmp="" stmp="" ctmp=""
-trap 'rm -rf "$tmp" "$btmp" "$stmp" "$ctmp"' EXIT
+tmp="" btmp="" stmp="" ctmp="" ptmp=""
+trap 'rm -rf "$tmp" "$btmp" "$stmp" "$ctmp" "$ptmp"' EXIT
 
 bench_smoke() {
     echo "== bench-smoke (quick instance set, 2s budget)"
@@ -203,6 +211,56 @@ simplex_check() {
     echo "simplex-check passed (properties, fixtures, mini differential at seed $seed)"
 }
 
+portfolio_check() {
+    echo "== portfolio-check (strategy grammar, cut differential, race cancellation)"
+    seed="${RFLOOR_TEST_SEED:-2015}"
+    # 1. Strategy round-trips, RF502 parse errors, deprecated sugar,
+    #    RF501 member-budget clamp
+    RFLOOR_TEST_SEED="$seed" dune exec test/test_main.exe -- \
+        test portfolio.strategy
+    # 2. the symmetry/packing cut families never change a proved
+    #    stage-1 verdict (25-instance smoke subset; the default suite
+    #    runs 200)
+    RFLOOR_TEST_SEED="$seed" RFLOOR_CUTS_DIFF=25 \
+        dune exec test/test_main.exe -- test portfolio.cuts
+    # 3. cancellation protocol: racing losers observe the cooperative
+    #    stop (cases 1-2; case 0 is the slow vs-sequential differential
+    #    that dune runtest covers)
+    RFLOOR_TEST_SEED="$seed" dune exec test/test_main.exe -- \
+        test portfolio.race 1-2
+    # 4. no raw Mutex/Condition/Atomic in the race implementation
+    dune exec bin/rfloor_cli.exe -- lint --sources lib/portfolio
+    # 5. a 2-member portfolio solves the pinned tiny instance from the
+    #    CLI and reports through the shared printer
+    ptmp=$(mktemp -d)
+    cat > "$ptmp/device.txt" <<'EOF'
+name: portfoliodev
+ccbccdccbc
+ccbccdccbc
+EOF
+    cat > "$ptmp/design.txt" <<'EOF'
+name: portfoliodesign
+region filter clb=2 bram=1
+region decoder clb=2 dsp=1
+net filter decoder 32
+EOF
+    dune exec bin/rfloor_cli.exe -- solve \
+        --device-file "$ptmp/device.txt" --design-file "$ptmp/design.txt" \
+        --strategy 'portfolio:[milp:2,combinatorial]' --time 30 \
+        > "$ptmp/out.txt"
+    grep -q 'wasted frames:' "$ptmp/out.txt" || {
+        echo "portfolio-check: CLI portfolio solve found no plan" >&2; exit 1; }
+    grep -q 'portfolio' "$ptmp/out.txt" || {
+        echo "portfolio-check: CLI output does not name the strategy" >&2; exit 1; }
+    echo "portfolio-check passed (grammar, differential, cancellation, CLI race)"
+}
+
+if [ "${1:-}" = "portfolio-check" ]; then
+    dune build
+    portfolio_check
+    exit 0
+fi
+
 if [ "${1:-}" = "simplex-check" ]; then
     dune build
     simplex_check
@@ -250,6 +308,8 @@ echo "== rfloor_cli lint (fx70t / sdr)"
 dune exec bin/rfloor_cli.exe -- lint --device fx70t --design sdr
 
 simplex_check
+
+portfolio_check
 
 trace_check
 

@@ -1,7 +1,9 @@
 (* Command-line interface to the relocation-aware floorplanner.
 
      rfloor_cli partition   --device fx70t
-     rfloor_cli solve       --device fx70t --design sdr2 --engine search
+     rfloor_cli solve       --device fx70t --design sdr2 --strategy milp:2
+     rfloor_cli solve       --device fx70t --design sdr2 \
+                            --strategy portfolio:[milp:2,combinatorial]
      rfloor_cli feasibility --device fx70t --region "Carrier Recovery"
      rfloor_cli export-lp   --device mini --design-file d.txt -o model.lp
      rfloor_cli relocate    --device mini --src 1,1,2,2 --dst 1,3,2,2 *)
@@ -228,6 +230,30 @@ let engine_arg =
     & info [ "engine" ] ~docv:"ENGINE"
         ~doc:"One of search (exact), milp (paper's O), milp-ho (HO), sa, tessellation.")
 
+let strategy_conv =
+  let parse s =
+    match Rfloor.Solver.Strategy.of_string s with
+    | Ok st -> Ok st
+    | Error d -> Error (`Msg (Format.asprintf "%a" Rfloor_diag.Diagnostic.pp d))
+  in
+  let print ppf st =
+    Format.pp_print_string ppf (Rfloor.Solver.Strategy.to_string st)
+  in
+  Arg.conv (parse, print)
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt (some strategy_conv) None
+    & info [ "strategy" ] ~docv:"STRATEGY"
+        ~doc:
+          "Solver strategy: $(b,milp[:W]), $(b,milp-ho[:W]), \
+           $(b,combinatorial), $(b,lns[:SEED]), or \
+           $(b,portfolio:[s1,s2,...]) racing several members (each may \
+           carry an $(b,@SECONDS) budget).  Supersedes $(b,--engine) \
+           search/milp/milp-ho and $(b,--workers), which survive as sugar \
+           for $(b,combinatorial) and $(b,milp:W).")
+
 let print_plan part spec label plan wasted wirelength proven =
   Format.printf "engine: %s@." label;
   (match (wasted, wirelength) with
@@ -254,9 +280,41 @@ let deadline_arg =
            and reports the incumbent found so far (distinct from $(b,--time), \
            which is the solver's own budget).")
 
+(* Shared by the solve and feasibility commands: every strategy-driven
+   run reports through the one [Solver.outcome]. *)
+let print_outcome part spec strategy (r : Rfloor.Solver.outcome) ~tracing =
+  (match r.Rfloor.Solver.stop with
+  | Some Rfloor.Solver.Cancelled -> Format.printf "search stopped: cancelled@."
+  | Some Rfloor.Solver.Budget -> Format.printf "search stopped: budget exhausted@."
+  | None -> ());
+  (* preflight/audit errors explain an infeasible verdict; show them
+     even without -v *)
+  List.iter
+    (fun d -> Format.printf "%a@." Rfloor_diag.Diagnostic.pp d)
+    (Rfloor_diag.Diagnostic.errors r.Rfloor.Solver.diagnostics);
+  print_plan part spec
+    (Rfloor.Solver.Strategy.to_string strategy)
+    r.Rfloor.Solver.plan r.Rfloor.Solver.wasted r.Rfloor.Solver.wirelength
+    (r.Rfloor.Solver.status = Rfloor.Solver.Optimal);
+  if tracing then
+    Format.eprintf "%a" Rfloor_trace.Report.pp r.Rfloor.Solver.report
+
+let resolve_strategy ~strategy ~engine ~workers =
+  match strategy with
+  | Some st -> Some st
+  | None -> (
+    match engine with
+    | "search" -> Some (Rfloor.Solver.Strategy.combinatorial ())
+    | "milp" -> Some (Rfloor.Solver.Strategy.milp ~workers:(max 1 workers) ())
+    | "milp-ho" ->
+      Some
+        (Rfloor.Solver.Strategy.milp ~workers:(max 1 workers)
+           ~engine:(Rfloor.Solver.Ho None) ())
+    | _ -> None (* sa / tessellation baselines *))
+
 let solve_cmd =
-  let run device device_file design design_file engine time deadline verbose
-      trace metrics workers =
+  let run device device_file design design_file engine strategy time deadline
+      verbose trace metrics workers =
     let grid = load_device device device_file in
     let spec = load_design design design_file in
     let part = partition_of grid in
@@ -265,22 +323,8 @@ let solve_cmd =
     let reg, finish_metrics = registry_of_metrics metrics in
     Fun.protect ~finally:close_sink @@ fun () ->
     Fun.protect ~finally:finish_metrics @@ fun () ->
-    match engine with
-    | "search" ->
-      let tracer = Rfloor_trace.create ~sink:(tee_metrics_sink reg sink) () in
-      let r =
-        Search.Engine.solve
-          ~options:
-            {
-              Search.Engine.default_options with
-              time_limit = (match time with Some _ -> time | None -> Some 60.);
-              trace = tracer;
-            }
-          part spec
-      in
-      print_plan part spec "exact combinatorial search" r.Search.Engine.plan
-        r.Search.Engine.wasted r.Search.Engine.wirelength r.Search.Engine.optimal
-    | "milp" | "milp-ho" ->
+    match resolve_strategy ~strategy ~engine ~workers with
+    | Some strategy ->
       let cancel =
         match deadline with
         | None -> Milp.Branch_bound.never_cancel
@@ -289,45 +333,29 @@ let solve_cmd =
           fun () -> Unix.gettimeofday () -. t0 > d
       in
       let opts =
-        Rfloor.Solver.Options.make
-          ?time_limit:time
-          ~workers:(max 1 workers)
-          ~engine:(if engine = "milp" then Rfloor.Solver.O else Rfloor.Solver.Ho None)
-          ~trace:sink ~metrics:reg ~cancel ()
+        Rfloor.Solver.Options.make ?time_limit:time ~strategy ~trace:sink
+          ~metrics:reg ~cancel ()
       in
       let r = Rfloor.Solver.solve ~options:opts part spec in
-      (match r.Rfloor.Solver.stop with
-      | Some Rfloor.Solver.Cancelled -> Format.printf "search stopped: cancelled@."
-      | Some Rfloor.Solver.Budget -> Format.printf "search stopped: budget exhausted@."
-      | None -> ());
-      (* preflight/audit errors explain an infeasible verdict; show them
-         even without -v *)
-      List.iter
-        (fun d ->
-          Format.printf "%a@." Rfloor_diag.Diagnostic.pp d)
-        (Rfloor_diag.Diagnostic.errors r.Rfloor.Solver.diagnostics);
-      print_plan part spec
-        (if engine = "milp" then "MILP (O)" else "MILP (HO)")
-        r.Rfloor.Solver.plan r.Rfloor.Solver.wasted r.Rfloor.Solver.wirelength
-        (r.Rfloor.Solver.status = Rfloor.Solver.Optimal);
-      if tracing then
-        Format.eprintf "%a" Rfloor_trace.Report.pp r.Rfloor.Solver.report
-    | "sa" ->
-      let r = Baselines.Annealing.solve part spec in
-      print_plan part spec "simulated annealing" r.Baselines.Annealing.plan
-        r.Baselines.Annealing.wasted r.Baselines.Annealing.wirelength false
-    | "tessellation" ->
-      let r = Baselines.Vipin_fahmy.solve part spec in
-      print_plan part spec "kernel tessellation heuristic" r.Baselines.Vipin_fahmy.plan
-        r.Baselines.Vipin_fahmy.wasted r.Baselines.Vipin_fahmy.wirelength false
-    | _ -> assert false
+      print_outcome part spec strategy r ~tracing
+    | None -> (
+      match engine with
+      | "sa" ->
+        let r = Baselines.Annealing.solve part spec in
+        print_plan part spec "simulated annealing" r.Baselines.Annealing.plan
+          r.Baselines.Annealing.wasted r.Baselines.Annealing.wirelength false
+      | "tessellation" ->
+        let r = Baselines.Vipin_fahmy.solve part spec in
+        print_plan part spec "kernel tessellation heuristic" r.Baselines.Vipin_fahmy.plan
+          r.Baselines.Vipin_fahmy.wasted r.Baselines.Vipin_fahmy.wirelength false
+      | _ -> assert false)
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Floorplan a design on a device.")
     Term.(
       const run $ device_arg $ device_file_arg $ design_arg $ design_file_arg
-      $ engine_arg $ time_arg $ deadline_arg $ verbose_arg $ trace_arg
-      $ metrics_arg $ workers_arg)
+      $ engine_arg $ strategy_arg $ time_arg $ deadline_arg $ verbose_arg
+      $ trace_arg $ metrics_arg $ workers_arg)
 
 (* ---------------- feasibility ---------------- *)
 
@@ -335,15 +363,20 @@ let feasibility_cmd =
   let region_arg =
     Arg.(value & opt (some string) None & info [ "region" ] ~docv:"NAME" ~doc:"Single region to test.")
   in
-  let run device device_file design design_file region time trace metrics =
+  let run device device_file design design_file region strategy time trace
+      metrics =
     let grid = load_device device device_file in
     let part = partition_of grid in
     let spec = load_design design design_file in
     let sink, close_sink = sink_of_trace trace false in
     let reg, finish_metrics = registry_of_metrics metrics in
-    let sink = tee_metrics_sink reg sink in
     Fun.protect ~finally:close_sink @@ fun () ->
     Fun.protect ~finally:finish_metrics @@ fun () ->
+    let strategy =
+      match strategy with
+      | Some st -> st
+      | None -> Rfloor.Solver.Strategy.combinatorial ()
+    in
     let targets =
       match region with Some r -> [ r ] | None -> Spec.region_names spec
     in
@@ -353,21 +386,17 @@ let feasibility_cmd =
         let spec' =
           Spec.with_relocs spec [ { Spec.target = name; copies = 1; mode = Spec.Hard } ]
         in
-        let r =
-          Search.Engine.feasible
-            ~options:
-              {
-                Search.Engine.default_options with
-                time_limit = (match time with Some _ -> time | None -> Some 60.);
-                trace = Rfloor_trace.create ~sink ();
-              }
-            part spec'
+        let opts =
+          Rfloor.Solver.Options.make ~strategy
+            ~time_limit:(Option.value time ~default:60.)
+            ~trace:sink ~metrics:reg ()
         in
+        let r = Rfloor.Solver.feasible ~options:opts part spec' in
         Format.printf "%-20s %s@." name
-          (match (r.Search.Engine.plan, r.Search.Engine.optimal) with
+          (match (r.Rfloor.Solver.plan, r.Rfloor.Solver.status) with
           | Some _, _ -> "relocatable"
-          | None, true -> "not relocatable (proven infeasible)"
-          | None, false -> "unknown (budget exhausted)"))
+          | None, Rfloor.Solver.Infeasible -> "not relocatable (proven infeasible)"
+          | None, _ -> "unknown (budget exhausted)"))
       targets
   in
   Cmd.v
@@ -375,7 +404,7 @@ let feasibility_cmd =
        ~doc:"Can each region get a free-compatible area? (Section VI analysis)")
     Term.(
       const run $ device_arg $ device_file_arg $ design_arg $ design_file_arg
-      $ region_arg $ time_arg $ trace_arg $ metrics_arg)
+      $ region_arg $ strategy_arg $ time_arg $ trace_arg $ metrics_arg)
 
 (* ---------------- export-lp ---------------- *)
 
@@ -387,7 +416,7 @@ let export_cmd =
     let grid = load_device device device_file in
     let spec = load_design design design_file in
     let part = partition_of grid in
-    let opts = { Rfloor.Solver.default_options with warm_start = false } in
+    let opts = Rfloor.Solver.default_options in
     if Filename.check_suffix out ".mps" then begin
       let model = Rfloor.Model.build part spec in
       Milp.Mps.to_file out (Rfloor.Model.lp model)

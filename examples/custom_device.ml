@@ -71,7 +71,7 @@ let () =
   let path = Filename.temp_file "custom" ".lp" in
   let text =
     Rfloor.Solver.export_lp
-      ~options:{ Rfloor.Solver.default_options with warm_start = false }
+      ~options:Rfloor.Solver.default_options
       part hard
   in
   let oc = open_out path in

@@ -41,4 +41,20 @@ let () =
         ~options:(Rfloor.Solver.Options.make ~time_limit:30. ())
         part spec
     in
-    Format.printf "@.MILP engine: %a@." Rfloor.Solver.pp_outcome milp
+    Format.printf "@.MILP engine: %a@." Rfloor.Solver.pp_outcome milp;
+    (* 5. Or race both: the first strategy to prove optimality (or
+       infeasibility) wins and cancels the other (DESIGN.md section 14). *)
+    let race =
+      Rfloor.Solver.solve
+        ~options:
+          (Rfloor.Solver.Options.make ~time_limit:30.
+             ~strategy:
+               (Rfloor.Solver.Strategy.portfolio
+                  [
+                    Rfloor.Solver.Strategy.milp ~workers:2 ();
+                    Rfloor.Solver.Strategy.combinatorial ();
+                  ])
+             ())
+        part spec
+    in
+    Format.printf "@.Portfolio: %a@." Rfloor.Solver.pp_outcome race

@@ -17,6 +17,7 @@ type location =
   | Sync of string
   | Schedule of string
   | Trace of int
+  | Strategy of string
 
 type t = {
   code : string;
@@ -50,6 +51,7 @@ let location_to_string = function
   | Sync o -> Printf.sprintf "sync(%s)" o
   | Schedule s -> Printf.sprintf "schedule(%s)" s
   | Trace l -> Printf.sprintf "trace line %d" l
+  | Strategy s -> Printf.sprintf "strategy(%s)" s
 
 let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
 
@@ -102,6 +104,7 @@ let location_to_sexp = function
   | Sync o -> Printf.sprintf "(sync %s)" (sexp_string o)
   | Schedule s -> Printf.sprintf "(schedule %s)" (sexp_string s)
   | Trace l -> Printf.sprintf "(trace %d)" l
+  | Strategy s -> Printf.sprintf "(strategy %s)" (sexp_string s)
 
 let to_sexp d =
   Printf.sprintf "((code %s) (severity %s) (location %s) (message %s))" d.code
@@ -169,6 +172,8 @@ let all_codes =
     ("RF433", Error, "incumbent objective not monotone within a branch-and-bound segment");
     ("RF434", Error, "trace counter conservation violated (nodes vs. spans, steal tasks vs. frontier)");
     ("RF435", Error, "duplicate Stopped event for one stop reason within a solve segment");
+    ("RF501", Warning, "portfolio member budget exceeds the portfolio budget; clamped to the global deadline");
+    ("RF502", Error, "strategy string unparsable (expected milp[:W] | milp-ho[:W] | combinatorial | lns[:SEED] | portfolio:[...], optional @SECONDS budget)");
   ]
 
 let describe code =

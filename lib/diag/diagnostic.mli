@@ -30,6 +30,7 @@ type location =
   | Sync of string  (** a synchronization object, by registration name *)
   | Schedule of string  (** an interleaving-explorer scenario, by name *)
   | Trace of int  (** a JSONL trace line, 1-based *)
+  | Strategy of string  (** a solver strategy, by its string form *)
 
 type t = {
   code : string;

@@ -23,9 +23,11 @@ type options = {
   metrics : Rfloor_metrics.Registry.t;
   cancel : unit -> bool;
   warm_lp : bool;
+  external_bound : unit -> float;
 }
 
 let never_cancel () = false
+let no_external_bound () = infinity
 
 let default_options =
   {
@@ -39,6 +41,7 @@ let default_options =
     metrics = Rfloor_metrics.Registry.null;
     cancel = never_cancel;
     warm_lp = true;
+    external_bound = no_external_bound;
   }
 
 (* Per-LP profiling handles shared with Parallel_bb: same series names,
@@ -140,7 +143,19 @@ let solve ?(options = default_options) ?(worker = 0) ?incumbent lp =
   let root_bound = ref neg_infinity in
   let unbounded = ref false in
   let stopped = ref false in
-  let gap_abs () = options.mip_gap *. max 1. (abs_float !inc_key) in
+  (* Prune cutoff: the better of the own incumbent and any externally
+     known feasible objective (a portfolio peer's incumbent).  Nodes
+     whose bound cannot beat the cutoff are fathomed; when both are
+     infinite the cutoff is NaN and every comparison is false, so
+     nothing prunes.  External pruning can exhaust the tree without an
+     own incumbent: the resulting [Infeasible] then means "nothing
+     strictly better than the external solution exists", which is what
+     a racing caller needs. *)
+  let cutoff () =
+    let e = options.external_bound () in
+    let k = if Float.is_finite e then min !inc_key (key e) else !inc_key in
+    k -. (options.mip_gap *. max 1. (abs_float k))
+  in
   let out_of_budget () =
     (match options.time_limit with
     | Some tl -> Unix.gettimeofday () -. t0 > tl
@@ -168,7 +183,7 @@ let solve ?(options = default_options) ?(worker = 0) ?incumbent lp =
         stopped := true;
         Rfloor_trace.stopped trace ~worker "budget"
       end
-      else if node.n_bound >= !inc_key -. gap_abs () then () (* pruned by bound *)
+      else if node.n_bound >= cutoff () then () (* pruned by bound *)
       else begin
         incr nodes;
         Rfloor_trace.node_explored trace ~worker ~depth:node.n_depth
@@ -202,7 +217,7 @@ let solve ?(options = default_options) ?(worker = 0) ?incumbent lp =
         | Simplex.Optimal -> (
           let bound = key r.Simplex.objective in
           if node.n_depth = 0 then root_bound := bound;
-          if bound >= !inc_key -. gap_abs () then ()
+          if bound >= cutoff () then ()
           else
             match
               pick_branch ~int_eps:options.int_eps ~priorities:options.priorities

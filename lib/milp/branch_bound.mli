@@ -69,10 +69,23 @@ type options = {
           basis through the dual simplex ({!Simplex.Core.solve_warm});
           any doubtful warm solve falls back to a cold solve, so this
           only changes speed, never results.  Default [true]. *)
+  external_bound : unit -> float;
+      (** Objective value (original direction) of a feasible solution
+          known outside this solve — a racing portfolio peer's
+          incumbent.  Polled at every pruning decision and combined with
+          the own incumbent into the fathoming cutoff.  With an active
+          external bound, a completed search without an own incumbent
+          reports [Infeasible], meaning "nothing strictly better than
+          the external solution exists" — the caller owning that
+          external solution must interpret it as an optimality proof for
+          it.  Default {!no_external_bound}. *)
 }
 
 val never_cancel : unit -> bool
 (** The default [cancel] token: always [false]. *)
+
+val no_external_bound : unit -> float
+(** The default [external_bound]: always [infinity] (no effect). *)
 
 val default_options : options
 

@@ -1,0 +1,74 @@
+type sym_member = {
+  sm_x : Lp.var;
+  sm_ymin : Lp.term list;
+  sm_drop : Lp.var option;
+}
+
+(* P(c) = scale * x + ymin with scale = height+1 is injective over kept
+   copies of a group (equal dims + non-overlap force distinct (x, ymin))
+   and integer-valued at integer points, so a strict order is exactly
+   "P_i + 1 <= P_{i+1}". *)
+let add_symmetry_cuts lp ~width ~height groups =
+  let scale = float_of_int (height + 1) in
+  (* M must dominate max P(c_i) - min P(c_{i+1}) so that one dropped
+     copy fully relaxes the ordering row *)
+  let big_m = (scale *. float_of_int width) +. float_of_int height in
+  let added = ref 0 in
+  let neg terms = List.map (fun (c, v) -> (-.c, v)) terms in
+  List.iter
+    (fun group ->
+      let rec pairs = function
+        | a :: (b :: _ as rest) ->
+          (* P(a) - P(b) - M*(v_a + v_b) <= -1 *)
+          let relax =
+            List.filter_map
+              (fun d -> Option.map (fun v -> (-.big_m, v)) d)
+              [ a.sm_drop; b.sm_drop ]
+          in
+          Lp.add_constr lp
+            (((scale, a.sm_x) :: a.sm_ymin)
+            @ ((-.scale, b.sm_x) :: neg b.sm_ymin)
+            @ relax)
+            Lp.Le (-1.);
+          incr added;
+          (* drops at the tail: v_a <= v_b keeps kept copies
+             index-consecutive so the pairwise chain stays binding *)
+          (match (a.sm_drop, b.sm_drop) with
+          | Some va, Some vb ->
+            Lp.add_constr lp [ (1., va); (-1., vb) ] Lp.Le 0.;
+            incr added
+          | _ -> ());
+          pairs rest
+        | [] | [ _ ] -> ()
+      in
+      pairs group)
+    groups;
+  !added
+
+let activity lp terms =
+  List.fold_left
+    (fun (lo, hi) (c, v) ->
+      let lb = Lp.var_lb lp v and ub = Lp.var_ub lp v in
+      if c >= 0. then (lo +. (c *. lb), hi +. (c *. ub))
+      else (lo +. (c *. ub), hi +. (c *. lb)))
+    (0., 0.) terms
+
+type packing_row = {
+  pr_name : string;
+  pr_terms : Lp.term list;
+  pr_rhs : float;
+}
+
+let add_packing_cuts lp rows =
+  let added = ref 0 in
+  List.iter
+    (fun row ->
+      if row.pr_terms <> [] then begin
+        let _, hi = activity lp row.pr_terms in
+        if hi > row.pr_rhs +. 1e-9 then begin
+          Lp.add_constr lp ~name:row.pr_name row.pr_terms Lp.Le row.pr_rhs;
+          incr added
+        end
+      end)
+    rows;
+  !added

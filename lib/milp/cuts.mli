@@ -1,0 +1,65 @@
+(** Problem-structure cutting planes for the floorplanning MILP.
+
+    Two families, both added to the model at build time (before any
+    branch-and-bound node is explored):
+
+    {b Symmetry-breaking cuts.}  The [k] free-compatible areas requested
+    for one region are pairwise interchangeable: they satisfy identical
+    constraint sets (Eq. 6/7/9/10 against the same target, the same
+    non-overlap disjunctions, the same soft weight), so every solution
+    is one of up to [k!] permutations of the same geometric object.
+    {!add_symmetry_cuts} imposes a lexicographic order on the copies via
+    the scalar position key [P(c) = (height+1)*x(c) + ymin(c)]: two kept
+    copies have equal width and height (forced by Eq. 6/9), and
+    non-overlapping equal-dimension rectangles cannot share [(x, ymin)],
+    so [P] is injective over the kept copies of a group and some
+    permutation of every solution satisfies [P(c_i) + 1 <= P(c_i+1)].
+    For soft copies the order is relaxed by [M*(v_i + v_i+1)] (a dropped
+    copy's geometry is unconstrained) and a second family [v_i <= v_i+1]
+    pushes the dropped copies to the tail of the group, which keeps the
+    kept copies index-consecutive so the pairwise chain stays binding.
+
+    {b Portion-packing / capacity cuts.}  From the columnar structure of
+    Properties .3/.4: the per-row slices of non-overlapping regions
+    inside one portion cannot exceed the portion width, and the tiles
+    covered per resource kind cannot exceed the device's usable tiles of
+    that kind.  These rows are implied for integer points but tighten
+    the LP relaxation.  {!add_packing_cuts} screens each candidate row
+    with its activity range (the {!activity} machinery the model lint
+    uses for bound-infeasibility checks): a row whose maximum activity
+    already satisfies the bound is implied by the variable bounds alone
+    and is not added. *)
+
+type sym_member = {
+  sm_x : Lp.var;  (** leftmost column, integer variable *)
+  sm_ymin : Lp.term list;
+      (** linear expression of the top row, integer-valued at integer
+          points (e.g. [sum (r+1) * s(r)] over start indicators) *)
+  sm_drop : Lp.var option;  (** violation binary of a soft copy *)
+}
+
+val add_symmetry_cuts :
+  Lp.t -> width:int -> height:int -> sym_member list list -> int
+(** [add_symmetry_cuts lp ~width ~height groups] adds the lexicographic
+    ordering constraints for each group of interchangeable members and
+    returns the number of rows added.  Groups with fewer than two
+    members contribute nothing.  Unsafe when other constraints already
+    distinguish the members of a group (e.g. HO-mode pair relations
+    mention them) — the caller must not pass such groups. *)
+
+val activity : Lp.t -> Lp.term list -> float * float
+(** [(min, max)] activity of a linear expression over the variable
+    bounds of [lp] (infinite when a contributing bound is infinite). *)
+
+type packing_row = {
+  pr_name : string;
+  pr_terms : Lp.term list;
+  pr_rhs : float;  (** row sense is [terms <= rhs] *)
+}
+
+val add_packing_cuts : Lp.t -> packing_row list -> int
+(** Adds the rows whose activity range does not already imply them
+    (max activity > rhs) and returns the number added.  Rows with no
+    terms are skipped.  Every row passed must be valid for all integer
+    solutions; this function only screens for usefulness, never for
+    validity. *)

@@ -158,7 +158,15 @@ let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
     | Error msg ->
       Rfloor_trace.warn trace ~worker:0
         (Printf.sprintf "warm incumbent rejected: %s" msg)));
-  let gap_abs inc_key = options.Bb.mip_gap *. max 1. (abs_float inc_key) in
+  (* Prune cutoff against the better of the shared incumbent and any
+     external (portfolio-peer) feasible objective; NaN when both are
+     infinite so nothing prunes.  Mirrors Branch_bound.cutoff. *)
+  let cutoff () =
+    let ik = (Sync.Atomic.get inc).i_key in
+    let e = options.Bb.external_bound () in
+    let k = if Float.is_finite e then min ik (key e) else ik in
+    k -. (options.Bb.mip_gap *. max 1. (abs_float k))
+  in
   let out_of_budget () =
     Sync.Atomic.get over_budget
     ||
@@ -233,8 +241,7 @@ let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
           running := false
         end
         else begin
-          let inc_key = (Sync.Atomic.get inc).i_key in
-          if node.t_bound >= inc_key -. gap_abs inc_key then () (* pruned by bound *)
+          if node.t_bound >= cutoff () then () (* pruned by bound *)
           else begin
             ignore (Sync.Atomic.fetch_and_add nodes 1);
             local_nodes.(w) <- local_nodes.(w) + 1;
@@ -269,8 +276,7 @@ let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
             | Simplex.Optimal -> (
               let bound = key r.Simplex.objective in
               if node.t_depth = 0 then Sync.Atomic.set root_bound bound;
-              let inc_key = (Sync.Atomic.get inc).i_key in
-              if bound >= inc_key -. gap_abs inc_key then ()
+              if bound >= cutoff () then ()
               else
                 match
                   pick_branch ~int_eps:options.Bb.int_eps

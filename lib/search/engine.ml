@@ -1,11 +1,15 @@
 open Device
 
+type stop_reason = Budget | Cancelled
+
 type options = {
   time_limit : float option;
   node_limit : int option;
   optimize_wirelength : bool;
   region_order : string list option;
   trace : Rfloor_trace.t;
+  cancel : unit -> bool;
+  on_improvement : (Floorplan.t -> int -> unit) option;
 }
 
 let default_options =
@@ -15,6 +19,8 @@ let default_options =
     optimize_wirelength = true;
     region_order = None;
     trace = Rfloor_trace.disabled;
+    cancel = (fun () -> false);
+    on_improvement = None;
   }
 
 type outcome = {
@@ -24,9 +30,11 @@ type outcome = {
   optimal : bool;
   nodes : int;
   elapsed : float;
+  stop : stop_reason option;
 }
 
 exception Budget_exhausted
+exception Cancelled_exn
 exception Found_one
 
 type entity = {
@@ -142,7 +150,7 @@ let search ~options ~mode part (spec : Spec.t) entities =
   Rfloor_trace.span options.trace Rfloor_trace.Event.Branch_bound @@ fun () ->
   let t0 = Sys.time () in
   let nodes = ref 0 in
-  let stopped = ref false in
+  let stopped = ref None in
   let entities = Array.of_list entities in
   let n = Array.length entities in
   let min_remaining = Array.make (n + 1) 0 in
@@ -192,6 +200,7 @@ let search ~options ~mode part (spec : Spec.t) entities =
   let budget_check () =
     incr nodes;
     if !nodes land 1023 = 0 then begin
+      if options.cancel () then raise Cancelled_exn;
       (match options.node_limit with
       | Some nl when !nodes >= nl -> raise Budget_exhausted
       | _ -> ());
@@ -231,6 +240,9 @@ let search ~options ~mode part (spec : Spec.t) entities =
         best_plan := Some plan;
         Rfloor_trace.incumbent options.trace ~worker:0
           ~objective:(float_of_int waste) ~node:!nodes;
+        (match options.on_improvement with
+        | Some f -> f plan waste
+        | None -> ());
         if stop_at_first then raise Found_one
       end
     | Min_wirelength _ ->
@@ -369,8 +381,12 @@ let search ~options ~mode part (spec : Spec.t) entities =
   if not !unplaceable then begin
     try place 0 [] [] [] 0 0. with
     | Budget_exhausted ->
-      stopped := true;
+      stopped := Some Budget;
       optimal := false
+    | Cancelled_exn ->
+      stopped := Some Cancelled;
+      optimal := false;
+      Rfloor_trace.stopped options.trace ~worker:0 "cancel"
     | Found_one -> ()
   end;
   let elapsed = Sys.time () -. t0 in
@@ -381,9 +397,10 @@ let search ~options ~mode part (spec : Spec.t) entities =
     (if !best_wl = infinity then None else Some !best_wl),
     !optimal,
     !nodes,
-    elapsed )
+    elapsed,
+    !stopped )
 
-let finish part spec (plan, waste, wl, optimal, nodes, elapsed) =
+let finish part spec (plan, waste, wl, optimal, nodes, elapsed, stop) =
   let plan = Option.map (add_soft_areas part spec) plan in
   (* recompute metrics on the final plan for reporting hygiene *)
   let wasted =
@@ -394,7 +411,7 @@ let finish part spec (plan, waste, wl, optimal, nodes, elapsed) =
   let wirelength =
     match plan with Some p -> Some (Floorplan.wirelength spec p) | None -> wl
   in
-  { plan; wasted; wirelength; optimal; nodes; elapsed }
+  { plan; wasted; wirelength; optimal; nodes; elapsed; stop }
 
 let solve ?(options = default_options) part spec =
   let entities = order_entities options spec part in
@@ -402,13 +419,13 @@ let solve ?(options = default_options) part spec =
     search ~options ~mode:(Min_waste { stop_at_first = false }) part spec
       entities
   in
-  let plan1, waste1, _, opt1, nodes1, el1 = r1 in
+  let plan1, waste1, _, opt1, nodes1, el1, stop1 = r1 in
   match (plan1, waste1) with
   | None, _ | _, None ->
-    finish part spec (plan1, waste1, None, opt1, nodes1, el1)
+    finish part spec (plan1, waste1, None, opt1, nodes1, el1, stop1)
   | Some _, Some w when options.optimize_wirelength && opt1 ->
     Rfloor_trace.restart options.trace "wirelength";
-    let plan2, waste2, wl2, opt2, nodes2, el2 =
+    let plan2, waste2, wl2, opt2, nodes2, el2, stop2 =
       search ~options ~mode:(Min_wirelength { waste_budget = w }) part spec
         entities
     in
@@ -419,7 +436,8 @@ let solve ?(options = default_options) part spec =
         wl2,
         opt1 && opt2,
         nodes1 + nodes2,
-        el1 +. el2 )
+        el1 +. el2,
+        (match stop2 with Some _ -> stop2 | None -> stop1) )
   | Some _, Some _ -> finish part spec r1
 
 let feasible ?(options = default_options) part spec =

@@ -13,6 +13,10 @@
     satisfied best-effort on the optimal floorplan afterwards; the MILP
     engine handles them natively. *)
 
+type stop_reason =
+  | Budget  (** time or node limit *)
+  | Cancelled  (** the cooperative [cancel] token fired *)
+
 type options = {
   time_limit : float option;  (** CPU seconds *)
   node_limit : int option;
@@ -23,6 +27,17 @@ type options = {
       (** Incumbent/restart events and per-stage [Branch_bound] spans;
           default {!Rfloor_trace.disabled}.  Per-node events are not
           emitted — this engine explores millions of tiny nodes. *)
+  cancel : unit -> bool;
+      (** Cooperative cancellation token, polled every 1024 nodes with
+          the budget checks.  When it fires the search stops with
+          [stop = Some Cancelled], keeping the best plan found.
+          Default: never fires. *)
+  on_improvement : (Device.Floorplan.t -> int -> unit) option;
+      (** Called on every waste-improving incumbent with the plan (soft
+          areas not yet added) and its wasted frames — lets a racing
+          portfolio publish bounds while the search runs.  Called from
+          the search loop: keep it cheap and thread-safe.  Default
+          [None]. *)
 }
 
 val default_options : options
@@ -34,7 +49,16 @@ type outcome = {
   optimal : bool;  (** proven optimal (not stopped by a budget) *)
   nodes : int;
   elapsed : float;
+  stop : stop_reason option;
+      (** Why the search ended early; [None] when it ran to
+          completion (including a feasibility stop-at-first hit). *)
 }
+
+val add_soft_areas :
+  Device.Partition.t -> Device.Spec.t -> Device.Floorplan.t ->
+  Device.Floorplan.t
+(** Greedy best-effort placement of the spec's soft free-compatible
+    areas onto a complete floorplan (also used by {!Lns}). *)
 
 val solve : ?options:options -> Device.Partition.t -> Device.Spec.t -> outcome
 (** Full lexicographic optimization. *)

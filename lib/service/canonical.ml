@@ -255,19 +255,30 @@ let plan_to_string plan =
 
 (* ---------------- option keys ---------------- *)
 
-(* Only answer-defining options enter the key: the engine (HO restricts
-   the search space), the objective and the literal-L flag.  Budgets,
-   worker counts, warm-start and observability options do not change
-   what an [Optimal] answer is, and the cache only serves [Optimal]
-   entries exactly — so leaving them out is sound and maximizes hits. *)
+(* Only answer-defining options enter the key: the strategy (an HO
+   member restricts the search space it can prove optimal over; an
+   LNS member carries its seed), the objective and the literal-L
+   flag.  Budgets, worker counts, warm-start and observability
+   options do not change what an [Optimal] answer is, and the cache
+   only serves [Optimal] entries exactly — so they are normalized
+   away by [strategy_text], which is sound and maximizes hits. *)
+let rec strategy_text t (s : Rfloor.Solver.Strategy.t) =
+  match s with
+  | Rfloor.Solver.Strategy.Milp { engine = Rfloor.Solver.O; _ } -> "milp-o"
+  | Rfloor.Solver.Strategy.Milp { engine = Rfloor.Solver.Ho None; _ } ->
+    "milp-ho-auto"
+  | Rfloor.Solver.Strategy.Milp { engine = Rfloor.Solver.Ho (Some seed); _ } ->
+    "milp-ho-seed:" ^ plan_to_string (encode_plan t seed)
+  | Rfloor.Solver.Strategy.Combinatorial _ -> "comb"
+  | Rfloor.Solver.Strategy.Lns { seed; _ } -> Printf.sprintf "lns:%d" seed
+  | Rfloor.Solver.Strategy.Portfolio ms ->
+    (* member order never affects the answer a race can prove *)
+    "portfolio["
+    ^ String.concat "," (List.sort compare (List.map (strategy_text t) ms))
+    ^ "]"
+
 let options_text t (o : Rfloor.Solver.options) =
-  let engine =
-    match o.Rfloor.Solver.engine with
-    | Rfloor.Solver.O -> "o"
-    | Rfloor.Solver.Ho None -> "ho-auto"
-    | Rfloor.Solver.Ho (Some seed) ->
-      "ho-seed:" ^ plan_to_string (encode_plan t seed)
-  in
+  let strategy = strategy_text t o.Rfloor.Solver.strategy in
   let objective =
     match o.Rfloor.Solver.objective_mode with
     | Rfloor.Solver.Lexicographic -> "lex"
@@ -277,8 +288,8 @@ let options_text t (o : Rfloor.Solver.options) =
         (fl w.Rfloor.Objective.q_wirelength) (fl w.Rfloor.Objective.q_perimeter)
         (fl w.Rfloor.Objective.q_resources) (fl w.Rfloor.Objective.q_relocation)
   in
-  Printf.sprintf "rfloor-opts/1\nengine %s\nobj %s\nlit %b\n" engine objective
-    o.Rfloor.Solver.paper_literal_l
+  Printf.sprintf "rfloor-opts/2\nstrategy %s\nobj %s\nlit %b\n" strategy
+    objective o.Rfloor.Solver.paper_literal_l
 
 let options_key t o =
   let text = options_text t o in

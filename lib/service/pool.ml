@@ -135,9 +135,14 @@ let run_job t job =
   | (Some (Cache.Near _) | None) as near ->
     let options, okey, otext, source =
       match near with
-      | Some (Cache.Near _) when job.options.Solver.engine <> Solver.O ->
-        (* the request already pins an engine mode with its own seed
-           semantics; don't override it *)
+      | Some (Cache.Near _)
+        when not
+               (match job.options.Solver.strategy with
+               | Solver.Strategy.Milp { engine = Solver.O; _ } -> true
+               | _ -> false) ->
+        (* only a plain-O MILP strategy is re-engined to HO; anything
+           else (HO already pinned, heuristics, portfolios) keeps its
+           own seed semantics *)
         locked t (fun () -> bump t.cache_misses);
         R.Counter.incr t.m_misses;
         (job.options, okey, otext, Solved)
@@ -147,7 +152,13 @@ let run_job t job =
           locked t (fun () -> bump t.warm_starts);
           R.Counter.incr t.m_warm;
           let seed = Canonical.decode_plan canon plan in
-          let options = { job.options with Solver.engine = Solver.Ho (Some seed) } in
+          let strategy =
+            match job.options.Solver.strategy with
+            | Solver.Strategy.Milp m ->
+              Solver.Strategy.Milp { m with engine = Solver.Ho (Some seed) }
+            | st -> st
+          in
+          let options = { job.options with Solver.strategy } in
           (* the answer we compute is an HO answer: store it under the
              options actually used, not the requested ones *)
           let okey, otext = Canonical.options_key canon options in

@@ -12,6 +12,7 @@ type solve_req = {
   sq_id : string;
   sq_device : source_ref;
   sq_design : source_ref;
+  sq_strategy : Solver.Strategy.t option;
   sq_engine : [ `O | `Ho ];
   sq_objective : [ `Lex | `Feasibility ];
   sq_time : float option;
@@ -58,6 +59,15 @@ let parse_solve json =
   let* sq_id = J.get_string "id" json in
   let* sq_device = source ~name_key:"device" ~text_key:"device_text" json in
   let* sq_design = source ~name_key:"design" ~text_key:"design_text" json in
+  let* strategy = opt_string "strategy" json in
+  let* sq_strategy =
+    match strategy with
+    | None -> Ok None
+    | Some str -> (
+      match Solver.Strategy.of_string str with
+      | Ok st -> Ok (Some st)
+      | Error d -> Error (Rfloor_diag.Diagnostic.location_to_string d.Rfloor_diag.Diagnostic.location ^ ": " ^ d.Rfloor_diag.Diagnostic.message))
+  in
   let* engine = opt_string "engine" json in
   let* sq_engine =
     match engine with
@@ -82,6 +92,7 @@ let parse_solve json =
          sq_id;
          sq_device;
          sq_design;
+         sq_strategy;
          sq_engine;
          sq_objective;
          sq_time;

@@ -23,6 +23,10 @@ type solve_req = {
   sq_id : string;
   sq_device : source_ref;
   sq_design : source_ref;
+  sq_strategy : Rfloor.Solver.Strategy.t option;
+      (** Full strategy string ([Solver.Strategy.of_string] grammar);
+          when present it supersedes [sq_engine]/[sq_workers], which
+          remain as the backward-compatible spelling. *)
   sq_engine : [ `O | `Ho ];
   sq_objective : [ `Lex | `Feasibility ];
   sq_time : float option;  (** solver budget, seconds *)

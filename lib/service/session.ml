@@ -69,13 +69,21 @@ let submit_solve pool ~metrics ~devices ~designs (sq : P.solve_req) =
     | Error d -> Error (diag_str d)
   in
   let options =
-    Solver.Options.make
-      ~engine:(match sq.P.sq_engine with `O -> Solver.O | `Ho -> Solver.Ho None)
+    let strategy =
+      match sq.P.sq_strategy with
+      | Some st -> st
+      | None ->
+        Solver.Strategy.milp ~workers:sq.P.sq_workers
+          ~engine:
+            (match sq.P.sq_engine with `O -> Solver.O | `Ho -> Solver.Ho None)
+          ()
+    in
+    Solver.Options.make ~strategy
       ~objective_mode:
         (match sq.P.sq_objective with
         | `Lex -> Solver.Lexicographic
         | `Feasibility -> Solver.Feasibility_only)
-      ?time_limit:sq.P.sq_time ~workers:sq.P.sq_workers ~metrics ()
+      ?time_limit:sq.P.sq_time ~metrics ()
   in
   Ok
     (Pool.submit pool ~priority:sq.P.sq_priority ?deadline:sq.P.sq_deadline

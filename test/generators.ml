@@ -306,3 +306,25 @@ let random_spec prng (part : Device.Partition.t) =
     else []
   in
   Device.Spec.make ~nets ~relocs ~name:"gen_spec" regions
+
+(* Like [random_spec] but always with one relocation request of 2-3
+   copies so interchangeable free-compatible areas exist — the shape
+   the symmetry cuts order.  Soft mode keeps the instance feasible on
+   devices too small for every copy; roughly half the cases go hard. *)
+let random_reloc_spec prng (part : Device.Partition.t) =
+  let spec = random_spec prng part in
+  let names = Device.Spec.region_names spec in
+  (* soft-biased: hard 3-copy requests on the small random devices are
+     routinely infeasible-but-hard-to-prove, which starves the
+     differential suites of conclusive pairs *)
+  let mode =
+    if Prng.range prng 0 3 = 0 then Device.Spec.Hard else Device.Spec.Soft 1.
+  in
+  Device.Spec.with_relocs spec
+    [
+      {
+        Device.Spec.target = List.hd names;
+        copies = (if Prng.range prng 0 3 = 0 then 3 else 2);
+        mode;
+      };
+    ]

@@ -285,7 +285,11 @@ let test_audit_eq9 () =
 (* Solver preflight integration *)
 
 let quick_opts =
-  { Rfloor.Solver.default_options with time_limit = Some 60.; warm_start = false }
+  {
+    Rfloor.Solver.default_options with
+    time_limit = Some 60.;
+    strategy = Rfloor.Solver.Strategy.milp ~warm_start:false ();
+  }
 
 let test_preflight_short_circuits () =
   let part = Lazy.force toy in

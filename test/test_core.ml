@@ -169,7 +169,12 @@ let test_ho_mode () =
   in
   let m =
     Rfloor.Solver.solve
-      ~options:{ quick_solver_opts with engine = Rfloor.Solver.Ho (Some seed) }
+      ~options:
+        {
+          quick_solver_opts with
+          strategy =
+            Rfloor.Solver.Strategy.milp ~engine:(Rfloor.Solver.Ho (Some seed)) ();
+        }
       part toy_spec
   in
   match m.Rfloor.Solver.plan with

@@ -287,7 +287,10 @@ let test_random_floorplans_audit () =
           (if i mod 2 = 0 then Rfloor.Solver.Feasibility_only
            else Rfloor.Solver.Lexicographic);
         time_limit = Some 20.;
-        workers = (if i mod 2 = 0 then 2 else 1);
+        strategy =
+          Rfloor.Solver.Strategy.milp
+            ~workers:(if i mod 2 = 0 then 2 else 1)
+            ();
       }
     in
     let out = Rfloor.Solver.solve ~options part spec in
