@@ -119,7 +119,7 @@ let run_benches () =
    wall-clock ratio is a direct speedup; if a run stops early (time
    limit, or optimality first) the node-throughput ratio is reported,
    which degenerates to the same number under equal node counts. *)
-let run_parallel_speedup ?(trace_mode = `Off) () =
+let run_parallel_speedup ?(trace_mode = `Off) ?metrics_registry () =
   let workers = max 4 (Milp.Parallel_bb.workers_from_env ()) in
   let budget = Reports.budget () in
   Printf.printf
@@ -150,7 +150,11 @@ let run_parallel_speedup ?(trace_mode = `Off) () =
           part Sdr.sdr2)
   in
   let lp = Rfloor.Model.lp model in
-  let metrics = Rfloor_metrics.Registry.create () in
+  let metrics =
+    match metrics_registry with
+    | Some reg -> reg  (* shared with --telemetry so /metrics sees the run *)
+    | None -> Rfloor_metrics.Registry.create ()
+  in
   let opts =
     {
       Milp.Branch_bound.default_options with
@@ -314,6 +318,56 @@ let () =
     | _ :: rest -> find_flag name rest
     | [] -> None
   in
+  (* --telemetry PORT: expose /metrics, /healthz and /statusz for the
+     duration of the run so a long bench can be watched live.  The
+     registry is shared with the parallel-speedup run, so its LP and
+     B&B series stream out while the solve is in flight. *)
+  let telemetry =
+    match find_flag "--telemetry" args with
+    | None -> None
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some p -> Some p
+      | None ->
+        Printf.eprintf "bad --telemetry %s (expected a port number)\n" v;
+        exit 1)
+  in
+  let telemetry_registry =
+    match telemetry with
+    | None -> None
+    | Some _ ->
+      let reg = Rfloor_metrics.Registry.create () in
+      Rfloor_obsv.Build_info.register reg;
+      Some reg
+  in
+  let server =
+    match (telemetry, telemetry_registry) with
+    | Some port, Some reg -> (
+      let handlers =
+        {
+          Rfloor_obsv.Http.h_metrics =
+            (fun () ->
+              Rfloor_obsv.Build_info.touch_uptime reg;
+              Rfloor_metrics.Registry.to_prometheus
+                (Rfloor_metrics.Registry.snapshot reg));
+          h_statusz = (fun () -> Rfloor_obsv.Statusz.render ());
+        }
+      in
+      match Rfloor_obsv.Http.start ~registry:reg ~port handlers with
+      | Ok srv ->
+        Printf.eprintf "telemetry: listening on 127.0.0.1:%d\n%!"
+          (Rfloor_obsv.Http.port srv);
+        Some srv
+      | Error d ->
+        Format.eprintf "%a@." Rfloor_diag.Diagnostic.pp d;
+        exit 1)
+    | _ -> None
+  in
+  Fun.protect ~finally:(fun () -> Option.iter Rfloor_obsv.Http.stop server)
+  @@ fun () ->
+  let run_parallel_speedup () =
+    run_parallel_speedup ~trace_mode ?metrics_registry:telemetry_registry ()
+  in
   if List.mem "--list" args then
     List.iter print_endline Reports.names
   else
@@ -341,13 +395,13 @@ let () =
         if List.mem "--portfolio-only" args then
           run_portfolio_bench ()
         else if List.mem "--parallel-only" args then begin
-          run_parallel_speedup ~trace_mode ();
+          run_parallel_speedup ();
           run_portfolio_bench ()
         end
         else begin
           if not (List.mem "--report-only" args) then begin
             run_benches ();
-            run_parallel_speedup ~trace_mode ();
+            run_parallel_speedup ();
             run_portfolio_bench ()
           end;
           if not (List.mem "--bench-only" args) then Reports.all ()

@@ -46,13 +46,24 @@
 #                                the cooperative stop), a raw-sync lint
 #                                of lib/portfolio, and a CLI solve
 #                                through --strategy portfolio:[...].
+#   bin/lint.sh obsv-check    -- operational-plane gate only: boot a
+#                                live serve --telemetry 0 session,
+#                                scrape /metrics, /healthz and /statusz,
+#                                stream a progress-enabled job (>= 2
+#                                frames, result last, the in-flight job
+#                                visible in /statusz), reject a seeded
+#                                malformed HTTP request (RF602, never a
+#                                crash), and round-trip a captured
+#                                trace through trace-export /
+#                                trace-validate / trace-report.
 set -eu
 cd "$(dirname "$0")/.."
 
 # one trap for every gate's scratch space (a later trap would replace
-# an earlier one and leak its directory)
-tmp="" btmp="" stmp="" ctmp="" ptmp=""
-trap 'rm -rf "$tmp" "$btmp" "$stmp" "$ctmp" "$ptmp"' EXIT
+# an earlier one and leak its directory); obsv-check also parks its
+# serve PID here so a failing assertion never leaks the process
+tmp="" btmp="" stmp="" ctmp="" ptmp="" otmp="" osrv=""
+trap '{ [ -n "$osrv" ] && kill "$osrv" 2>/dev/null; rm -rf "$tmp" "$btmp" "$stmp" "$ctmp" "$ptmp" "$otmp"; } || true' EXIT
 
 bench_smoke() {
     echo "== bench-smoke (quick instance set, 2s budget)"
@@ -255,6 +266,147 @@ EOF
     echo "portfolio-check passed (grammar, differential, cancellation, CLI race)"
 }
 
+obsv_check() {
+    echo "== obsv-check (telemetry endpoint, progress stream, perfetto export)"
+    otmp=$(mktemp -d)
+    # a 3x14 device and a 4-region chained design: enough
+    # branch-and-bound nodes that a 2.5 s budget streams several
+    # progress frames, still seconds end to end
+    cat > "$otmp/device.txt" <<'EOF'
+name: obsvdev
+ccbccdccbcccbc
+ccbccdccbcccbc
+ccbccdccbcccbc
+EOF
+    cat > "$otmp/design.txt" <<'EOF'
+name: obsvdesign
+region filter clb=3 bram=1
+region decoder clb=3 dsp=1
+region mixer clb=2 bram=1
+region sink clb=2
+net filter decoder 32
+net decoder mixer 16
+net mixer sink 8
+EOF
+    req='{"op":"solve","id":"p1","device_text":"name: obsvdev\nccbccdccbcccbc\nccbccdccbcccbc\nccbccdccbcccbc\n","design_text":"name: obsvdesign\nregion filter clb=3 bram=1\nregion decoder clb=3 dsp=1\nregion mixer clb=2 bram=1\nregion sink clb=2\nnet filter decoder 32\nnet decoder mixer 16\nnet mixer sink 8\n","time":2.5,"progress":{"interval_s":0.3}}'
+    # 1. a live serve session: requests arrive through a fifo held open
+    #    on fd 9 so the session outlives each printf
+    mkfifo "$otmp/in"
+    dune exec bin/rfloor_cli.exe -- serve --workers 1 --telemetry 0 \
+        < "$otmp/in" > "$otmp/out.ndjson" 2> "$otmp/err.log" &
+    osrv=$!
+    exec 9> "$otmp/in"
+    port=""
+    i=0
+    while [ $i -lt 100 ]; do
+        port=$(sed -n 's/.*listening on 127.0.0.1:\([0-9]*\).*/\1/p' "$otmp/err.log")
+        [ -n "$port" ] && break
+        i=$((i + 1)); sleep 0.1
+    done
+    [ -n "$port" ] || {
+        echo "obsv-check: telemetry port never announced" >&2; exit 1; }
+    # all three endpoints answer before any job exists
+    h=$(dune exec bin/rfloor_cli.exe -- scrape --port "$port" /healthz)
+    [ "$h" = "ok" ] || {
+        echo "obsv-check: /healthz said '$h'" >&2; exit 1; }
+    dune exec bin/rfloor_cli.exe -- scrape --port "$port" /metrics \
+        > "$otmp/metrics.txt"
+    grep -q '^rfloor_build_info{' "$otmp/metrics.txt" || {
+        echo "obsv-check: /metrics lacks rfloor_build_info" >&2; exit 1; }
+    grep -q '^rfloor_uptime_seconds ' "$otmp/metrics.txt" || {
+        echo "obsv-check: /metrics lacks rfloor_uptime_seconds" >&2; exit 1; }
+    dune exec bin/rfloor_cli.exe -- scrape --port "$port" /statusz \
+        | grep -q '"v":"rfloor-statusz/1"' || {
+        echo "obsv-check: /statusz lacks the rfloor-statusz/1 tag" >&2; exit 1; }
+    # a progress-streamed job; /statusz must list it while in flight
+    printf '%s\n' "$req" >&9
+    seen=""
+    i=0
+    while [ $i -lt 50 ]; do
+        if dune exec bin/rfloor_cli.exe -- scrape --port "$port" /statusz \
+            | grep -q '"id":"p1"'; then
+            seen=yes; break
+        fi
+        grep '"id":"p1"' "$otmp/out.ndjson" 2>/dev/null \
+            | grep -q '"type":"result"' && break
+        i=$((i + 1)); sleep 0.2
+    done
+    [ -n "$seen" ] || {
+        echo "obsv-check: /statusz never listed the in-flight job p1" >&2
+        exit 1; }
+    i=0
+    while [ $i -lt 300 ]; do
+        grep '"id":"p1"' "$otmp/out.ndjson" 2>/dev/null \
+            | grep -q '"type":"result"' && break
+        i=$((i + 1)); sleep 0.1
+    done
+    grep '"id":"p1"' "$otmp/out.ndjson" | grep -q '"type":"result"' || {
+        echo "obsv-check: job p1 produced no result frame" >&2; exit 1; }
+    nprog=$(grep '"id":"p1"' "$otmp/out.ndjson" \
+        | grep -c '"type":"progress"' || true)
+    [ "$nprog" -ge 2 ] || {
+        echo "obsv-check: expected >= 2 progress frames, saw $nprog" >&2
+        exit 1; }
+    last=$(grep '"id":"p1"' "$otmp/out.ndjson" | tail -1)
+    case "$last" in
+        *'"type":"result"'*) ;;
+        *) echo "obsv-check: a progress frame followed the result:" >&2
+           echo "  $last" >&2; exit 1;;
+    esac
+    # the seeded malformed request: 400 + RF602, and the server lives on
+    raw=$(dune exec bin/rfloor_cli.exe -- scrape --port "$port" \
+        --raw 'NONSENSE REQUEST')
+    case "$raw" in
+        *'400 Bad Request'*) ;;
+        *) echo "obsv-check: malformed request was not answered 400" >&2
+           exit 1;;
+    esac
+    case "$raw" in
+        *RF602*) ;;
+        *) echo "obsv-check: 400 body does not carry RF602" >&2; exit 1;;
+    esac
+    h=$(dune exec bin/rfloor_cli.exe -- scrape --port "$port" /healthz)
+    [ "$h" = "ok" ] || {
+        echo "obsv-check: server died after the malformed request" >&2
+        exit 1; }
+    dune exec bin/rfloor_cli.exe -- scrape --port "$port" /metrics \
+        | grep -q '^rfloor_telemetry_bad_requests_total [1-9]' || {
+        echo "obsv-check: bad request not counted in /metrics" >&2; exit 1; }
+    printf '{"op":"shutdown"}\n' >&9
+    exec 9>&-
+    wait "$osrv"
+    osrv=""
+    # 2. timeline export: the same instance through --trace, then
+    #    JSONL -> perfetto, a direct perfetto capture, and the report
+    dune exec bin/rfloor_cli.exe -- solve \
+        --device-file "$otmp/device.txt" --design-file "$otmp/design.txt" \
+        --engine milp --workers 2 --time 2.5 \
+        --trace "jsonl:$otmp/trace.jsonl" > /dev/null
+    dune exec bin/rfloor_cli.exe -- trace-export "$otmp/trace.jsonl" \
+        -o "$otmp/trace.perfetto.json"
+    dune exec bin/rfloor_cli.exe -- trace-validate --kind perfetto \
+        "$otmp/trace.perfetto.json"
+    dune exec bin/rfloor_cli.exe -- trace-validate "$otmp/trace.perfetto.json"
+    dune exec bin/rfloor_cli.exe -- trace-report "$otmp/trace.jsonl" \
+        --critical-path > "$otmp/report.txt"
+    grep -q 'phase dominance' "$otmp/report.txt" || {
+        echo "obsv-check: trace-report lacks the dominance table" >&2; exit 1; }
+    grep -q 'critical path' "$otmp/report.txt" || {
+        echo "obsv-check: trace-report lacks the critical path" >&2; exit 1; }
+    dune exec bin/rfloor_cli.exe -- solve \
+        --device-file "$otmp/device.txt" --design-file "$otmp/design.txt" \
+        --engine milp --workers 2 --time 2.5 \
+        --trace "perfetto:$otmp/direct.json" > /dev/null
+    dune exec bin/rfloor_cli.exe -- trace-validate "$otmp/direct.json"
+    echo "obsv-check passed (endpoints live under a real job, >= $nprog progress frames, RF602 survived, perfetto valid)"
+}
+
+if [ "${1:-}" = "obsv-check" ]; then
+    dune build
+    obsv_check
+    exit 0
+fi
+
 if [ "${1:-}" = "portfolio-check" ]; then
     dune build
     portfolio_check
@@ -316,6 +468,8 @@ trace_check
 bench_smoke
 
 serve_smoke
+
+obsv_check
 
 concheck
 

@@ -84,27 +84,36 @@ let verbose_arg =
     & info [ "v"; "verbose" ]
         ~doc:"Log solver progress (same as --trace text).")
 
-(* --trace off|text|jsonl:FILE *)
-type trace_dest = Trace_off | Trace_text | Trace_jsonl of string
+(* --trace off|text|jsonl:FILE|perfetto:FILE *)
+type trace_dest =
+  | Trace_off
+  | Trace_text
+  | Trace_jsonl of string
+  | Trace_perfetto of string
 
 let trace_arg =
-  let jsonl_prefix = "jsonl:" in
+  let prefixed prefix s =
+    let n = String.length prefix in
+    if String.length s > n && String.sub s 0 n = prefix then
+      Some (String.sub s n (String.length s - n))
+    else None
+  in
   let parse = function
     | "off" -> Ok Trace_off
     | "text" -> Ok Trace_text
-    | s
-      when String.length s > String.length jsonl_prefix
-           && String.sub s 0 (String.length jsonl_prefix) = jsonl_prefix ->
-      Ok
-        (Trace_jsonl
-           (String.sub s (String.length jsonl_prefix)
-              (String.length s - String.length jsonl_prefix)))
-    | s -> Error (`Msg ("expected off, text or jsonl:FILE, got " ^ s))
+    | s -> (
+      match (prefixed "jsonl:" s, prefixed "perfetto:" s) with
+      | Some f, _ -> Ok (Trace_jsonl f)
+      | _, Some f -> Ok (Trace_perfetto f)
+      | None, None ->
+        Error
+          (`Msg ("expected off, text, jsonl:FILE or perfetto:FILE, got " ^ s)))
   in
   let print ppf = function
     | Trace_off -> Format.pp_print_string ppf "off"
     | Trace_text -> Format.pp_print_string ppf "text"
     | Trace_jsonl f -> Format.fprintf ppf "jsonl:%s" f
+    | Trace_perfetto f -> Format.fprintf ppf "perfetto:%s" f
   in
   Arg.(
     value
@@ -112,15 +121,28 @@ let trace_arg =
     & info [ "trace" ] ~docv:"MODE"
         ~doc:
           "Structured solver events: $(b,off), $(b,text) (human lines on \
-           stderr) or $(b,jsonl:FILE) (one JSON event per line).")
+           stderr), $(b,jsonl:FILE) (one JSON event per line) or \
+           $(b,perfetto:FILE) (Chrome/Perfetto trace-event JSON, loadable in \
+           ui.perfetto.dev).")
 
 (* The sink for a run plus a closer to flush/close any file behind it.
-   -v is sugar for --trace text; with --trace jsonl both are honoured. *)
+   -v is sugar for --trace text; with --trace jsonl/perfetto both are
+   honoured.  The perfetto writer buffers events in memory and renders
+   the document at close (the format is one JSON object, not a log). *)
 let sink_of_trace trace verbose =
   let text = Rfloor_trace.Sink.text stderr in
   match trace with
   | Trace_jsonl path ->
     let s, close = Rfloor_trace.Sink.jsonl_file path in
+    ((if verbose then Rfloor_trace.Sink.tee s text else s), close)
+  | Trace_perfetto path ->
+    let events = ref [] in
+    let s = Rfloor_trace.Sink.of_fn (fun e -> events := e :: !events) in
+    let close () =
+      let oc = open_out path in
+      output_string oc (Rfloor_obsv.Perfetto.of_events (List.rev !events));
+      close_out oc
+    in
     ((if verbose then Rfloor_trace.Sink.tee s text else s), close)
   | Trace_text -> (text, fun () -> ())
   | Trace_off ->
@@ -175,12 +197,15 @@ let metrics_arg =
            stderr), $(b,prom:FILE) or $(b,json:FILE) (versioned JSON \
            snapshot).")
 
-(* The registry for a run plus a finisher that exports its snapshot. *)
-let registry_of_metrics dest =
+(* The registry for a run plus a finisher that exports its snapshot.
+   [force] makes the registry live even with --metrics off — the
+   telemetry endpoint needs something to scrape. *)
+let registry_of_metrics ?(force = false) dest =
   match dest with
-  | Metrics_off -> (Rfloor_metrics.Registry.null, fun () -> ())
+  | Metrics_off when not force -> (Rfloor_metrics.Registry.null, fun () -> ())
   | _ ->
     let reg = Rfloor_metrics.Registry.create () in
+    Rfloor_obsv.Build_info.register reg;
     let write path text =
       let oc = open_out path in
       output_string oc text;
@@ -205,6 +230,37 @@ let tee_metrics_sink reg sink =
   if Rfloor_metrics.Registry.live reg then
     Rfloor_trace.Sink.tee sink (Rfloor_metrics.Trace_sink.sink reg)
   else sink
+
+(* ---------------- telemetry ---------------- *)
+
+let telemetry_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "telemetry" ] ~docv:"PORT"
+        ~doc:
+          "Serve live telemetry over HTTP on 127.0.0.1:$(docv) for the run's \
+           duration: $(b,/metrics) (Prometheus), $(b,/healthz), \
+           $(b,/statusz) (rfloor-statusz/1 JSON listing in-flight jobs).  \
+           Port 0 picks a free port; the bound address is printed to \
+           stderr.")
+
+let prometheus_body reg () =
+  Rfloor_obsv.Build_info.touch_uptime reg;
+  Rfloor_metrics.Registry.to_prometheus (Rfloor_metrics.Registry.snapshot reg)
+
+(* Starts the server (dying on RF601), announces the bound port on
+   stderr — the line scripts parse — and returns the stopper. *)
+let start_telemetry ~reg ~statusz port =
+  let handlers =
+    { Rfloor_obsv.Http.h_metrics = prometheus_body reg; h_statusz = statusz }
+  in
+  match Rfloor_obsv.Http.start ~registry:reg ~port handlers with
+  | Error d -> die "%a" pp_diag d
+  | Ok srv ->
+    Format.eprintf "telemetry: listening on 127.0.0.1:%d@."
+      (Rfloor_obsv.Http.port srv);
+    srv
 
 (* ---------------- partition ---------------- *)
 
@@ -314,13 +370,26 @@ let resolve_strategy ~strategy ~engine ~workers =
 
 let solve_cmd =
   let run device device_file design design_file engine strategy time deadline
-      verbose trace metrics workers =
+      verbose trace metrics workers telemetry =
     let grid = load_device device device_file in
     let spec = load_design design design_file in
     let part = partition_of grid in
     let sink, close_sink = sink_of_trace trace verbose in
     let tracing = not (Rfloor_trace.Sink.is_null sink) in
-    let reg, finish_metrics = registry_of_metrics metrics in
+    let reg, finish_metrics =
+      registry_of_metrics ~force:(telemetry <> None) metrics
+    in
+    let board = Rfloor_obsv.Progress.create_board () in
+    let server =
+      Option.map
+        (start_telemetry ~reg ~statusz:(fun () ->
+             Rfloor_obsv.Statusz.render
+               ~jobs:(Rfloor_obsv.Progress.active board)
+               ()))
+        telemetry
+    in
+    Fun.protect ~finally:(fun () -> Option.iter Rfloor_obsv.Http.stop server)
+    @@ fun () ->
     Fun.protect ~finally:close_sink @@ fun () ->
     Fun.protect ~finally:finish_metrics @@ fun () ->
     match resolve_strategy ~strategy ~engine ~workers with
@@ -332,11 +401,26 @@ let solve_cmd =
           let t0 = Unix.gettimeofday () in
           fun () -> Unix.gettimeofday () -. t0 > d
       in
+      (* with telemetry on, the solve registers itself so /statusz can
+         list it with live incumbent/bound/gap *)
+      let entry =
+        if server = None then None
+        else
+          Some
+            (Rfloor_obsv.Progress.register board ~id:design
+               ~strategy:(Rfloor.Solver.Strategy.to_string strategy))
+      in
+      let sink =
+        match entry with
+        | Some e -> Rfloor_trace.Sink.tee sink (Rfloor_obsv.Progress.sink e)
+        | None -> sink
+      in
       let opts =
         Rfloor.Solver.Options.make ?time_limit:time ~strategy ~trace:sink
           ~metrics:reg ~cancel ()
       in
       let r = Rfloor.Solver.solve ~options:opts part spec in
+      Option.iter (Rfloor_obsv.Progress.remove board) entry;
       print_outcome part spec strategy r ~tracing
     | None -> (
       match engine with
@@ -355,7 +439,7 @@ let solve_cmd =
     Term.(
       const run $ device_arg $ device_file_arg $ design_arg $ design_file_arg
       $ engine_arg $ strategy_arg $ time_arg $ deadline_arg $ verbose_arg
-      $ trace_arg $ metrics_arg $ workers_arg)
+      $ trace_arg $ metrics_arg $ workers_arg $ telemetry_arg)
 
 (* ---------------- feasibility ---------------- *)
 
@@ -571,20 +655,20 @@ let trace_validate_cmd =
           (enum
              [
                ("auto", `Auto); ("trace", `Trace); ("metrics", `Metrics);
-               ("bench", `Bench);
+               ("bench", `Bench); ("perfetto", `Perfetto);
              ])
           `Auto
       & info [ "kind" ] ~docv:"KIND"
           ~doc:
             "What the file claims to be: $(b,trace), $(b,metrics), \
-             $(b,bench), or $(b,auto) (dispatch on the embedded schema \
-             field).")
+             $(b,bench), $(b,perfetto), or $(b,auto) (dispatch on the \
+             embedded schema field).")
   in
   let run file kind =
     let text = read_whole_file file in
     let kind =
       match kind with
-      | (`Trace | `Metrics | `Bench) as k -> k
+      | (`Trace | `Metrics | `Bench | `Perfetto) as k -> k
       (* a JSONL trace is not a single JSON document (or, for a
          one-event trace, has no "schema" member), so parsing the whole
          file and inspecting "schema" is an unambiguous dispatcher *)
@@ -599,7 +683,10 @@ let trace_validate_cmd =
           | Some (Rfloor_metrics.Json.Str s)
             when s = Rfloor_metrics.Artifact.schema_version ->
             `Bench
-          | _ -> `Trace))
+          | _ ->
+            if Rfloor_metrics.Json.member "traceEvents" doc <> None then
+              `Perfetto
+            else `Trace))
     in
     match kind with
     | `Trace -> (
@@ -607,6 +694,11 @@ let trace_validate_cmd =
       | Ok n ->
         Format.printf "%s: %d events, schema valid, spans balanced@." file n
       | Error e -> die "%s: invalid trace: %s" file e)
+    | `Perfetto -> (
+      match Rfloor_obsv.Perfetto.validate text with
+      | Ok () ->
+        Format.printf "%s: trace-event JSON valid, slices balanced@." file
+      | Error e -> die "%s: invalid perfetto trace: %s" file e)
     | `Metrics -> (
       match Rfloor_metrics.Registry.validate_json text with
       | Ok n -> Format.printf "%s: %d metrics, schema valid@." file n
@@ -623,6 +715,129 @@ let trace_validate_cmd =
           trace (every line parses, spans balanced), a metrics snapshot or a \
           bench artifact.  Exits non-zero otherwise.")
     Term.(const run $ file_arg $ kind_arg)
+
+(* ---------------- trace-export / trace-report ---------------- *)
+
+let events_of_jsonl_file file =
+  let text = read_whole_file file in
+  let rec go i acc = function
+    | [] -> List.rev acc
+    | line :: rest ->
+      if String.trim line = "" then go (i + 1) acc rest
+      else (
+        match Rfloor_trace.Event.of_json line with
+        | Ok e -> go (i + 1) (e :: acc) rest
+        | Error msg -> die "%s:%d: invalid trace event: %s" file i msg)
+  in
+  go 1 [] (String.split_on_char '\n' text)
+
+let trace_export_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"JSONL trace (from --trace jsonl:FILE).")
+  in
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"OUT"
+          ~doc:"Output path for the trace-event JSON.")
+  in
+  let run file out =
+    match Rfloor_obsv.Perfetto.of_jsonl (read_whole_file file) with
+    | Error e -> die "%s: %s" file e
+    | Ok doc ->
+      let oc = open_out out in
+      output_string oc doc;
+      close_out oc;
+      Format.printf "wrote %s@." out
+  in
+  Cmd.v
+    (Cmd.info "trace-export"
+       ~doc:
+         "Convert a JSONL solve trace to Chrome/Perfetto trace-event JSON \
+          (open it in ui.perfetto.dev or chrome://tracing): one track per \
+          worker and per portfolio member, solve phases as nested slices, \
+          node exploration as counter series.")
+    Term.(const run $ file_arg $ out_arg)
+
+let trace_report_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"JSONL trace (from --trace jsonl:FILE).")
+  in
+  let critical_arg =
+    Arg.(
+      value & flag
+      & info [ "critical-path" ]
+          ~doc:
+            "Also print the dominant phase chain: the busiest worker's span \
+             tree, descending into the biggest child at each level.")
+  in
+  let run file critical_path =
+    print_string
+      (Rfloor_obsv.Perfetto.report ~critical_path (events_of_jsonl_file file))
+  in
+  Cmd.v
+    (Cmd.info "trace-report"
+       ~doc:
+         "Phase-dominance summary of a JSONL solve trace: self and inclusive \
+          wall time per phase, sorted by self time.")
+    Term.(const run $ file_arg $ critical_arg)
+
+(* ---------------- scrape ---------------- *)
+
+let scrape_cmd =
+  let port_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"Telemetry port (from the 'telemetry: listening' line).")
+  in
+  let path_arg =
+    Arg.(
+      value
+      & pos 0 string "/metrics"
+      & info [] ~docv:"PATH" ~doc:"Endpoint path (default /metrics).")
+  in
+  let raw_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "raw" ] ~docv:"TEXT"
+          ~doc:
+            "Instead of a GET, send $(docv) verbatim (terminated with a \
+             blank line) and print the raw response — for probing the \
+             endpoint's bad-request handling.")
+  in
+  let run port path raw =
+    match raw with
+    | Some text -> (
+      match
+        Rfloor_obsv.Http.request_raw ~port (text ^ "\r\n\r\n")
+      with
+      | Ok response -> print_string response
+      | Error e -> die "scrape failed: %s" e)
+    | None -> (
+      match Rfloor_obsv.Http.get ~port path with
+      | Ok (200, body) -> print_string body
+      | Ok (status, body) ->
+        print_string body;
+        die "scrape %s: HTTP %d" path status
+      | Error e -> die "scrape failed: %s" e)
+  in
+  Cmd.v
+    (Cmd.info "scrape"
+       ~doc:
+         "Fetch an endpoint from a running --telemetry server on \
+          127.0.0.1 and print the body (no curl needed in scripts).  \
+          Exits non-zero unless the response is HTTP 200.")
+    Term.(const run $ port_arg $ path_arg $ raw_arg)
 
 (* ---------------- trace-verify ---------------- *)
 
@@ -823,15 +1038,28 @@ let bench_compare_cmd =
 
 (* ---------------- serve / batch ---------------- *)
 
-let run_session ?input ~workers ~cache trace metrics =
+let run_session ?input ?telemetry ~workers ~cache trace metrics =
   let sink, close_sink = sink_of_trace trace false in
-  let reg, finish_metrics = registry_of_metrics metrics in
+  let reg, finish_metrics =
+    registry_of_metrics ~force:(telemetry <> None) metrics
+  in
+  let server = ref None in
+  Fun.protect ~finally:(fun () -> Option.iter Rfloor_obsv.Http.stop !server)
+  @@ fun () ->
   Fun.protect ~finally:close_sink @@ fun () ->
   Fun.protect ~finally:finish_metrics @@ fun () ->
   let tracer = Rfloor_trace.create ~sink:(tee_metrics_sink reg sink) () in
+  (* the session hands us its statusz thunk once the pool exists; only
+     then can the endpoint go up *)
+  let on_status =
+    Option.map
+      (fun port statusz -> server := Some (start_telemetry ~reg ~statusz port))
+      telemetry
+  in
+  let warn d = Format.eprintf "%a@." pp_diag d in
   let session ic =
     Rfloor_service.Session.run ~workers ~cache_capacity:cache ~metrics:reg
-      ~trace:tracer
+      ~trace:tracer ~warn ?on_status
       ~devices:(fun n -> List.assoc_opt n builtin_devices)
       ~designs:(fun n -> List.assoc_opt n builtin_designs)
       ic stdout
@@ -860,8 +1088,9 @@ let cache_capacity_arg =
         ~doc:"Solution cache capacity, in canonical-key entries (LRU).")
 
 let serve_cmd =
-  let run workers cache trace metrics =
-    run_session ~workers:(max 1 workers) ~cache:(max 1 cache) trace metrics
+  let run workers cache trace metrics telemetry =
+    run_session ?telemetry ~workers:(max 1 workers) ~cache:(max 1 cache) trace
+      metrics
   in
   Cmd.v
     (Cmd.info "serve"
@@ -871,7 +1100,9 @@ let serve_cmd =
           stats, shutdown), one JSON response per output line, result \
           frames in submission order.  Repeated equivalent instances are \
           answered from the canonical-key solution cache.")
-    Term.(const run $ pool_workers_arg $ cache_capacity_arg $ trace_arg $ metrics_arg)
+    Term.(
+      const run $ pool_workers_arg $ cache_capacity_arg $ trace_arg
+      $ metrics_arg $ telemetry_arg)
 
 let batch_cmd =
   let file_arg =
@@ -880,9 +1111,9 @@ let batch_cmd =
       & pos 0 (some file) None
       & info [] ~docv:"FILE" ~doc:"NDJSON request file, one frame per line.")
   in
-  let run file workers cache trace metrics =
-    run_session ~input:file ~workers:(max 1 workers) ~cache:(max 1 cache) trace
-      metrics
+  let run file workers cache trace metrics telemetry =
+    run_session ~input:file ?telemetry ~workers:(max 1 workers)
+      ~cache:(max 1 cache) trace metrics
   in
   Cmd.v
     (Cmd.info "batch"
@@ -892,7 +1123,7 @@ let batch_cmd =
           scripted from FILE.")
     Term.(
       const run $ file_arg $ pool_workers_arg $ cache_capacity_arg $ trace_arg
-      $ metrics_arg)
+      $ metrics_arg $ telemetry_arg)
 
 (* ---------------- sites ---------------- *)
 
@@ -918,8 +1149,9 @@ let main_cmd =
     (Cmd.info "rfloor" ~version:"1.0.0" ~doc)
     [
       partition_cmd; solve_cmd; feasibility_cmd; export_cmd; lint_cmd;
-      relocate_cmd; sites_cmd; trace_validate_cmd; trace_verify_cmd;
-      concheck_cmd; bench_compare_cmd; serve_cmd; batch_cmd;
+      relocate_cmd; sites_cmd; trace_validate_cmd; trace_export_cmd;
+      trace_report_cmd; trace_verify_cmd; concheck_cmd; bench_compare_cmd;
+      serve_cmd; batch_cmd; scrape_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

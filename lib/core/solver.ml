@@ -624,7 +624,7 @@ let run_portfolio options trace part spec ~add_diags ~diags members =
   in
   (* budgets are clamped on the main domain, before spawning: member
      threads must not touch the shared diagnostics accumulator *)
-  let member_thunk _i s =
+  let member_thunk i s =
     let label = Strategy.to_string s in
     let budget =
       effective_budget ~global ~member:(Strategy.budget s) ~label ~add_diags
@@ -633,9 +633,14 @@ let run_portfolio options trace part spec ~add_diags ~diags members =
       Rfloor_portfolio.m_label = label;
       m_run =
         (fun ~cancelled ->
-          (* fresh null-sink tracer per member: concurrent members must
-             not interleave spans on the caller's sink *)
-          let mtrace = T.create () in
+          (* per-member tracer: worker ids shifted by a per-member base
+             so concurrent members share the caller's sink without
+             colliding span nesting (null parent sink -> plain null-sink
+             tracer, the old behaviour).  The opening Restart event maps
+             the worker-id range back to the member label for progress
+             streaming and timeline export. *)
+          let mtrace = T.subtracer trace ~worker_base:((i + 1) * 1000) in
+          if T.enabled trace then T.restart mtrace ("member:" ^ label);
           let mdiags = ref [] in
           let madd ds = mdiags := !mdiags @ ds in
           match s with

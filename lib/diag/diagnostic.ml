@@ -18,6 +18,7 @@ type location =
   | Schedule of string
   | Trace of int
   | Strategy of string
+  | Http of string
 
 type t = {
   code : string;
@@ -52,6 +53,7 @@ let location_to_string = function
   | Schedule s -> Printf.sprintf "schedule(%s)" s
   | Trace l -> Printf.sprintf "trace line %d" l
   | Strategy s -> Printf.sprintf "strategy(%s)" s
+  | Http h -> Printf.sprintf "http(%s)" h
 
 let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
 
@@ -105,6 +107,7 @@ let location_to_sexp = function
   | Schedule s -> Printf.sprintf "(schedule %s)" (sexp_string s)
   | Trace l -> Printf.sprintf "(trace %d)" l
   | Strategy s -> Printf.sprintf "(strategy %s)" (sexp_string s)
+  | Http h -> Printf.sprintf "(http %s)" (sexp_string h)
 
 let to_sexp d =
   Printf.sprintf "((code %s) (severity %s) (location %s) (message %s))" d.code
@@ -174,6 +177,9 @@ let all_codes =
     ("RF435", Error, "duplicate Stopped event for one stop reason within a solve segment");
     ("RF501", Warning, "portfolio member budget exceeds the portfolio budget; clamped to the global deadline");
     ("RF502", Error, "strategy string unparsable (expected milp[:W] | milp-ho[:W] | combinatorial | lns[:SEED] | portfolio:[...], optional @SECONDS budget)");
+    ("RF601", Error, "telemetry endpoint unusable (bad --telemetry port, or bind/listen failed)");
+    ("RF602", Warning, "malformed HTTP request on the telemetry endpoint; answered 400 and kept serving");
+    ("RF603", Warning, "progress interval malformed or out of range; clamped/defaulted");
   ]
 
 let describe code =

@@ -31,6 +31,7 @@ type location =
   | Schedule of string  (** an interleaving-explorer scenario, by name *)
   | Trace of int  (** a JSONL trace line, 1-based *)
   | Strategy of string  (** a solver strategy, by its string form *)
+  | Http of string  (** telemetry HTTP plane: a port, path or peer *)
 
 type t = {
   code : string;

@@ -126,7 +126,10 @@ let solve ?(options = default_options) ?(worker = 0) ?incumbent lp =
     match Lp.validate ~eps:1e-5 lp x with
     | Ok () ->
       inc_x := Some (Array.copy x);
-      inc_key := key (Lp.objective_value lp x)
+      inc_key := key (Lp.objective_value lp x);
+      (* announce the installed warm start so progress consumers have
+         an incumbent from node zero *)
+      Rfloor_trace.incumbent trace ~worker ~objective:(unkey !inc_key) ~node:0
     | Error msg ->
       Rfloor_trace.warn trace ~worker
         (Printf.sprintf "warm incumbent rejected: %s" msg)));
@@ -186,8 +189,8 @@ let solve ?(options = default_options) ?(worker = 0) ?incumbent lp =
       else if node.n_bound >= cutoff () then () (* pruned by bound *)
       else begin
         incr nodes;
-        Rfloor_trace.node_explored trace ~worker ~depth:node.n_depth
-          ~bound:(unkey node.n_bound);
+        Rfloor_trace.node_explored trace ~iters:!iters ~worker
+          ~depth:node.n_depth ~bound:(unkey node.n_bound);
         let t_lp = if mlive then Unix.gettimeofday () else 0. in
         let warm = if options.warm_lp then node.n_basis else None in
         let solve_node () =

@@ -154,7 +154,12 @@ let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
   | None -> ()
   | Some x -> (
     match Lp.validate ~eps:1e-5 lp x with
-    | Ok () -> ignore (improve (key (Lp.objective_value lp x)) (Array.copy x))
+    | Ok () ->
+      let k = key (Lp.objective_value lp x) in
+      if improve k (Array.copy x) then
+        (* announce the installed warm start so progress consumers have
+           an incumbent from node zero *)
+        Rfloor_trace.incumbent trace ~worker:0 ~objective:(unkey k) ~node:0
     | Error msg ->
       Rfloor_trace.warn trace ~worker:0
         (Printf.sprintf "warm incumbent rejected: %s" msg)));
@@ -245,8 +250,8 @@ let solve ?(options = Bb.default_options) ?(workers = 1) ?incumbent lp =
           else begin
             ignore (Sync.Atomic.fetch_and_add nodes 1);
             local_nodes.(w) <- local_nodes.(w) + 1;
-            Rfloor_trace.node_explored trace ~worker:w ~depth:node.t_depth
-              ~bound:(unkey node.t_bound);
+            Rfloor_trace.node_explored trace ~iters:local_iters.(w) ~worker:w
+              ~depth:node.t_depth ~bound:(unkey node.t_bound);
             let t_lp = if mlive then Unix.gettimeofday () else 0. in
             let warm = if options.Bb.warm_lp then node.t_basis else None in
             let solve_node () =

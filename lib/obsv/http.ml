@@ -1,0 +1,316 @@
+(* A deliberately minimal HTTP/1.1 server for the telemetry plane:
+   GET /metrics, /healthz, /statusz, everything else 404.  One accept
+   domain, connections handled serially (scrapes are rare and cheap),
+   every response Connection: close.  A malformed request is answered
+   400 with the rendered RF602 diagnostic as the body and counted — the
+   server never dies on input. *)
+
+module Sync = Rfloor_sync
+module D = Rfloor_diag.Diagnostic
+module R = Rfloor_metrics.Registry
+
+let request_limit = 8192
+let io_timeout = 5.0
+
+type handlers = {
+  h_metrics : unit -> string;
+  h_statusz : unit -> string;
+}
+
+type t = {
+  srv_fd : Unix.file_descr;
+  srv_port : int;
+  srv_stop : bool Sync.Atomic.t;
+  srv_domain : unit Stdlib.Domain.t;
+}
+
+let port t = t.srv_port
+
+(* ------------------------------------------------------------------ *)
+(* responses *)
+
+let reason = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 413 -> "Content Too Large"
+  | _ -> "Internal Server Error"
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | 0 -> ()
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let respond fd ~code ~content_type body =
+  write_all fd
+    (Printf.sprintf
+       "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+       code (reason code) content_type (String.length body) body)
+
+(* ------------------------------------------------------------------ *)
+(* request parsing *)
+
+(* Reads until the end of the header block, a hard byte cap, or a
+   timeout; we never care about a body (GET only). *)
+let read_request fd =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 512 in
+  let header_end b =
+    let s = Buffer.contents b in
+    let rec find i =
+      if i + 3 >= String.length s then None
+      else if s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
+      then Some i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let rec go () =
+    match header_end buf with
+    | Some _ -> Ok (Buffer.contents buf)
+    | None ->
+      if Buffer.length buf > request_limit then Error `Too_large
+      else (
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> if Buffer.length buf = 0 then Error `Closed else Error `Truncated
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          Error `Timeout
+        | exception Unix.Unix_error _ -> Error `Closed)
+  in
+  go ()
+
+type parsed = { p_method : string; p_path : string }
+
+let parse_request_line text =
+  let line =
+    match String.index_opt text '\r' with
+    | Some i -> String.sub text 0 i
+    | None -> text
+  in
+  match String.split_on_char ' ' line with
+  | [ m; path; version ]
+    when (version = "HTTP/1.1" || version = "HTTP/1.0")
+         && m <> "" && String.length path > 0 && path.[0] = '/' ->
+    Ok { p_method = m; p_path = path }
+  | _ -> Error (Printf.sprintf "unparsable request line %S" (String.escaped line))
+
+(* ------------------------------------------------------------------ *)
+(* the server *)
+
+let handle handlers ~on_bad fd =
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO io_timeout;
+  Unix.setsockopt_float fd Unix.SO_SNDTIMEO io_timeout;
+  let bad msg =
+    let d =
+      D.diagf ~code:"RF602" D.Warning (D.Http "telemetry")
+        "malformed HTTP request: %s" msg
+    in
+    on_bad d;
+    respond fd ~code:400 ~content_type:"text/plain; charset=utf-8"
+      (Format.asprintf "%a@." D.pp d)
+  in
+  match read_request fd with
+  | Error `Closed -> ()
+  | Error `Too_large -> bad (Printf.sprintf "headers beyond %d bytes" request_limit)
+  | Error `Truncated -> bad "connection closed mid-request"
+  | Error `Timeout -> bad "request not completed in time"
+  | Ok text -> (
+    match parse_request_line text with
+    | Error msg -> bad msg
+    | Ok { p_method; p_path } ->
+      if p_method <> "GET" then
+        respond fd ~code:405 ~content_type:"text/plain; charset=utf-8"
+          (Printf.sprintf "method %s not allowed; this is a GET-only plane\n"
+             p_method)
+      else (
+        (* ignore any query string: /metrics?x=1 is /metrics *)
+        let path =
+          match String.index_opt p_path '?' with
+          | Some i -> String.sub p_path 0 i
+          | None -> p_path
+        in
+        match path with
+        | "/healthz" ->
+          respond fd ~code:200 ~content_type:"text/plain; charset=utf-8" "ok\n"
+        | "/metrics" ->
+          respond fd ~code:200
+            ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+            (handlers.h_metrics ())
+        | "/statusz" ->
+          respond fd ~code:200 ~content_type:"application/json"
+            (handlers.h_statusz ())
+        | _ ->
+          respond fd ~code:404 ~content_type:"text/plain; charset=utf-8"
+            (Printf.sprintf "no handler for %s (try /metrics, /healthz, /statusz)\n"
+               path)))
+
+let valid_port p = p >= 0 && p <= 65535
+
+let start ?(registry = R.null) ~port:requested handlers =
+  let err fmt =
+    Format.kasprintf
+      (fun m ->
+        Error
+          (D.diagf ~code:"RF601" D.Error (D.Http (string_of_int requested)) "%s" m))
+      fmt
+  in
+  if not (valid_port requested) then
+    err "telemetry port %d out of range (0..65535; 0 picks a free port)" requested
+  else
+    match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+    | exception Unix.Unix_error (e, _, _) ->
+      err "cannot create telemetry socket: %s" (Unix.error_message e)
+    | fd -> (
+      match
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, requested));
+        Unix.listen fd 16
+      with
+      | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with _ -> ());
+        err "cannot bind telemetry port %d: %s" requested (Unix.error_message e)
+      | () ->
+        let actual =
+          match Unix.getsockname fd with
+          | Unix.ADDR_INET (_, p) -> p
+          | _ -> requested
+        in
+        let m_requests =
+          R.counter registry ~help:"Telemetry HTTP requests served"
+            "rfloor_telemetry_requests_total"
+        in
+        let m_bad =
+          R.counter registry
+            ~help:"Malformed telemetry HTTP requests answered 400 (RF602)"
+            "rfloor_telemetry_bad_requests_total"
+        in
+        let srv_stop = Sync.Atomic.make ~name:"obsv.http.stop" false in
+        let srv_domain =
+          Sync.Domain.spawn ~name:"obsv.http" (fun () ->
+              let rec loop () =
+                if not (Sync.Atomic.get srv_stop) then (
+                  match Unix.accept fd with
+                  | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+                  | exception Unix.Unix_error _ ->
+                    if not (Sync.Atomic.get srv_stop) then loop ()
+                  | conn, _ ->
+                    if Sync.Atomic.get srv_stop then (
+                      (try Unix.close conn with _ -> ()))
+                    else begin
+                      R.Counter.incr m_requests;
+                      (try
+                         handle handlers
+                           ~on_bad:(fun _ -> R.Counter.incr m_bad)
+                           conn
+                       with _ -> ());
+                      (try Unix.close conn with _ -> ());
+                      loop ()
+                    end)
+              in
+              loop ())
+        in
+        Ok { srv_fd = fd; srv_port = actual; srv_stop; srv_domain })
+
+let stop t =
+  Sync.Atomic.set t.srv_stop true;
+  (* unblock the accept with a throwaway connection to ourselves *)
+  (try
+     let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+     (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, t.srv_port))
+      with _ -> ());
+     try Unix.close fd with _ -> ()
+   with _ -> ());
+  Sync.Domain.join t.srv_domain;
+  try Unix.close t.srv_fd with _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* a matching client, so the shell gate needs no curl *)
+
+let with_connection ~port f =
+  match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "socket: %s" (Unix.error_message e))
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with _ -> ())
+      (fun () ->
+        match
+          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+        with
+        | exception Unix.Unix_error (e, _, _) ->
+          Error
+            (Printf.sprintf "connect 127.0.0.1:%d: %s" port
+               (Unix.error_message e))
+        | () ->
+          Unix.setsockopt_float fd Unix.SO_RCVTIMEO io_timeout;
+          Unix.setsockopt_float fd Unix.SO_SNDTIMEO io_timeout;
+          f fd)
+
+let read_response fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> Ok (Buffer.contents buf)
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      Error "timed out reading the response"
+    | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "read: %s" (Unix.error_message e))
+  in
+  go ()
+
+let request_raw ~port bytes =
+  with_connection ~port (fun fd ->
+      write_all fd bytes;
+      read_response fd)
+
+let split_response text =
+  let rec find i =
+    if i + 3 >= String.length text then None
+    else if
+      text.[i] = '\r' && text.[i + 1] = '\n' && text.[i + 2] = '\r'
+      && text.[i + 3] = '\n'
+    then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> Error "response has no header/body separator"
+  | Some i ->
+    let head = String.sub text 0 i in
+    let body = String.sub text (i + 4) (String.length text - i - 4) in
+    let status_line =
+      match String.index_opt head '\r' with
+      | Some j -> String.sub head 0 j
+      | None -> head
+    in
+    (match String.split_on_char ' ' status_line with
+    | version :: code :: _
+      when String.length version >= 5 && String.sub version 0 5 = "HTTP/" -> (
+      match int_of_string_opt code with
+      | Some c -> Ok (c, body)
+      | None -> Error (Printf.sprintf "unparsable status line %S" status_line))
+    | _ -> Error (Printf.sprintf "unparsable status line %S" status_line))
+
+let get ~port path =
+  match
+    request_raw ~port
+      (Printf.sprintf "GET %s HTTP/1.1\r\nHost: 127.0.0.1:%d\r\nConnection: close\r\n\r\n"
+         path port)
+  with
+  | Error _ as e -> e
+  | Ok text -> split_response text

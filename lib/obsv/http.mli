@@ -1,0 +1,49 @@
+(** The telemetry HTTP plane.
+
+    A minimal, dependency-free HTTP/1.1 server bound to
+    [127.0.0.1:PORT] (port [0] picks a free one; read it back with
+    {!port}).  It serves exactly three GET routes — [/metrics]
+    (Prometheus text), [/healthz], [/statusz] (JSON) — from one accept
+    domain, handling connections serially; a telemetry scrape is rare
+    and cheap, and serial handling keeps the server trivially free of
+    connection races.
+
+    Robustness contract: no input kills the server.  A request that is
+    not parsable HTTP is answered [400] with the rendered RF602
+    diagnostic as the body and counted in
+    [rfloor_telemetry_bad_requests_total]; unknown paths get [404],
+    non-GET methods [405].
+
+    A matching client ({!get}, {!request_raw}) lives here too so shell
+    gates and tests need no [curl]. *)
+
+type t
+
+type handlers = {
+  h_metrics : unit -> string;  (** body for [GET /metrics] *)
+  h_statusz : unit -> string;  (** body for [GET /statusz] *)
+}
+
+val start :
+  ?registry:Rfloor_metrics.Registry.t ->
+  port:int ->
+  handlers ->
+  (t, Rfloor_diag.Diagnostic.t) result
+(** Binds, listens and spawns the accept domain.  A port outside
+    [0..65535] or a bind/listen failure is an RF601 error. *)
+
+val port : t -> int
+(** The bound port (the ephemeral one when [start] was given 0). *)
+
+val stop : t -> unit
+(** Stops accepting, joins the accept domain, closes the socket. *)
+
+(** {1 Client} *)
+
+val get : port:int -> string -> (int * string, string) result
+(** [get ~port path] is [(status, body)] for a well-formed GET against
+    the loopback server. *)
+
+val request_raw : port:int -> string -> (string, string) result
+(** Writes [bytes] verbatim and returns the raw response text — for
+    poking the server with deliberately malformed requests. *)

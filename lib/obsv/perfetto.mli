@@ -1,0 +1,28 @@
+(** Chrome/Perfetto timeline export.
+
+    Converts an {!Rfloor_trace} event stream into the trace-event JSON
+    object format that [chrome://tracing] and [ui.perfetto.dev] load
+    directly: spans become ["B"]/["E"] duration slices, node
+    exploration becomes a per-worker cumulative counter track, and
+    everything else becomes thread-scoped instants.  Workers map to
+    threads of one ["rfloor"] process; portfolio members (worker ids
+    striped by {!Rfloor_trace.subtracer}) are named tracks carrying
+    their member label.  Timestamps are microseconds. *)
+
+val of_events : Rfloor_trace.Event.t list -> string
+(** The full document ([{"traceEvents": [...]}]), newline-terminated. *)
+
+val of_jsonl : string -> (string, string) result
+(** Converts a JSONL trace (the [--trace jsonl:FILE] output; blank
+    lines ignored) — errors name the offending line. *)
+
+val validate : string -> (unit, string) result
+(** Checks a purported trace-event document: parses as JSON, has a
+    [traceEvents] array, every event carries the fields its [ph]
+    needs, and ["B"]/["E"] slices nest and balance per thread (the
+    same balance rule the JSONL validator enforces). *)
+
+val report : ?critical_path:bool -> Rfloor_trace.Event.t list -> string
+(** Phase-dominance summary (self/inclusive seconds per phase, sorted
+    by self time); with [~critical_path:true], also the greedy
+    biggest-child descent through the busiest worker's span tree. *)

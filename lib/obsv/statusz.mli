@@ -1,0 +1,34 @@
+(** The [/statusz] document ([rfloor-statusz/1]): a one-object JSON
+    snapshot of what the process is doing — uptime and build version,
+    an optional pool section (per-worker state, queue depths, cache
+    counters), and the in-flight jobs from a {!Progress.board}.
+
+    Rendering takes plain values so this library stays independent of
+    [lib/service]; the service layer builds a {!pool_view} from its
+    own stats and passes it in. *)
+
+val version : string
+(** ["rfloor-statusz/1"]. *)
+
+type pool_view = {
+  pv_workers : string list;
+      (** per-worker state, e.g. ["idle"] or ["job 3"] *)
+  pv_queued : int;
+  pv_running : int;
+  pv_finished : int;
+  pv_cache_hits : int;
+  pv_cache_misses : int;
+  pv_cache_size : int;
+}
+
+val render :
+  ?pool:pool_view ->
+  ?jobs:Progress.snapshot list ->
+  ?cache_json:Rfloor_metrics.Json.t option ->
+  unit ->
+  string
+(** The document, newline-terminated compact JSON. *)
+
+val validate : string -> (unit, string) result
+(** Checks a purported statusz body: parses, right version tag,
+    numeric uptime, well-formed jobs array. *)

@@ -40,6 +40,7 @@ type t = {
   mutable stop : bool;
   mutable domains : unit Domain.t list;
   workers : int;
+  worker_state : string array;  (* per-worker, under [mu] *)
   cache : Cache.t;
   trace : T.t;
   metrics : R.t;
@@ -223,7 +224,10 @@ let pop_best t =
     | None -> ());
     best
 
-let finish t job result waited =
+(* The worker goes back to "idle" in the same critical section that
+   publishes the result: an awaiter woken by the broadcast must never
+   read a stale "job N" for a finished job. *)
+let finish t ~w job result waited =
   (match result with
   | Completed _ -> R.Counter.incr t.m_jobs_completed
   | Stopped _ -> R.Counter.incr t.m_jobs_stopped
@@ -231,6 +235,7 @@ let finish t job result waited =
   R.Histogram.observe t.m_seconds waited;
   locked t (fun () ->
       job.state <- Done result;
+      t.worker_state.(w) <- "idle";
       bump t.finished;
       Sync.Condition.broadcast t.cond)
 
@@ -253,7 +258,7 @@ let run t w job =
     | Stopped (s, r) -> Stopped ({ s with waited }, r)
     | Failed _ -> result
   in
-  finish t job result waited
+  finish t ~w job result waited
 
 let rec worker_loop t w =
   Sync.Mutex.lock t.mu;
@@ -261,6 +266,7 @@ let rec worker_loop t w =
     match pop_best t with
     | Some job ->
       job.state <- Running;
+      t.worker_state.(w) <- Printf.sprintf "job %d" job.id;
       Some job
     | None ->
       if t.stop then None
@@ -270,6 +276,7 @@ let rec worker_loop t w =
       end
   in
   let job = claim () in
+  if job = None then t.worker_state.(w) <- "stopped";
   Sync.Mutex.unlock t.mu;
   match job with
   | None -> ()
@@ -298,6 +305,7 @@ let create ?(workers = 1) ?(cache_capacity = 128) ?(metrics = R.null)
       stop = false;
       domains = [];
       workers;
+      worker_state = Array.make workers "idle";
       cache = Cache.create ~capacity:cache_capacity ();
       trace;
       metrics;
@@ -416,6 +424,8 @@ let stats t =
         s_cache_misses = Sync.Shared.get t.cache_misses;
         s_warm_starts = Sync.Shared.get t.warm_starts;
       })
+
+let worker_states t = locked t (fun () -> Array.to_list t.worker_state)
 
 let shutdown t =
   let domains =

@@ -94,6 +94,11 @@ type stats = {
 
 val stats : t -> stats
 
+val worker_states : t -> string list
+(** Per-worker state, index order: ["idle"], ["job N"] while a claimed
+    job runs, ["stopped"] once the worker has exited its loop.  For the
+    telemetry [/statusz] endpoint. *)
+
 val shutdown : t -> unit
 (** Stops accepting submissions, drains the queue (queued jobs still
     run — cancel them first for a fast exit), and joins the worker

@@ -19,6 +19,7 @@ type solve_req = {
   sq_priority : int;
   sq_deadline : float option;
   sq_workers : int;
+  sq_progress : float option;  (* requested interval_s, unclamped *)
 }
 
 type request = Solve of solve_req | Cancel of string | Stats | Shutdown
@@ -86,6 +87,16 @@ let parse_solve json =
   let* sq_priority = opt_int ~default:0 "priority" json in
   let* sq_deadline = opt_num "deadline" json in
   let* sq_workers = opt_int ~default:1 "workers" json in
+  let* sq_progress =
+    match J.member "progress" json with
+    | None | Some J.Null -> Ok None
+    | Some (J.Obj _ as p) -> (
+      match J.member "interval_s" p with
+      | Some (J.Num n) -> Ok (Some n)
+      | Some _ -> Error "field \"progress.interval_s\" must be a number"
+      | None -> Error "field \"progress\" needs an \"interval_s\" member")
+    | Some _ -> Error "field \"progress\" must be an object"
+  in
   Ok
     (Solve
        {
@@ -99,6 +110,7 @@ let parse_solve json =
          sq_priority;
          sq_deadline;
          sq_workers;
+         sq_progress;
        })
 
 let parse_request line =
@@ -185,6 +197,36 @@ let result_frame ~id result =
     | Pool.Stopped (s, reason) ->
       ("outcome", J.Str "stopped") :: ("reason", J.Str reason) :: solved_fields s
     | Pool.Failed msg -> [ ("outcome", J.Str "failed"); ("error", J.Str msg) ]))
+
+let progress_frame ~id (s : Rfloor_obsv.Progress.snapshot) =
+  let module P = Rfloor_obsv.Progress in
+  frame
+    ([
+       ("type", J.Str "progress");
+       ("id", J.Str id);
+       ("elapsed", num s.P.p_elapsed);
+       ("nodes", J.Num (float_of_int s.P.p_nodes));
+       ("lp_iterations", J.Num (float_of_int s.P.p_lp_iterations));
+     ]
+    @ opt_field "incumbent" (Option.map num s.P.p_incumbent)
+    @ opt_field "bound" (Option.map num s.P.p_bound)
+    @ opt_field "gap" (Option.map num s.P.p_gap)
+    @
+    match s.P.p_members with
+    | [] -> []
+    | members ->
+      [
+        ( "members",
+          J.Arr
+            (List.map
+               (fun (label, nodes) ->
+                 J.Obj
+                   [
+                     ("label", J.Str label);
+                     ("nodes", J.Num (float_of_int nodes));
+                   ])
+               members) );
+      ])
 
 let ack_frame ~op ~id ~ok =
   frame

@@ -7,13 +7,16 @@
     - [{"op":"solve","id":ID, "device":NAME | "device_text":TEXT,
        "design":NAME | "design_text":TEXT, "engine":"milp"|"milp-ho",
        "objective":"lex"|"feasibility", "time":SECONDS,
-       "priority":INT, "deadline":SECONDS, "workers":INT}]
+       "priority":INT, "deadline":SECONDS, "workers":INT,
+       "progress":{"interval_s":SECONDS}}]
     - [{"op":"cancel","id":ID}]
     - [{"op":"stats"}]
     - [{"op":"shutdown"}]
 
     Responses: [type] is ["result"] (per solve, in submission order),
-    ["ack"] (per cancel), ["stats"], or ["error"]. *)
+    ["progress"] (streamed for solves that opted in, always before the
+    job's result frame), ["ack"] (per cancel), ["stats"], or
+    ["error"]. *)
 
 type source_ref =
   | Builtin of string  (** a name the host resolves (e.g. ["mini"]) *)
@@ -33,6 +36,9 @@ type solve_req = {
   sq_priority : int;
   sq_deadline : float option;  (** cooperative-cancel deadline, seconds *)
   sq_workers : int;
+  sq_progress : float option;
+      (** requested progress interval ([{"progress":{"interval_s":N}}]),
+          unclamped — the session clamps it (RF603) *)
 }
 
 type request = Solve of solve_req | Cancel of string | Stats | Shutdown
@@ -40,6 +46,12 @@ type request = Solve of solve_req | Cancel of string | Stats | Shutdown
 val parse_request : string -> (request, string) result
 
 val result_frame : id:string -> Pool.result -> string
+
+val progress_frame : id:string -> Rfloor_obsv.Progress.snapshot -> string
+(** One streamed [type:"progress"] frame: elapsed, nodes,
+    lp_iterations, then incumbent / bound / gap when known and the
+    portfolio-member node attribution when the job runs a portfolio. *)
+
 val ack_frame : op:string -> id:string -> ok:bool -> string
 val stats_frame : Pool.stats -> string
 val error_frame : ?id:string -> string -> string

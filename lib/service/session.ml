@@ -1,6 +1,8 @@
 module P = Protocol
 module Sync = Rfloor_sync
 module Solver = Rfloor.Solver
+module Progress = Rfloor_obsv.Progress
+module Statusz = Rfloor_obsv.Statusz
 
 (* The response queue decouples reading from answering: the reader
    thread parses and submits without ever blocking on a solve, so a
@@ -8,9 +10,21 @@ module Solver = Rfloor.Solver
    The responder domain prints one frame per item strictly in
    submission order — [Job] items block on the pool — which makes a
    scripted session's output deterministic (the serve-smoke gate
-   depends on exactly that). *)
+   depends on exactly that).
+
+   Progress frames are the one exception to responder-only output: the
+   shared ticker domain writes them directly, so every write goes
+   through one output mutex.  A job's entry is marked dead under that
+   same mutex immediately before its result frame is printed, so no
+   progress frame for a job can follow its result frame. *)
+
+type progress_ctx = {
+  pc_entry : Progress.entry;
+  pc_sub : (Progress.Ticker.t * int) option;
+}
+
 type item =
-  | Job of string * int  (* request id, pool ticket *)
+  | Job of string * int * progress_ctx option  (* request id, pool ticket *)
   | Ready of string  (* pre-rendered frame *)
   | Stats_item  (* rendered at dequeue time, i.e. after prior jobs *)
   | Quit
@@ -60,7 +74,15 @@ let resolve_spec ~designs = function
 
 let ( let* ) = Result.bind
 
-let submit_solve pool ~metrics ~devices ~designs (sq : P.solve_req) =
+let strategy_of_req (sq : P.solve_req) =
+  match sq.P.sq_strategy with
+  | Some st -> st
+  | None ->
+    Solver.Strategy.milp ~workers:sq.P.sq_workers
+      ~engine:(match sq.P.sq_engine with `O -> Solver.O | `Ho -> Solver.Ho None)
+      ()
+
+let submit_solve pool ~metrics ?trace ~devices ~designs (sq : P.solve_req) =
   let* grid = resolve_grid ~devices sq.P.sq_device in
   let* spec = resolve_spec ~designs sq.P.sq_design in
   let* part =
@@ -69,30 +91,50 @@ let submit_solve pool ~metrics ~devices ~designs (sq : P.solve_req) =
     | Error d -> Error (diag_str d)
   in
   let options =
-    let strategy =
-      match sq.P.sq_strategy with
-      | Some st -> st
-      | None ->
-        Solver.Strategy.milp ~workers:sq.P.sq_workers
-          ~engine:
-            (match sq.P.sq_engine with `O -> Solver.O | `Ho -> Solver.Ho None)
-          ()
-    in
-    Solver.Options.make ~strategy
+    Solver.Options.make ~strategy:(strategy_of_req sq)
       ~objective_mode:
         (match sq.P.sq_objective with
         | `Lex -> Solver.Lexicographic
         | `Feasibility -> Solver.Feasibility_only)
-      ?time_limit:sq.P.sq_time ~metrics ()
+      ?time_limit:sq.P.sq_time ?trace ~metrics ()
   in
   Ok
     (Pool.submit pool ~priority:sq.P.sq_priority ?deadline:sq.P.sq_deadline
        ~options part spec)
 
+let pool_view pool =
+  let st = Pool.stats pool in
+  {
+    Statusz.pv_workers = Pool.worker_states pool;
+    pv_queued = st.Pool.s_queued;
+    pv_running = st.Pool.s_running;
+    pv_finished = st.Pool.s_finished;
+    pv_cache_hits = st.Pool.s_cache_hits;
+    pv_cache_misses = st.Pool.s_cache_misses;
+    pv_cache_size = st.Pool.s_cache_entries;
+  }
+
 let run ?(workers = 1) ?(cache_capacity = 128)
     ?(metrics = Rfloor_metrics.Registry.null) ?(trace = Rfloor_trace.disabled)
-    ~devices ~designs ic oc =
+    ?(warn = fun (_ : Rfloor_diag.Diagnostic.t) -> ()) ?on_status ~devices
+    ~designs ic oc =
   let pool = Pool.create ~workers ~cache_capacity ~metrics ~trace () in
+  let board = Progress.create_board () in
+  (* entries are folded for every job when a statusz consumer exists
+     (so /statusz can list in-flight work), otherwise only for jobs
+     that opted into progress frames *)
+  let statusz_on = on_status <> None in
+  (match on_status with
+  | Some f ->
+    f (fun () -> Statusz.render ~pool:(pool_view pool) ~jobs:(Progress.active board) ())
+  | None -> ());
+  let out_mu = Sync.Mutex.create ~name:"session.out.mu" () in
+  let write_frame frame =
+    output_string oc frame;
+    output_char oc '\n';
+    flush oc
+  in
+  let print_frame frame = Sync.Mutex.protect out_mu (fun () -> write_frame frame) in
   let responses =
     { mu = Sync.Mutex.create ~name:"session.responses.mu" ();
       cond = Sync.Condition.create ~name:"session.responses.cond" ();
@@ -104,23 +146,63 @@ let run ?(workers = 1) ?(cache_capacity = 128)
           match pop responses with
           | Quit -> ()
           | Ready frame ->
-            output_string oc frame;
-            output_char oc '\n';
-            flush oc;
+            print_frame frame;
             loop ()
           | Stats_item ->
-            output_string oc (P.stats_frame (Pool.stats pool));
-            output_char oc '\n';
-            flush oc;
+            print_frame (P.stats_frame (Pool.stats pool));
             loop ()
-          | Job (id, ticket) ->
+          | Job (id, ticket, prog) ->
             let result = Pool.await pool ticket in
-            output_string oc (P.result_frame ~id result);
-            output_char oc '\n';
-            flush oc;
+            (match prog with
+            | None -> print_frame (P.result_frame ~id result)
+            | Some pc ->
+              (* kill the entry and print the result under one lock
+                 hold: afterwards no progress frame for this id can
+                 appear *)
+              Sync.Mutex.protect out_mu (fun () ->
+                  Progress.finish pc.pc_entry;
+                  write_frame (P.result_frame ~id result));
+              Progress.remove board pc.pc_entry;
+              Option.iter
+                (fun (tk, sid) -> Progress.Ticker.unsubscribe tk sid)
+                pc.pc_sub);
             loop ()
         in
         loop ())
+  in
+  (* one ticker domain for the whole session, spawned only if some job
+     actually asks for progress frames (reader thread only) *)
+  let ticker = ref None in
+  let get_ticker () =
+    match !ticker with
+    | Some tk -> tk
+    | None ->
+      let tk = Progress.Ticker.create () in
+      ticker := Some tk;
+      tk
+  in
+  let instrument (sq : P.solve_req) =
+    if statusz_on || sq.P.sq_progress <> None then
+      Some
+        (Progress.register board ~id:sq.P.sq_id
+           ~strategy:(Solver.Strategy.to_string (strategy_of_req sq)))
+    else None
+  in
+  let subscribe_progress (sq : P.solve_req) entry =
+    match sq.P.sq_progress with
+    | None -> None
+    | Some requested ->
+      let interval, diags = Progress.clamp_interval ~id:sq.P.sq_id requested in
+      List.iter warn diags;
+      let tk = get_ticker () in
+      let id = sq.P.sq_id in
+      let sid =
+        Progress.Ticker.subscribe tk ~interval (fun () ->
+            Sync.Mutex.protect out_mu (fun () ->
+                if Progress.live entry then
+                  write_frame (P.progress_frame ~id (Progress.snapshot entry))))
+      in
+      Some (tk, sid)
   in
   let tickets : (string, int) Hashtbl.t = Hashtbl.create 16 in
   let rec read_loop () =
@@ -151,15 +233,25 @@ let run ?(workers = 1) ?(cache_capacity = 128)
                 (P.error_frame ~id:sq.P.sq_id
                    (Printf.sprintf "duplicate job id %S" sq.P.sq_id)))
          else
-           match submit_solve pool ~metrics ~devices ~designs sq with
+           let entry = instrument sq in
+           let trace = Option.map Progress.sink entry in
+           match submit_solve pool ~metrics ?trace ~devices ~designs sq with
            | Ok ticket ->
              Hashtbl.add tickets sq.P.sq_id ticket;
-             push responses (Job (sq.P.sq_id, ticket))
+             let prog =
+               Option.map
+                 (fun e ->
+                   { pc_entry = e; pc_sub = subscribe_progress sq e })
+                 entry
+             in
+             push responses (Job (sq.P.sq_id, ticket, prog))
            | Error msg ->
+             Option.iter (Progress.remove board) entry;
              push responses (Ready (P.error_frame ~id:sq.P.sq_id msg)));
         read_loop ())
   in
   read_loop ();
   push responses Quit;
   Sync.Domain.join responder;
+  (match !ticker with Some tk -> Progress.Ticker.stop tk | None -> ());
   Pool.shutdown pool

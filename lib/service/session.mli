@@ -7,13 +7,22 @@
     {e responder} domain prints responses strictly in submission order
     (result frames block on their job), making a scripted session's
     output deterministic.  [stats] frames are rendered when reached in
-    that order, i.e. after every earlier job has finished. *)
+    that order, i.e. after every earlier job has finished.
+
+    Jobs that opt in with [{"progress":{"interval_s":N}}] additionally
+    stream [type:"progress"] frames, emitted by one shared
+    {!Rfloor_obsv.Progress.Ticker} domain (no polling thread per job).
+    All output goes through one mutex, and a job's progress entry is
+    killed under that mutex right before its result frame is printed —
+    a progress frame never follows its job's result frame. *)
 
 val run :
   ?workers:int ->
   ?cache_capacity:int ->
   ?metrics:Rfloor_metrics.Registry.t ->
   ?trace:Rfloor_trace.t ->
+  ?warn:(Rfloor_diag.Diagnostic.t -> unit) ->
+  ?on_status:((unit -> string) -> unit) ->
   devices:(string -> Device.Grid.t option) ->
   designs:(string -> Device.Spec.t option) ->
   in_channel ->
@@ -25,4 +34,13 @@ val run :
     passes its builtin tables); inline [device_text]/[design_text] go
     through {!Device.Io}.  [metrics] feeds both the pool's
     [rfloor_service_*] family and each job's solver instrumentation;
-    [trace] receives per-job [Job] spans. *)
+    [trace] receives per-job [Job] spans.
+
+    [warn] receives out-of-band diagnostics (today: RF603 progress
+    interval clamps); default drops them.  [on_status] is called once
+    at startup with a thunk rendering the live [rfloor-statusz/1]
+    document (pool workers/queue/cache plus in-flight jobs) — the CLI
+    hands it to the telemetry HTTP server.  Providing [on_status] also
+    makes every job carry a progress entry, so [/statusz] lists
+    in-flight work even for jobs that did not ask for progress
+    frames. *)

@@ -25,7 +25,7 @@ module Event = struct
   type payload =
     | Span_start of phase
     | Span_end of phase
-    | Node_explored of { depth : int; bound : float }
+    | Node_explored of { depth : int; bound : float; iters : int }
     | Incumbent of { objective : float; node : int }
     | Cut_added of { rounds : int; cuts : int }
     | Steal of { tasks : int }
@@ -75,7 +75,7 @@ module Event = struct
   let pp_payload ppf = function
     | Span_start p -> Format.fprintf ppf "begin %s" (phase_name p)
     | Span_end p -> Format.fprintf ppf "end %s" (phase_name p)
-    | Node_explored { depth; bound } ->
+    | Node_explored { depth; bound; _ } ->
       if Float.is_finite bound then
         Format.fprintf ppf "node depth=%d bound=%.6g" depth bound
       else Format.fprintf ppf "node depth=%d" depth
@@ -122,8 +122,11 @@ module Event = struct
       match e.payload with
       | Span_start p | Span_end p ->
         Printf.sprintf ",\"phase\":\"%s\"" (phase_name p)
-      | Node_explored { depth; bound } ->
-        Printf.sprintf ",\"depth\":%d,\"bound\":%s" depth (json_float bound)
+      | Node_explored { depth; bound; iters } ->
+        if iters > 0 then
+          Printf.sprintf ",\"depth\":%d,\"bound\":%s,\"iters\":%d" depth
+            (json_float bound) iters
+        else Printf.sprintf ",\"depth\":%d,\"bound\":%s" depth (json_float bound)
       | Incumbent { objective; node } ->
         Printf.sprintf ",\"obj\":%s,\"node\":%d" (json_float objective) node
       | Cut_added { rounds; cuts } ->
@@ -317,8 +320,16 @@ module Event = struct
         | "node" ->
           let* depth = int_ "depth" in
           let* bound = num_or_null "bound" in
+          (* [iters] (cumulative per-worker LP iterations) is optional so
+             traces recorded before it existed still parse *)
+          let* iters =
+            match take seen "iters" with
+            | None -> Ok 0
+            | Some _ -> int_ "iters"
+          in
           if depth < 0 then Error "negative depth"
-          else Ok (Node_explored { depth; bound })
+          else if iters < 0 then Error "negative iters"
+          else Ok (Node_explored { depth; bound; iters })
         | "incumbent" ->
           let* objective = num "obj" in
           let* node = int_ "node" in
@@ -682,6 +693,23 @@ let create ?(sink = Null) () =
 let live t = t.t_live
 let enabled t = t.t_live && not (Sink.is_null t.t_sink)
 
+(* A live tracer whose events are forwarded to [parent]'s sink with the
+   worker id shifted by [worker_base], sharing the parent's epoch so the
+   timestamps land on one clock.  Metrics stay private to the child —
+   portfolio members report their own totals.  When the parent has no
+   sink there is nothing to forward to, so this degrades to [create ()]
+   (a plain null-sink live tracer). *)
+let subtracer parent ~worker_base =
+  if not (enabled parent) then create ()
+  else
+    let sink =
+      Sink.of_fn (fun (e : Event.t) ->
+          Sink.send parent.t_sink
+            { e with Event.worker = e.Event.worker + worker_base })
+    in
+    { t_live = true; t_sink = sink; t_epoch = parent.t_epoch;
+      t_m = Metrics.create (); t_gc = Gc.quick_stat () }
+
 let now t =
   if not t.t_live then 0.
   else Int64.to_float (Int64.sub (clock_ns ()) t.t_epoch) *. 1e-9
@@ -714,10 +742,10 @@ let warn t ?(worker = 0) msg =
     if enabled t then send t worker (Event.Warning msg)
   end
 
-let node_explored t ~worker ~depth ~bound =
+let node_explored t ~iters ~worker ~depth ~bound =
   if enabled t then begin
     Metrics.bump_depth t.t_m depth;
-    send t worker (Event.Node_explored { depth; bound })
+    send t worker (Event.Node_explored { depth; bound; iters })
   end
 
 let incumbent t ~worker ~objective ~node =

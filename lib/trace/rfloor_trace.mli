@@ -36,9 +36,12 @@ module Event : sig
   type payload =
     | Span_start of phase
     | Span_end of phase
-    | Node_explored of { depth : int; bound : float }
+    | Node_explored of { depth : int; bound : float; iters : int }
         (** one branch-and-bound node; [bound] is the parent relaxation
-            bound ([nan]/infinite allowed, rendered as [null]) *)
+            bound ([nan]/infinite allowed, rendered as [null]); [iters]
+            is the emitting worker's cumulative simplex-iteration count
+            at that point (0 = unreported; optional on parse so older
+            traces still load) *)
     | Incumbent of { objective : float; node : int }
     | Cut_added of { rounds : int; cuts : int }
     | Steal of { tasks : int }
@@ -198,6 +201,15 @@ val create : ?sink:sink -> unit -> t
     null sink no events are emitted, but metrics still accumulate so
     {!report} stays meaningful. *)
 
+val subtracer : t -> worker_base:int -> t
+(** [subtracer parent ~worker_base] is a live tracer that forwards its
+    events to [parent]'s sink with every worker id shifted by
+    [worker_base], on the parent's clock.  Concurrent sub-solves (e.g.
+    portfolio members) can thus share one sink without colliding worker
+    ids: give member [i] base [(i+1)*1000] and per-worker span nesting
+    stays balanced.  Metrics are private to the child.  If [parent] has
+    no sink this is just {!create}[ ()]. *)
+
 val live : t -> bool
 val enabled : t -> bool
 (** [enabled t] iff events actually reach a sink — the guard to test
@@ -224,10 +236,12 @@ val warn : t -> ?worker:int -> string -> unit
     counter of a live tracer. *)
 
 val node_explored :
-  t -> worker:int -> depth:int -> bound:float -> unit
+  t -> iters:int -> worker:int -> depth:int -> bound:float -> unit
 (** Per-node event + depth histogram.  No-op unless {!enabled} — the
     caller's own node counters remain the source of truth for totals
-    (see {!report}). *)
+    (see {!report}).  [iters] is the worker's cumulative
+    simplex-iteration count (0 when unknown), letting progress
+    consumers report LP work without a second event stream. *)
 
 val incumbent : t -> worker:int -> objective:float -> node:int -> unit
 val cuts_added : t -> worker:int -> rounds:int -> cuts:int -> unit

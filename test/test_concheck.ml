@@ -244,9 +244,9 @@ let bb = T.Event.Branch_bound
 let good_trace =
   [
     { T.Event.at = 0.00; worker = 0; payload = T.Event.Span_start bb };
-    { T.Event.at = 0.01; worker = 0; payload = T.Event.Node_explored { depth = 0; bound = 12.0 } };
-    { T.Event.at = 0.02; worker = 1; payload = T.Event.Node_explored { depth = 1; bound = 11.0 } };
-    { T.Event.at = 0.03; worker = 0; payload = T.Event.Node_explored { depth = 1; bound = 10.5 } };
+    { T.Event.at = 0.01; worker = 0; payload = T.Event.Node_explored { depth = 0; bound = 12.0; iters = 0 } };
+    { T.Event.at = 0.02; worker = 1; payload = T.Event.Node_explored { depth = 1; bound = 11.0; iters = 0 } };
+    { T.Event.at = 0.03; worker = 0; payload = T.Event.Node_explored { depth = 1; bound = 10.5; iters = 0 } };
     { T.Event.at = 0.04; worker = 0; payload = T.Event.Incumbent { objective = 10.0; node = 2 } };
     { T.Event.at = 0.05; worker = 0; payload = T.Event.Steal { tasks = 2 } };
     { T.Event.at = 0.06; worker = 0; payload = T.Event.Incumbent { objective = 8.0; node = 3 } };
@@ -300,7 +300,7 @@ let test_trace_verify_rejects_bouncing_incumbent () =
 
 let test_trace_verify_rejects_conjured_nodes () =
   let node at depth =
-    { T.Event.at; worker = 0; payload = T.Event.Node_explored { depth; bound = 1.0 } }
+    { T.Event.at; worker = 0; payload = T.Event.Node_explored { depth; bound = 1.0; iters = 0 } }
   in
   expect_code "depth-1 nodes without parents" "RF434"
     (jsonl

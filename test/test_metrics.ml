@@ -152,9 +152,9 @@ let test_trace_sink_fold () =
   T.span tracer E.Build (fun () -> ());
   T.span tracer E.Root_lp (fun () -> ());
   for i = 1 to 5 do
-    T.node_explored tracer ~worker:0 ~depth:i ~bound:1.
+    T.node_explored tracer ~iters:0 ~worker:0 ~depth:i ~bound:1.
   done;
-  T.node_explored tracer ~worker:1 ~depth:1 ~bound:2.;
+  T.node_explored tracer ~iters:0 ~worker:1 ~depth:1 ~bound:2.;
   T.incumbent tracer ~worker:0 ~objective:42. ~node:3;
   T.incumbent tracer ~worker:0 ~objective:40. ~node:5;
   T.steal tracer ~worker:1 ~tasks:4;

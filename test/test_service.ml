@@ -427,6 +427,23 @@ let test_pool_hit_miss_conservation () =
     (counter_total "rfloor_service_cache_hits_total");
   Alcotest.(check int) "metric misses agree" st.Pool.s_cache_misses
     (counter_total "rfloor_service_cache_misses_total");
+  (* queue-depth gauge: every submission was awaited, so the gauge must
+     have drained back to zero and every worker must be idle again *)
+  let gauge_value name =
+    List.fold_left
+      (fun acc m ->
+        match m with
+        | R.Snapshot.Gauge { name = n; value; _ } when n = name -> Some value
+        | _ -> acc)
+      None (R.snapshot reg)
+  in
+  Alcotest.(check (option (float 0.)))
+    "queue-depth gauge drained" (Some 0.)
+    (gauge_value "rfloor_service_queue_depth");
+  Alcotest.(check int) "stats queue drained" 0 st.Pool.s_queued;
+  List.iter
+    (fun w -> Alcotest.(check string) "worker idle" "idle" w)
+    (Pool.worker_states pool);
   Pool.shutdown pool
 
 let suites =

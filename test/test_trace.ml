@@ -9,8 +9,8 @@ let sample_events =
   [
     { E.at = 0.0; worker = 0; payload = E.Span_start E.Build };
     { E.at = 0.001; worker = 0; payload = E.Span_end E.Build };
-    { E.at = 0.002; worker = 1; payload = E.Node_explored { depth = 3; bound = 41.5 } };
-    { E.at = 0.003; worker = 1; payload = E.Node_explored { depth = 0; bound = Float.nan } };
+    { E.at = 0.002; worker = 1; payload = E.Node_explored { depth = 3; bound = 41.5; iters = 120 } };
+    { E.at = 0.003; worker = 1; payload = E.Node_explored { depth = 0; bound = Float.nan; iters = 0 } };
     { E.at = 0.004; worker = 0; payload = E.Incumbent { objective = 42.; node = 17 } };
     { E.at = 0.005; worker = 0; payload = E.Cut_added { rounds = 2; cuts = 5 } };
     { E.at = 0.006; worker = 2; payload = E.Steal { tasks = 4 } };
@@ -91,7 +91,7 @@ let test_log_fn_sampling () =
   let sink = T.Sink.of_log_fn ~progress_every:10 (fun l -> lines := l :: !lines) in
   let tracer = T.create ~sink () in
   for _ = 1 to 25 do
-    T.node_explored tracer ~worker:0 ~depth:1 ~bound:0.
+    T.node_explored tracer ~iters:0 ~worker:0 ~depth:1 ~bound:0.
   done;
   T.messagef tracer "hello %d" 42;
   let lines = List.rev !lines in
@@ -113,7 +113,7 @@ let test_ring_concurrent_wraparound () =
   let tracer = T.create ~sink:(T.Ring.sink ring) () in
   let worker w () =
     for i = 1 to per_domain do
-      T.node_explored tracer ~worker:w ~depth:i ~bound:(float_of_int i)
+      T.node_explored tracer ~iters:0 ~worker:w ~depth:i ~bound:(float_of_int i)
     done
   in
   List.init domains (fun w -> Domain.spawn (worker w))
@@ -128,7 +128,7 @@ let test_ring_concurrent_wraparound () =
   List.iter
     (fun (e : E.t) ->
       match e.E.payload with
-      | E.Node_explored { depth; bound } ->
+      | E.Node_explored { depth; bound; _ } ->
         if depth < 1 || depth > per_domain || bound <> float_of_int depth then
           Alcotest.failf "torn event: depth %d bound %g" depth bound
       | p -> Alcotest.failf "unexpected event %s" (E.name p))
@@ -273,7 +273,7 @@ let test_report_json () =
   let ring = T.Ring.create () in
   let tracer = T.create ~sink:(T.Ring.sink ring) () in
   T.span tracer E.Branch_bound (fun () ->
-      T.node_explored tracer ~worker:0 ~depth:2 ~bound:1.;
+      T.node_explored tracer ~iters:0 ~worker:0 ~depth:2 ~bound:1.;
       T.incumbent tracer ~worker:0 ~objective:5. ~node:1);
   T.add_worker_totals tracer ~worker:0 ~nodes:1 ~iterations:9;
   let r = T.report tracer ~nodes:1 ~simplex_iterations:9 ~elapsed:0.25 in
