@@ -137,6 +137,48 @@ let cuts_entry ~budget (name, cuts) =
     e_metrics = Some (R.to_json_value (R.snapshot metrics));
   }
 
+(* online-mini-replay: the dynamic traffic shape — a seeded 100-event
+   arrival/departure trace replayed against the online layout with the
+   no-break defragmentation planner.  Status "ok" means every audit
+   held: each move passed the relocation filter, non-moving frames
+   came through byte-identical, and the incremental free-rectangle set
+   matched the from-scratch recompute after every event.  e_nodes
+   carries the event count, e_simplex_iterations the executed moves,
+   e_objective the final fragmentation ratio. *)
+let online_entry ~seed ~events name =
+  let module W = Rfloor_online.Workload in
+  let part = Partition.columnar_exn Devices.mini in
+  let trace = W.generate ~seed ~events part in
+  let t0 = Unix.gettimeofday () in
+  let stats = W.replay part trace in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let metrics = R.create () in
+  let add name v = R.Counter.add (R.counter metrics name) v in
+  add "rfloor_online_adds_total"
+    (stats.W.s_admitted + stats.W.s_defrag_admitted + stats.W.s_fallbacks);
+  add "rfloor_online_admission_hits_total" stats.W.s_admitted;
+  add "rfloor_online_defrags_total" (W.defrag_episodes stats);
+  add "rfloor_online_moves_executed_total" stats.W.s_moves;
+  add "rfloor_online_rejects_total" stats.W.s_rejected;
+  add "rfloor_online_removes_total" stats.W.s_departed;
+  R.Gauge.set
+    (R.gauge metrics "rfloor_online_occupancy")
+    (Rfloor_online.Layout.occupancy stats.W.s_final);
+  R.Gauge.set
+    (R.gauge metrics "rfloor_online_fragmentation")
+    (Rfloor_online.Layout.fragmentation stats.W.s_final);
+  {
+    A.e_instance = name;
+    e_status = (if stats.W.s_violations = [] then "ok" else "violated");
+    e_objective = Some (Rfloor_online.Layout.fragmentation stats.W.s_final);
+    e_wasted = None;
+    e_nodes = stats.W.s_events;
+    e_simplex_iterations = stats.W.s_moves;
+    e_elapsed = elapsed;
+    e_report = None;
+    e_metrics = Some (R.to_json_value (R.snapshot metrics));
+  }
+
 (* mini-toy-lex runs twice, with and without LP warm starts: the pair
    of entries records the warm-vs-cold simplex-pivot comparison (and
    the rfloor_lp_*_total counters in e_metrics) in every artifact, so
@@ -155,6 +197,7 @@ let quick_entries ~budget ~workers () =
   @ List.map
       (cuts_entry ~budget)
       [ ("reloc-twin-cuts", true); ("reloc-twin-nocuts", false) ]
+  @ [ online_entry ~seed:2015 ~events:100 "online-mini-s2015-e100" ]
 
 (* ---- fx70t set: the paper's evaluation workload, exact engine ---- *)
 

@@ -56,14 +56,26 @@
 #                                crash), and round-trip a captured
 #                                trace through trace-export /
 #                                trace-validate / trace-report.
+#   bin/lint.sh online-check  -- online-floorplanning gate only: replay
+#                                the pinned seeded 100-event workload
+#                                locally with every audit on (each move
+#                                through the relocation filter,
+#                                non-moving frames byte-identical, MER
+#                                set equal to a recompute), push the
+#                                same trace as rfloor-service/1 frames
+#                                through the live service (>= 1 defrag
+#                                episode, zero error frames, final
+#                                layout matching the local replay), and
+#                                reject a seeded duplicate-add fixture
+#                                (RF702).
 set -eu
 cd "$(dirname "$0")/.."
 
 # one trap for every gate's scratch space (a later trap would replace
 # an earlier one and leak its directory); obsv-check also parks its
 # serve PID here so a failing assertion never leaks the process
-tmp="" btmp="" stmp="" ctmp="" ptmp="" otmp="" osrv=""
-trap '{ [ -n "$osrv" ] && kill "$osrv" 2>/dev/null; rm -rf "$tmp" "$btmp" "$stmp" "$ctmp" "$ptmp" "$otmp"; } || true' EXIT
+tmp="" btmp="" stmp="" ctmp="" ptmp="" otmp="" ltmp="" osrv=""
+trap '{ [ -n "$osrv" ] && kill "$osrv" 2>/dev/null; rm -rf "$tmp" "$btmp" "$stmp" "$ctmp" "$ptmp" "$otmp" "$ltmp"; } || true' EXIT
 
 bench_smoke() {
     echo "== bench-smoke (quick instance set, 2s budget)"
@@ -401,6 +413,77 @@ EOF
     echo "obsv-check passed (endpoints live under a real job, >= $nprog progress frames, RF602 survived, perfetto valid)"
 }
 
+online_check() {
+    echo "== online-check (workload replay, live service, defect fixture)"
+    ltmp=$(mktemp -d)
+    seed="${RFLOOR_TEST_SEED:-2015}"
+    # 1. local replay with every audit on: each move passes the
+    #    bitstream relocation filter, non-moving modules' frames come
+    #    through byte-identical, and the incremental free-rectangle set
+    #    equals a from-scratch recompute after every event
+    dune exec bin/rfloor_cli.exe -- online --device mini --seed "$seed" \
+        --events 100 > "$ltmp/replay.txt"
+    grep -q '^violations: 0$' "$ltmp/replay.txt" || {
+        echo "online-check: local replay reported audit violations:" >&2
+        cat "$ltmp/replay.txt" >&2; exit 1; }
+    episodes=$(sed -n 's/^defrag episodes: \([0-9]*\)$/\1/p' "$ltmp/replay.txt")
+    [ -n "$episodes" ] && [ "$episodes" -ge 1 ] || {
+        echo "online-check: pinned trace produced no defrag episode" >&2
+        exit 1; }
+    # 2. the same trace as rfloor-service/1 frames through the live
+    #    service: no error frames, >= 1 defragmentation episode, and
+    #    the final layout frame matching the local replay's state
+    dune exec bin/rfloor_cli.exe -- online --device mini --seed "$seed" \
+        --events 100 --emit "$ltmp/online.ndjson"
+    dune exec bin/rfloor_cli.exe -- batch "$ltmp/online.ndjson" \
+        --metrics "json:$ltmp/metrics.json" > "$ltmp/out.ndjson" 2> /dev/null
+    if grep -q '"outcome":"error"' "$ltmp/out.ndjson"; then
+        echo "online-check: service replay produced error frames:" >&2
+        grep '"outcome":"error"' "$ltmp/out.ndjson" | head -3 >&2; exit 1
+    fi
+    svc_episodes=$(grep -c '"outcome":"defrag"\|"outcome":"fallback"' \
+        "$ltmp/out.ndjson" || true)
+    [ "$svc_episodes" -ge 1 ] || {
+        echo "online-check: no defrag episode through the live service" >&2
+        exit 1; }
+    final=$(grep '"op":"layout"' "$ltmp/out.ndjson" | tail -1)
+    occ=$(sed -n 's/^final occupancy: \([0-9.]*\).*/\1/p' "$ltmp/replay.txt")
+    case "$final" in
+        *'"occupancy":'"$occ"*) ;;
+        *) echo "online-check: service final occupancy differs from the" >&2
+           echo "  local replay ($occ): $final" >&2; exit 1;;
+    esac
+    dune exec bin/rfloor_cli.exe -- trace-validate --kind metrics \
+        "$ltmp/metrics.json"
+    grep -q 'rfloor_online_moves_executed_total' "$ltmp/metrics.json" || {
+        echo "online-check: metrics lack the rfloor_online_* family" >&2
+        exit 1; }
+    # 3. seeded-defect fixture: a duplicate add must be refused (RF702)
+    #    and an op before any layout must be refused (RF703)
+    cat > "$ltmp/defect.ndjson" <<'EOF'
+{"op":"add","name":"early","demand":{"clb":2}}
+{"op":"layout","device":"mini"}
+{"op":"add","name":"a","demand":{"clb":2}}
+{"op":"add","name":"a","demand":{"clb":2}}
+{"op":"shutdown"}
+EOF
+    dune exec bin/rfloor_cli.exe -- batch "$ltmp/defect.ndjson" \
+        > "$ltmp/defect.out" 2> /dev/null
+    grep -q '"code":"RF703"' "$ltmp/defect.out" || {
+        echo "online-check: add before layout was not refused (RF703 lost)" >&2
+        exit 1; }
+    grep -q '"code":"RF702"' "$ltmp/defect.out" || {
+        echo "online-check: duplicate add was accepted (RF702 lost)" >&2
+        exit 1; }
+    echo "online-check passed (audits clean, $svc_episodes defrag episodes through the service, defects rejected)"
+}
+
+if [ "${1:-}" = "online-check" ]; then
+    dune build
+    online_check
+    exit 0
+fi
+
 if [ "${1:-}" = "obsv-check" ]; then
     dune build
     obsv_check
@@ -470,6 +553,8 @@ bench_smoke
 serve_smoke
 
 obsv_check
+
+online_check
 
 concheck
 

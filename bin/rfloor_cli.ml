@@ -815,7 +815,59 @@ let scrape_cmd =
              blank line) and print the raw response — for probing the \
              endpoint's bad-request handling.")
   in
-  let run port path raw =
+  let pretty_arg =
+    Arg.(
+      value & flag
+      & info [ "pretty" ]
+          ~doc:
+            "Pretty-print a /statusz body as human-readable lines (uptime, \
+             pool, the online layout's occupancy/fragmentation gauges, \
+             in-flight jobs) instead of compact JSON.  Other bodies print \
+             unchanged.")
+  in
+  (* --pretty: the /statusz document as lines a human can read at a
+     glance; anything that is not a statusz body passes through *)
+  let print_pretty body =
+    let module J = Rfloor_metrics.Json in
+    let num k j = Option.bind (J.member k j) (function J.Num n -> Some n | _ -> None) in
+    let str k j = Option.bind (J.member k j) (function J.Str s -> Some s | _ -> None) in
+    match J.parse (String.trim body) with
+    | Ok doc when str "v" doc = Some Rfloor_obsv.Statusz.version ->
+      Option.iter (Format.printf "uptime:  %.1fs@.") (num "uptime_s" doc);
+      Option.iter (Format.printf "version: %s@.") (str "version" doc);
+      (match J.member "pool" doc with
+      | Some pool ->
+        Format.printf "pool:    queued %g, running %g, finished %g@."
+          (Option.value ~default:0. (num "queued" pool))
+          (Option.value ~default:0. (num "running" pool))
+          (Option.value ~default:0. (num "finished" pool))
+      | None -> ());
+      (match J.member "layout" doc with
+      | Some lay ->
+        Format.printf
+          "layout:  %s — %g modules, occupancy %.3f, fragmentation %.3f, %g \
+           free rects@."
+          (Option.value ~default:"?" (str "device" lay))
+          (Option.value ~default:0. (num "modules" lay))
+          (Option.value ~default:0. (num "occupancy" lay))
+          (Option.value ~default:0. (num "fragmentation" lay))
+          (Option.value ~default:0. (num "free_rects" lay))
+      | None -> Format.printf "layout:  none established@.");
+      (match J.member "jobs" doc with
+      | Some (J.Arr jobs) ->
+        Format.printf "jobs:    %d in flight@." (List.length jobs);
+        List.iter
+          (fun job ->
+            Format.printf "  %s (%s) %.1fs, %g nodes@."
+              (Option.value ~default:"?" (str "id" job))
+              (Option.value ~default:"?" (str "strategy" job))
+              (Option.value ~default:0. (num "elapsed_s" job))
+              (Option.value ~default:0. (num "nodes" job)))
+          jobs
+      | _ -> ())
+    | _ -> print_string body
+  in
+  let run port path raw pretty =
     match raw with
     | Some text -> (
       match
@@ -825,7 +877,7 @@ let scrape_cmd =
       | Error e -> die "scrape failed: %s" e)
     | None -> (
       match Rfloor_obsv.Http.get ~port path with
-      | Ok (200, body) -> print_string body
+      | Ok (200, body) -> if pretty then print_pretty body else print_string body
       | Ok (status, body) ->
         print_string body;
         die "scrape %s: HTTP %d" path status
@@ -837,7 +889,7 @@ let scrape_cmd =
          "Fetch an endpoint from a running --telemetry server on \
           127.0.0.1 and print the body (no curl needed in scripts).  \
           Exits non-zero unless the response is HTTP 200.")
-    Term.(const run $ port_arg $ path_arg $ raw_arg)
+    Term.(const run $ port_arg $ path_arg $ raw_arg $ pretty_arg)
 
 (* ---------------- trace-verify ---------------- *)
 
@@ -1125,6 +1177,150 @@ let batch_cmd =
       const run $ file_arg $ pool_workers_arg $ cache_capacity_arg $ trace_arg
       $ metrics_arg $ telemetry_arg)
 
+(* ---------------- online ---------------- *)
+
+let online_cmd =
+  let module W = Rfloor_online.Workload in
+  let module L = Rfloor_online.Layout in
+  let module J = Rfloor_metrics.Json in
+  let seed_arg =
+    Arg.(
+      value & opt int 2015
+      & info [ "seed" ] ~docv:"N" ~doc:"Workload generator seed.")
+  in
+  let events_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "events" ] ~docv:"N"
+          ~doc:"Length of the arrival/departure trace.")
+  in
+  let emit_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit" ] ~docv:"FILE"
+          ~doc:
+            "Instead of replaying locally, write the trace as \
+             rfloor-service/1 NDJSON frames (layout establish, one \
+             add/remove per event, a final layout report, shutdown) — \
+             feed the file to $(b,rfloor_cli batch) or $(b,serve).  \
+             $(b,-) writes to stdout.")
+  in
+  let no_defrag_arg =
+    Arg.(
+      value & flag
+      & info [ "no-defrag" ]
+          ~doc:"Reject fragmented arrivals instead of planning moves.")
+  in
+  let no_fallback_arg =
+    Arg.(
+      value & flag
+      & info [ "no-fallback" ]
+          ~doc:
+            "Never fall back to the full re-placement solve (RF704); \
+             arrivals the bounded move search cannot admit are rejected.")
+  in
+  let max_moves_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "max-moves" ] ~docv:"N"
+          ~doc:"Defragmentation search depth (moves per episode).")
+  in
+  let demand_fields d =
+    List.filter_map
+      (fun (k, n) ->
+        if n <= 0 then None
+        else
+          Some
+            ( String.lowercase_ascii (Resource.kind_to_string k),
+              J.Num (float_of_int n) ))
+      d
+  in
+  let emit_frames ~device ~device_file ~events out =
+    let layout_frame =
+      match device_file with
+      | Some path ->
+        J.Obj
+          [ ("op", J.Str "layout"); ("device_text", J.Str (read_whole_file path)) ]
+      | None -> J.Obj [ ("op", J.Str "layout"); ("device", J.Str device) ]
+    in
+    let event_frame = function
+      | W.Arrive { a_name; a_demand } ->
+        J.Obj
+          [
+            ("op", J.Str "add");
+            ("name", J.Str a_name);
+            ("demand", J.Obj (demand_fields a_demand));
+          ]
+      | W.Depart { d_name } ->
+        J.Obj [ ("op", J.Str "remove"); ("name", J.Str d_name) ]
+    in
+    let frames =
+      (layout_frame :: List.map event_frame events)
+      @ [ J.Obj [ ("op", J.Str "layout") ]; J.Obj [ ("op", J.Str "shutdown") ] ]
+    in
+    List.iter
+      (fun f ->
+        output_string out (J.to_string f);
+        output_char out '\n')
+      frames
+  in
+  let run device device_file seed events emit no_defrag no_fallback max_moves
+      verbose =
+    let grid = load_device device device_file in
+    let part = partition_of grid in
+    let trace = W.generate ~seed ~events part in
+    match emit with
+    | Some "-" -> emit_frames ~device ~device_file ~events:trace stdout
+    | Some path ->
+      let oc = open_out path in
+      emit_frames ~device ~device_file ~events:trace oc;
+      close_out oc;
+      Format.printf "wrote %s (%d frames)@." path (events + 3)
+    | None ->
+      let on_event =
+        if verbose then fun i ev outcome ->
+          Format.printf "%3d %-32s %s@." i
+            (Format.asprintf "%a" W.pp_event ev)
+            outcome
+        else fun _ _ _ -> ()
+      in
+      let stats =
+        W.replay ~defrag:(not no_defrag) ~max_moves
+          ~fallback:(not no_fallback) ~on_event part trace
+      in
+      Format.printf
+        "events: %d  admitted: %d  defrag: %d  fallback: %d  rejected: %d  \
+         departed: %d  moves: %d@."
+        stats.W.s_events stats.W.s_admitted stats.W.s_defrag_admitted
+        stats.W.s_fallbacks stats.W.s_rejected stats.W.s_departed
+        stats.W.s_moves;
+      Format.printf "defrag episodes: %d@." (W.defrag_episodes stats);
+      Format.printf "final occupancy: %.3f  fragmentation: %.3f@."
+        (L.occupancy stats.W.s_final)
+        (L.fragmentation stats.W.s_final);
+      Format.printf "violations: %d@." (List.length stats.W.s_violations);
+      List.iter
+        (fun v -> Format.printf "VIOLATION: %s@." v)
+        stats.W.s_violations;
+      print_string (L.render stats.W.s_final);
+      if stats.W.s_violations <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "online"
+       ~doc:
+         "Online floorplanning workload replayer: generate a seeded \
+          arrival/departure trace and replay it against the incremental \
+          layout with no-break defragmentation, auditing every step (each \
+          move through the bitstream relocation filter, non-moving frames \
+          byte-identical, free-rectangle set equal to a from-scratch \
+          recompute).  Exits non-zero on any audit violation.  With \
+          $(b,--emit), writes the trace as service frames instead.")
+    Term.(
+      const run $ device_arg $ device_file_arg $ seed_arg $ events_arg
+      $ emit_arg $ no_defrag_arg $ no_fallback_arg $ max_moves_arg
+      $ verbose_arg)
+
 (* ---------------- sites ---------------- *)
 
 let sites_cmd =
@@ -1151,7 +1347,7 @@ let main_cmd =
       partition_cmd; solve_cmd; feasibility_cmd; export_cmd; lint_cmd;
       relocate_cmd; sites_cmd; trace_validate_cmd; trace_export_cmd;
       trace_report_cmd; trace_verify_cmd; concheck_cmd; bench_compare_cmd;
-      serve_cmd; batch_cmd; scrape_cmd;
+      serve_cmd; batch_cmd; scrape_cmd; online_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -109,6 +109,28 @@ let usable_tiles g =
     (fun (k, r) -> if !r > 0 then Some (k, !r) else None)
     counts
 
+let free_intervals g ~occupied col =
+  if col < 1 || col > g.g_width then
+    invalid_arg
+      (Printf.sprintf "Grid.free_intervals: column %d outside 1..%d" col
+         g.g_width);
+  let blocked row =
+    in_forbidden g col row
+    || List.exists (fun r -> Rect.contains_point r col row) occupied
+  in
+  let rec scan row acc =
+    if row > g.g_height then List.rev acc
+    else if blocked row then scan (row + 1) acc
+    else begin
+      let stop = ref row in
+      while !stop < g.g_height && not (blocked (!stop + 1)) do
+        incr stop
+      done;
+      scan (!stop + 2) ((row, !stop) :: acc)
+    end
+  in
+  scan 1 []
+
 let render ?(marks = []) g =
   let b = Buffer.create ((g.g_width + 1) * g.g_height) in
   for row = 1 to g.g_height do

@@ -62,6 +62,14 @@ val usable_tiles : t -> Resource.demand
 (** Whole-device tile census excluding tiles under forbidden areas —
     the resources a placement can actually cover. *)
 
+val free_intervals : t -> occupied:Rect.t list -> int -> (int * int) list
+(** [free_intervals g ~occupied col] lists the maximal vertical runs
+    [(row_lo, row_hi)] (1-based, inclusive, ascending) of column [col]
+    whose tiles are neither forbidden nor covered by any rectangle in
+    [occupied] — the columnar ground truth that online free-space
+    tracking builds on.
+    @raise Invalid_argument if [col] is out of range. *)
+
 val render : ?marks:(Rect.t * char) list -> t -> string
 (** ASCII picture of the device, one row per line, top row first.
     Tiles covered by a mark rectangle show the mark character;

@@ -19,6 +19,7 @@ type location =
   | Trace of int
   | Strategy of string
   | Http of string
+  | Layout of string
 
 type t = {
   code : string;
@@ -54,6 +55,7 @@ let location_to_string = function
   | Trace l -> Printf.sprintf "trace line %d" l
   | Strategy s -> Printf.sprintf "strategy(%s)" s
   | Http h -> Printf.sprintf "http(%s)" h
+  | Layout m -> Printf.sprintf "layout(%s)" m
 
 let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
 
@@ -108,6 +110,7 @@ let location_to_sexp = function
   | Trace l -> Printf.sprintf "(trace %d)" l
   | Strategy s -> Printf.sprintf "(strategy %s)" (sexp_string s)
   | Http h -> Printf.sprintf "(http %s)" (sexp_string h)
+  | Layout m -> Printf.sprintf "(layout %s)" (sexp_string m)
 
 let to_sexp d =
   Printf.sprintf "((code %s) (severity %s) (location %s) (message %s))" d.code
@@ -180,6 +183,12 @@ let all_codes =
     ("RF601", Error, "telemetry endpoint unusable (bad --telemetry port, or bind/listen failed)");
     ("RF602", Warning, "malformed HTTP request on the telemetry endpoint; answered 400 and kept serving");
     ("RF603", Warning, "progress interval malformed or out of range; clamped/defaulted");
+    ("RF701", Error, "online arrival rejected: no free-compatible rectangle, and defragmentation cannot admit it");
+    ("RF702", Error, "online request names a duplicate or unknown module");
+    ("RF703", Error, "online request before a layout device was established");
+    ("RF704", Warning, "defragmentation fell back to a full re-placement solve (no-break guarantee waived)");
+    ("RF705", Error, "planned relocation refused by the bitstream relocation filter");
+    ("RF706", Warning, "online search bound malformed or out of range; clamped/defaulted");
   ]
 
 let describe code =

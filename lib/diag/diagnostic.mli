@@ -32,6 +32,7 @@ type location =
   | Trace of int  (** a JSONL trace line, 1-based *)
   | Strategy of string  (** a solver strategy, by its string form *)
   | Http of string  (** telemetry HTTP plane: a port, path or peer *)
+  | Layout of string  (** an online layout entry, by module name *)
 
 type t = {
   code : string;

@@ -61,7 +61,9 @@ let entry_of_json v =
   else
     let* e_status = Json.get_string "status" v in
     let* () =
-      if List.mem e_status [ "optimal"; "feasible"; "infeasible"; "unknown" ]
+      if
+        List.mem e_status
+          [ "optimal"; "feasible"; "infeasible"; "unknown"; "ok"; "violated" ]
       then Ok ()
       else Error (Printf.sprintf "%s: unknown status %S" e_instance e_status)
     in
@@ -138,9 +140,10 @@ let default_thresholds =
   { max_slowdown = 1.5; max_node_growth = 3.0; min_seconds = 0.05 }
 
 let status_rank = function
-  | "optimal" -> 3
+  | "optimal" | "ok" -> 3
   | "feasible" -> 2
   | "infeasible" -> 1
+  (* "violated" and "unknown" both rank lowest: any drop into them flags *)
   | _ -> 0
 
 let compare ?(thresholds = default_thresholds) ~old_ new_ =

@@ -12,7 +12,9 @@
 
 type entry = {
   e_instance : string;
-  e_status : string;  (** ["optimal"], ["feasible"], ["infeasible"], ["unknown"] *)
+  e_status : string;
+      (** solver entries: ["optimal"], ["feasible"], ["infeasible"],
+          ["unknown"]; online-replay entries: ["ok"], ["violated"] *)
   e_objective : float option;
   e_wasted : float option;
   e_nodes : int;

@@ -53,6 +53,10 @@ let sink reg =
       counter ~help:"Warm-started LP re-solves seen in the trace"
         "rfloor_trace_lp_warm_total"
     in
+    let moves =
+      counter ~help:"Online relocation moves seen in the trace"
+        "rfloor_trace_moves_total"
+    in
     (* per-phase histograms and per-worker counters, created on first
        sight; the tables below are only touched under the sink mutex *)
     let phase_hist : (E.phase, Registry.Histogram.t) Hashtbl.t =
@@ -120,6 +124,7 @@ let sink reg =
         | E.Stopped _ -> Registry.Counter.incr stops
         | E.Lp_refactor _ -> Registry.Counter.incr refactors
         | E.Lp_warm _ -> Registry.Counter.incr warm_events
+        | E.Move _ -> Registry.Counter.incr moves
         | E.Warning _ -> Registry.Counter.incr warnings
         | E.Message _ -> ())
   end

@@ -136,6 +136,13 @@ let event_json nodes_per_worker (e : T.Event.t) =
     Some (instant ~tid ~name:"lp_refactor" ~args:[ ("reason", J.Str reason) ] at)
   | T.Event.Lp_warm { result } ->
     Some (instant ~tid ~name:"lp_warm" ~args:[ ("result", J.Str result) ] at)
+  | T.Event.Move { module_name; src; dst } ->
+    Some
+      (instant ~tid ~name:"move"
+         ~args:
+           [ ("module", J.Str module_name); ("src", J.Str src);
+             ("dst", J.Str dst) ]
+         at)
   | T.Event.Warning msg ->
     Some (instant ~tid ~name:"warning" ~args:[ ("text", J.Str msg) ] at)
   | T.Event.Message msg ->

@@ -17,6 +17,14 @@ type pool_view = {
   pv_cache_size : int;
 }
 
+type layout_view = {
+  lv_device : string;
+  lv_modules : int;
+  lv_occupancy : float;  (* occupied fraction of the usable tiles *)
+  lv_fragmentation : float;  (* 1 - largest free rect / total free *)
+  lv_free_rects : int;
+}
+
 let opt_num = function Some v -> J.Num v | None -> J.Null
 
 let job_json (s : Progress.snapshot) =
@@ -48,7 +56,7 @@ let job_json (s : Progress.snapshot) =
                members) );
       ])
 
-let render ?pool ?(jobs = []) ?(cache_json = None) () =
+let render ?pool ?layout ?(jobs = []) ?(cache_json = None) () =
   let pool_fields =
     match pool with
     | None -> []
@@ -72,6 +80,22 @@ let render ?pool ?(jobs = []) ?(cache_json = None) () =
             ] );
       ]
   in
+  let layout_fields =
+    match layout with
+    | None -> []
+    | Some lv ->
+      [
+        ( "layout",
+          J.Obj
+            [
+              ("device", J.Str lv.lv_device);
+              ("modules", J.Num (float_of_int lv.lv_modules));
+              ("occupancy", J.Num lv.lv_occupancy);
+              ("fragmentation", J.Num lv.lv_fragmentation);
+              ("free_rects", J.Num (float_of_int lv.lv_free_rects));
+            ] );
+      ]
+  in
   let extra = match cache_json with Some j -> [ ("extra", j) ] | None -> [] in
   J.to_string
     (J.Obj
@@ -80,7 +104,7 @@ let render ?pool ?(jobs = []) ?(cache_json = None) () =
           ("uptime_s", J.Num (Build_info.uptime ()));
           ("version", J.Str Build_info.version);
         ]
-       @ pool_fields
+       @ pool_fields @ layout_fields
        @ [ ("jobs", J.Arr (List.map job_json jobs)) ]
        @ extra))
   ^ "\n"
@@ -96,6 +120,15 @@ let validate text =
     Error (Printf.sprintf "statusz version %S, wanted %S" v version)
   else
     let* _up = J.get_num "uptime_s" j in
+    let* () =
+      match J.member "layout" j with
+      | None -> Ok ()
+      | Some lay ->
+        let* _ = J.get_string "device" lay in
+        let* _ = J.get_num "occupancy" lay in
+        let* _ = J.get_num "fragmentation" lay in
+        Ok ()
+    in
     let* jobs = J.get_arr "jobs" j in
     let check_job job =
       let* _ = J.get_string "id" job in

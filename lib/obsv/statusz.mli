@@ -21,8 +21,21 @@ type pool_view = {
   pv_cache_size : int;
 }
 
+type layout_view = {
+  lv_device : string;
+  lv_modules : int;
+  lv_occupancy : float;
+      (** occupied fraction of the usable tiles, in [0, 1] *)
+  lv_fragmentation : float;
+      (** [1 - largest free rect area / total free area] *)
+  lv_free_rects : int;
+}
+(** The session's online layout ({!Rfloor_online.Layout}), when one
+    has been established through the service's [layout] op. *)
+
 val render :
   ?pool:pool_view ->
+  ?layout:layout_view ->
   ?jobs:Progress.snapshot list ->
   ?cache_json:Rfloor_metrics.Json.t option ->
   unit ->
@@ -31,4 +44,6 @@ val render :
 
 val validate : string -> (unit, string) result
 (** Checks a purported statusz body: parses, right version tag,
-    numeric uptime, well-formed jobs array. *)
+    numeric uptime, well-formed jobs array, and — when a layout
+    section is present — its device name and numeric
+    occupancy/fragmentation gauges. *)

@@ -1,0 +1,48 @@
+(** Maximal-free-rectangle (MER) tracking for online floorplanning.
+
+    The free space of a layout is represented by the set of its
+    {e maximal free rectangles}: free rectangles that cannot be
+    extended in any direction (van der Veen / Fekete defragmentation
+    model; Ahmadinia / Bobda free-space management).  The columnar
+    ground truth is {!Device.Grid.free_intervals}; on top of it this
+    module maintains the MER set {e incrementally}:
+
+    - {!add} (a module is placed): every MER intersecting the placed
+      rectangle is split into at most four slices (left / right /
+      above / below) and contained rectangles are pruned — pure
+      geometry, no grid walk;
+    - {!remove} (a module departs): old MERs that can newly extend
+      into the freed rectangle are dropped (they are no longer
+      maximal) and every maximal rectangle intersecting the freed area
+      is added, found by a row-span sweep over the post-removal
+      free map.
+
+    {!recompute} is the from-scratch sweep, used at creation time and
+    by the differential audits that pin the incremental set to it. *)
+
+val recompute :
+  Device.Partition.t -> occupied:Device.Rect.t list -> Device.Rect.t list
+(** All maximal rectangles free of forbidden areas and of every
+    rectangle in [occupied], sorted by {!Device.Rect.compare}. *)
+
+val add : Device.Rect.t list -> Device.Rect.t -> Device.Rect.t list
+(** [add mers r] is the MER set after rectangle [r] becomes occupied.
+    [r] must be contained in the union of free space (it was chosen
+    from a free rectangle), but this is not checked — intersecting
+    MERs are simply split around it. *)
+
+val remove :
+  Device.Partition.t ->
+  occupied:Device.Rect.t list ->
+  Device.Rect.t list ->
+  Device.Rect.t ->
+  Device.Rect.t list
+(** [remove part ~occupied mers r] is the MER set after rectangle [r]
+    becomes free again.  [occupied] is the occupancy {e after} the
+    removal (i.e. without [r]). *)
+
+val largest_area : Device.Rect.t list -> int
+(** Area of the largest rectangle, 0 for an empty set. *)
+
+val equal_sets : Device.Rect.t list -> Device.Rect.t list -> bool
+(** Set equality up to order — the differential-audit comparator. *)

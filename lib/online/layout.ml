@@ -1,0 +1,219 @@
+module R = Device.Rect
+module P = Device.Partition
+module Res = Device.Resource
+module D = Rfloor_diag.Diagnostic
+
+type entry = {
+  e_name : string;
+  e_rect : R.t;
+  e_demand : Res.demand;
+  e_image : Bitstream.Image.t;
+}
+
+type t = {
+  part : P.t;
+  rev_entries : entry list;  (* newest first *)
+  mers : R.t list;
+  usable : int;
+}
+
+let create part =
+  let usable =
+    List.fold_left (fun acc (_, n) -> acc + n) 0
+      (Device.Grid.usable_tiles part.P.grid)
+  in
+  { part;
+    rev_entries = [];
+    mers = Free_space.recompute part ~occupied:[];
+    usable }
+
+let partition t = t.part
+let entries t = List.rev t.rev_entries
+let find t name = List.find_opt (fun e -> e.e_name = name) t.rev_entries
+let modules t = List.length t.rev_entries
+let occupied t = List.map (fun e -> e.e_rect) t.rev_entries
+let free_rects t = t.mers
+let usable_area t = t.usable
+
+let occupied_area t =
+  List.fold_left (fun acc e -> acc + R.area e.e_rect) 0 t.rev_entries
+
+let occupancy t =
+  if t.usable = 0 then 0.
+  else float_of_int (occupied_area t) /. float_of_int t.usable
+
+let fragmentation t =
+  let free = t.usable - occupied_area t in
+  if free = 0 then 0.
+  else
+    1. -. (float_of_int (Free_space.largest_area t.mers) /. float_of_int free)
+
+(* Demand-driven best fit inside the maximal free rectangles.  On a
+   columnar device a rectangle spanning columns x1..x2 at height h
+   covers h tiles per column, so the minimal height for each candidate
+   column range is a closed form over the per-kind column counts. *)
+let admission_rect_in part ~mers demand =
+  let demand = List.filter (fun (_, n) -> n > 0) demand in
+  if demand = [] then None
+  else begin
+    let best = ref None in
+    let consider rect =
+      let wasted = Device.Compat.wasted_frames part rect demand in
+      let key = (wasted, R.area rect, rect.R.x, rect.R.y) in
+      match !best with
+      | Some (k, _) when k <= key -> ()
+      | _ -> best := Some (key, rect)
+    in
+    List.iter
+      (fun (m : R.t) ->
+        for x1 = m.R.x to R.x2 m do
+          for x2 = x1 to R.x2 m do
+            let ncols k =
+              let n = ref 0 in
+              for c = x1 to x2 do
+                if Res.equal_kind (P.column_type part c).Res.kind k then incr n
+              done;
+              !n
+            in
+            let h =
+              List.fold_left
+                (fun acc (k, d) ->
+                  let nc = ncols k in
+                  if nc = 0 then max_int
+                  else if acc = max_int then max_int
+                  else max acc ((d + nc - 1) / nc))
+                1 demand
+            in
+            if h <> max_int && h <= m.R.h then
+              consider (R.make ~x:x1 ~y:m.R.y ~w:(x2 - x1 + 1) ~h)
+          done
+        done)
+      mers;
+    Option.map snd !best
+  end
+
+let admission_rect t demand = admission_rect_in t.part ~mers:t.mers demand
+
+let default_seed name = Hashtbl.hash name land 0xFFFFFF
+
+let place ?seed t name demand =
+  match find t name with
+  | Some _ ->
+    Error
+      (D.diagf ~code:"RF702" D.Error (D.Layout name)
+         "module %S is already placed" name)
+  | None -> (
+    match admission_rect t demand with
+    | None ->
+      Error
+        (D.diagf ~code:"RF701" D.Error (D.Layout name)
+           "no free rectangle admits %a" Res.pp_demand demand)
+    | Some rect ->
+      let seed = match seed with Some s -> s | None -> default_seed name in
+      let image = Bitstream.Image.synthesize ~seed t.part rect in
+      let e = { e_name = name; e_rect = rect; e_demand = demand;
+                e_image = image } in
+      Ok
+        ( { t with rev_entries = e :: t.rev_entries;
+            mers = Free_space.add t.mers rect },
+          rect ))
+
+let place_at ?seed t name demand rect =
+  let g = t.part.P.grid in
+  let err fmt = Format.kasprintf Fun.id fmt in
+  let problem =
+    if find t name <> None then
+      Some ("RF702", err "module %S is already placed" name)
+    else if
+      not
+        (R.within ~width:(Device.Grid.width g) ~height:(Device.Grid.height g)
+           rect)
+    then Some ("RF701", err "%s leaves the device" (R.to_string rect))
+    else if Device.Grid.rect_hits_forbidden g rect then
+      Some ("RF701", err "%s overlaps a forbidden area" (R.to_string rect))
+    else if List.exists (fun e -> R.overlaps e.e_rect rect) t.rev_entries then
+      Some ("RF701", err "%s overlaps a placed module" (R.to_string rect))
+    else if not (Device.Compat.satisfies t.part rect demand) then
+      Some
+        ("RF701", err "%s does not cover %a" (R.to_string rect)
+           Res.pp_demand demand)
+    else None
+  in
+  match problem with
+  | Some (code, msg) ->
+    Error (D.diagf ~code D.Error (D.Layout name) "%s" msg)
+  | None ->
+    let seed = match seed with Some s -> s | None -> default_seed name in
+    let image = Bitstream.Image.synthesize ~seed t.part rect in
+    let e = { e_name = name; e_rect = rect; e_demand = demand;
+              e_image = image } in
+    Ok
+      { t with rev_entries = e :: t.rev_entries;
+        mers = Free_space.add t.mers rect }
+
+let remove t name =
+  match find t name with
+  | None ->
+    Error
+      (D.diagf ~code:"RF702" D.Error (D.Layout name) "module %S is not placed"
+         name)
+  | Some e ->
+    let rev_entries =
+      List.filter (fun e' -> e'.e_name <> name) t.rev_entries
+    in
+    let occupied = List.map (fun e' -> e'.e_rect) rev_entries in
+    Ok
+      { t with rev_entries;
+        mers = Free_space.remove t.part ~occupied t.mers e.e_rect }
+
+let move t name dst =
+  match find t name with
+  | None ->
+    Error
+      (D.diagf ~code:"RF702" D.Error (D.Layout name) "module %S is not placed"
+         name)
+  | Some e ->
+    let src = e.e_rect in
+    let others =
+      List.filter (fun e' -> e'.e_name <> name) t.rev_entries
+    in
+    let free_dst =
+      (not (Device.Grid.rect_hits_forbidden t.part.P.grid dst))
+      && (not (R.overlaps src dst))
+      && not (List.exists (fun e' -> R.overlaps e'.e_rect dst) others)
+    in
+    if not free_dst then
+      Error
+        (D.diagf ~code:"RF705" D.Error (D.Layout name)
+           "destination %s is not free" (R.to_string dst))
+    else (
+      match Bitstream.Relocate.relocate t.part ~src ~dst e.e_image with
+      | Error _ ->
+        Error
+          (D.diagf ~code:"RF705" D.Error (D.Layout name)
+             "relocation filter refused %s -> %s" (R.to_string src)
+             (R.to_string dst))
+      | Ok image ->
+        let rev_entries =
+          List.map
+            (fun e' ->
+              if e'.e_name = name then { e' with e_rect = dst; e_image = image }
+              else e')
+            t.rev_entries
+        in
+        let without = List.map (fun e' -> e'.e_rect) others in
+        let mers = Free_space.remove t.part ~occupied:without t.mers src in
+        Ok { t with rev_entries; mers = Free_space.add mers dst })
+
+let check_free_rects t =
+  Free_space.equal_sets t.mers
+    (Free_space.recompute t.part ~occupied:(occupied t))
+
+let render t =
+  let marks =
+    List.mapi
+      (fun i e ->
+        (e.e_rect, Char.chr (Char.code 'A' + (i mod 26))))
+      (entries t)
+  in
+  Device.Grid.render ~marks t.part.P.grid

@@ -1,0 +1,262 @@
+module Res = Device.Resource
+module D = Rfloor_diag.Diagnostic
+
+type event =
+  | Arrive of { a_name : string; a_demand : Res.demand }
+  | Depart of { d_name : string }
+
+let pp_event ppf = function
+  | Arrive { a_name; a_demand } ->
+    Format.fprintf ppf "arrive %s %a" a_name Res.pp_demand a_demand
+  | Depart { d_name } -> Format.fprintf ppf "depart %s" d_name
+
+(* Splitmix-style PRNG (same construction as the test generators):
+   explicit state, reproducible from the seed alone. *)
+module Prng = struct
+  type t = { mutable s : int64 }
+
+  let mix64 z =
+    let z =
+      Int64.mul
+        (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xBF58476D1CE4E5B9L
+    in
+    let z =
+      Int64.mul
+        (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL
+    in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let make seed = { s = mix64 (Int64.of_int (seed + 0x5EED)) }
+
+  let next t =
+    t.s <- Int64.add t.s 0x9E3779B97F4A7C15L;
+    mix64 t.s
+
+  let int t n =
+    if n <= 0 then invalid_arg "Prng.int: bound must be positive";
+    Int64.to_int
+      (Int64.rem (Int64.logand (next t) Int64.max_int) (Int64.of_int n))
+
+  let range t lo hi = lo + int t (hi - lo + 1)
+end
+
+let generate ?(seed = 2015) ?(events = 100) part =
+  let rng = Prng.make seed in
+  let usable = Device.Grid.usable_tiles part.Device.Partition.grid in
+  let avail k = Res.demand_get usable k in
+  (* demands sized so ~4 modules fill the device's CLB budget *)
+  let demand () =
+    let clb = avail Res.Clb in
+    let d =
+      if clb > 0 then
+        [ (Res.Clb, Prng.range rng (max 1 (clb / 12)) (max 2 (clb / 4))) ]
+      else []
+    in
+    let d =
+      if avail Res.Bram > 0 && Prng.int rng 3 = 0 then
+        (Res.Bram, Prng.range rng 1 (max 1 (avail Res.Bram / 4))) :: d
+      else d
+    in
+    let d =
+      if avail Res.Dsp > 0 && Prng.int rng 4 = 0 then
+        (Res.Dsp, Prng.range rng 1 (max 1 (avail Res.Dsp / 4))) :: d
+      else d
+    in
+    if d = [] then [ (Res.Clb, 1) ] else List.rev d
+  in
+  let live = ref [] in
+  let next_id = ref 0 in
+  List.init events (fun _ ->
+      let arrive = !live = [] || Prng.int rng 5 < 3 in
+      if arrive then begin
+        incr next_id;
+        let name = Printf.sprintf "m%d" !next_id in
+        live := name :: !live;
+        Arrive { a_name = name; a_demand = demand () }
+      end
+      else begin
+        let i = Prng.int rng (List.length !live) in
+        let name = List.nth !live i in
+        live := List.filter (fun n -> n <> name) !live;
+        Depart { d_name = name }
+      end)
+
+type stats = {
+  s_events : int;
+  s_admitted : int;
+  s_defrag_admitted : int;
+  s_fallbacks : int;
+  s_rejected : int;
+  s_departed : int;
+  s_moves : int;
+  s_violations : string list;
+  s_final : Layout.t;
+}
+
+let defrag_episodes s = s.s_defrag_admitted + s.s_fallbacks
+
+(* Rebuild a layout from a full re-placement assignment (the RF704
+   fallback path): every module is re-placed, images re-synthesized —
+   precisely the guarantee the no-break planner exists to avoid. *)
+let rebuild part ~demands assignment =
+  List.fold_left
+    (fun acc (name, rect) ->
+      match acc with
+      | Error _ as e -> e
+      | Ok l -> (
+        match List.assoc_opt name demands with
+        | None ->
+          Error
+            (D.diagf ~code:"RF702" D.Error (D.Layout name)
+               "fallback assignment names unknown module %S" name)
+        | Some demand -> Layout.place_at l name demand rect))
+    (Ok (Layout.create part))
+    assignment
+
+let replay ?(defrag = true) ?(max_moves = 3) ?(fallback = true)
+    ?(check = true) ?(on_event = fun _ _ _ -> ()) ?(on_move = fun _ -> ())
+    part events =
+  let violations = ref [] in
+  let violate fmt =
+    Format.kasprintf (fun m -> violations := m :: !violations) fmt
+  in
+  let admitted = ref 0 and defragged = ref 0 and fallbacks = ref 0 in
+  let rejected = ref 0 and departed = ref 0 and moves = ref 0 in
+  (* arrivals the layout turned away: their later departures are
+     no-ops in the trace, not audit failures *)
+  let rejected_live = ref [] in
+  let reject name =
+    incr rejected;
+    rejected_live := name :: !rejected_live
+  in
+  (* non-moving modules must come through a defrag byte-identical *)
+  let no_break_audit before after moved =
+    List.iter
+      (fun (e : Layout.entry) ->
+        if not (List.mem e.Layout.e_name moved) then
+          match Layout.find after e.Layout.e_name with
+          | None ->
+            violate "defrag dropped non-moving module %S" e.Layout.e_name
+          | Some e' ->
+            if
+              not
+                (Bytes.equal
+                   (Bitstream.Image.serialize e.Layout.e_image)
+                   (Bitstream.Image.serialize e'.Layout.e_image))
+            then
+              violate "defrag changed frames of non-moving module %S"
+                e.Layout.e_name)
+      (Layout.entries before)
+  in
+  let step i layout ev =
+    match ev with
+    | Depart { d_name } -> (
+      match Layout.remove layout d_name with
+      | Ok l ->
+        incr departed;
+        on_event i ev "departed";
+        l
+      | Error d ->
+        if List.mem d_name !rejected_live then begin
+          rejected_live := List.filter (fun n -> n <> d_name) !rejected_live;
+          on_event i ev "skipped"
+        end
+        else begin
+          violate "departure of %S failed: %s" d_name d.D.message;
+          on_event i ev "error"
+        end;
+        layout)
+    | Arrive { a_name; a_demand } -> (
+      match Layout.place layout a_name a_demand with
+      | Ok (l, _) ->
+        incr admitted;
+        on_event i ev "admitted";
+        l
+      | Error d when d.D.code <> "RF701" ->
+        violate "arrival of %S failed: %s" a_name d.D.message;
+        on_event i ev "error";
+        layout
+      | Error _ when not defrag ->
+        reject a_name;
+        on_event i ev "rejected";
+        layout
+      | Error _ -> (
+        match
+          Defrag.plan ~max_moves ~fallback layout ~name:a_name
+            ~demand:a_demand
+        with
+        | Ok (Defrag.Admit _) ->
+          (* [place] just failed, so admission cannot succeed here *)
+          violate "planner admitted %S that place rejected" a_name;
+          layout
+        | Ok (Defrag.Moves (schedule, _)) -> (
+          let moved = List.map (fun m -> m.Defrag.mv_name) schedule in
+          match
+            Defrag.execute
+              ~on_move:(fun m ->
+                incr moves;
+                on_move m)
+              layout schedule
+          with
+          | Error d ->
+            violate "move schedule for %S refused: %s" a_name d.D.message;
+            on_event i ev "error";
+            layout
+          | Ok l' -> (
+            no_break_audit layout l' moved;
+            match Layout.place l' a_name a_demand with
+            | Ok (l'', _) ->
+              incr defragged;
+              on_event i ev "defrag";
+              l''
+            | Error d ->
+              violate "admission after defrag for %S failed: %s" a_name
+                d.D.message;
+              on_event i ev "error";
+              l'))
+        | Ok (Defrag.Fallback assignment) -> (
+          let demands =
+            (a_name, a_demand)
+            :: List.map
+                 (fun (e : Layout.entry) ->
+                   (e.Layout.e_name, e.Layout.e_demand))
+                 (Layout.entries layout)
+          in
+          match rebuild part ~demands assignment with
+          | Ok l ->
+            incr fallbacks;
+            on_event i ev "fallback";
+            l
+          | Error d ->
+            violate "fallback re-placement for %S failed: %s" a_name
+              d.D.message;
+            on_event i ev "error";
+            layout)
+        | Error _ ->
+          reject a_name;
+          on_event i ev "rejected";
+          layout))
+  in
+  let final =
+    List.fold_left
+      (fun (i, layout) ev ->
+        let l = step i layout ev in
+        if check && not (Layout.check_free_rects l) then
+          violate "free-rectangle differential check failed after event %d" i;
+        (i + 1, l))
+      (0, Layout.create part) events
+    |> snd
+  in
+  {
+    s_events = List.length events;
+    s_admitted = !admitted;
+    s_defrag_admitted = !defragged;
+    s_fallbacks = !fallbacks;
+    s_rejected = !rejected;
+    s_departed = !departed;
+    s_moves = !moves;
+    s_violations = List.rev !violations;
+    s_final = final;
+  }

@@ -22,7 +22,25 @@ type solve_req = {
   sq_progress : float option;  (* requested interval_s, unclamped *)
 }
 
-type request = Solve of solve_req | Cancel of string | Stats | Shutdown
+type online_req =
+  | Ol_layout of source_ref option
+      (* with a device: establish (or reset) the session layout;
+         without: report the current one *)
+  | Ol_add of {
+      oa_name : string;
+      oa_demand : Device.Resource.demand;
+      oa_defrag : bool;
+      oa_max_moves : int option;  (* unclamped; the session clamps (RF706) *)
+    }
+  | Ol_remove of string
+  | Ol_defrag of int option  (* max_moves, unclamped *)
+
+type request =
+  | Solve of solve_req
+  | Cancel of string
+  | Stats
+  | Shutdown
+  | Online of online_req
 
 let ( let* ) = Result.bind
 
@@ -113,6 +131,60 @@ let parse_solve json =
          sq_progress;
        })
 
+(* demand objects use lowercase kind names; IO columns are not
+   requestable by regions (Resource.kind doc), so "io" is rejected *)
+let kind_of_key = function
+  | "clb" -> Some Device.Resource.Clb
+  | "bram" -> Some Device.Resource.Bram
+  | "dsp" -> Some Device.Resource.Dsp
+  | _ -> None
+
+let parse_demand json =
+  match J.member "demand" json with
+  | None -> Error "missing \"demand\" object"
+  | Some (J.Obj fields) ->
+    let rec go acc = function
+      | [] ->
+        if acc = [] then Error "field \"demand\" must request at least one tile"
+        else Ok (List.rev acc)
+      | (key, v) :: rest -> (
+        match kind_of_key (String.lowercase_ascii key) with
+        | None ->
+          Error (Printf.sprintf "unknown demand kind %S (clb | bram | dsp)" key)
+        | Some k -> (
+          match v with
+          | J.Num f when Float.is_integer f && f > 0. ->
+            go ((k, int_of_float f) :: acc) rest
+          | _ ->
+            Error
+              (Printf.sprintf "demand %S must be a positive integer" key)))
+    in
+    go [] fields
+  | Some _ -> Error "field \"demand\" must be an object"
+
+let opt_bool ~default key json =
+  match J.member key json with
+  | None -> Ok default
+  | Some (J.Bool b) -> Ok b
+  | Some _ -> Error (Printf.sprintf "field %S must be a boolean" key)
+
+let opt_source ~name_key ~text_key json =
+  let* name = opt_string name_key json in
+  let* text = opt_string text_key json in
+  match (name, text) with
+  | Some n, None -> Ok (Some (Builtin n))
+  | None, Some t -> Ok (Some (Inline t))
+  | Some _, Some _ ->
+    Error (Printf.sprintf "give %S or %S, not both" name_key text_key)
+  | None, None -> Ok None
+
+let opt_int_opt key json =
+  let* n = opt_num key json in
+  match n with
+  | None -> Ok None
+  | Some f when Float.is_integer f -> Ok (Some (int_of_float f))
+  | Some _ -> Error (Printf.sprintf "field %S must be an integer" key)
+
 let parse_request line =
   let* json = J.parse line in
   let* op = J.get_string "op" json in
@@ -123,7 +195,27 @@ let parse_request line =
     Ok (Cancel id)
   | "stats" -> Ok Stats
   | "shutdown" -> Ok Shutdown
-  | op -> Error (Printf.sprintf "unknown op %S (solve | cancel | stats | shutdown)" op)
+  | "layout" ->
+    let* src = opt_source ~name_key:"device" ~text_key:"device_text" json in
+    Ok (Online (Ol_layout src))
+  | "add" ->
+    let* oa_name = J.get_string "name" json in
+    let* oa_demand = parse_demand json in
+    let* oa_defrag = opt_bool ~default:true "defrag" json in
+    let* oa_max_moves = opt_int_opt "max_moves" json in
+    Ok (Online (Ol_add { oa_name; oa_demand; oa_defrag; oa_max_moves }))
+  | "remove" ->
+    let* name = J.get_string "name" json in
+    Ok (Online (Ol_remove name))
+  | "defrag" ->
+    let* max_moves = opt_int_opt "max_moves" json in
+    Ok (Online (Ol_defrag max_moves))
+  | op ->
+    Error
+      (Printf.sprintf
+         "unknown op %S (solve | cancel | stats | shutdown | layout | add | \
+          remove | defrag)"
+         op)
 
 (* ---------------- responses ---------------- *)
 
@@ -253,3 +345,58 @@ let error_frame ?id msg =
     (("type", J.Str "error")
     :: (opt_field "id" (Option.map (fun s -> J.Str s) id)
        @ [ ("message", J.Str msg) ]))
+
+(* ---------------- online frames ---------------- *)
+
+type layout_summary = {
+  ls_device : string;
+  ls_modules : int;
+  ls_occupancy : float;
+  ls_fragmentation : float;
+  ls_free_rects : int;
+}
+
+let rect_json (r : Rect.t) =
+  J.Obj
+    [
+      ("x", J.Num (float_of_int r.Rect.x));
+      ("y", J.Num (float_of_int r.Rect.y));
+      ("w", J.Num (float_of_int r.Rect.w));
+      ("h", J.Num (float_of_int r.Rect.h));
+    ]
+
+let layout_json ls =
+  J.Obj
+    [
+      ("device", J.Str ls.ls_device);
+      ("modules", J.Num (float_of_int ls.ls_modules));
+      ("occupancy", num ls.ls_occupancy);
+      ("fragmentation", num ls.ls_fragmentation);
+      ("free_rects", J.Num (float_of_int ls.ls_free_rects));
+    ]
+
+let online_frame ~op ~outcome ?name ?code ?message ?rect ?(moves = []) ?layout
+    () =
+  frame
+    ([ ("type", J.Str "online"); ("op", J.Str op); ("outcome", J.Str outcome) ]
+    @ opt_field "name" (Option.map (fun s -> J.Str s) name)
+    @ opt_field "code" (Option.map (fun s -> J.Str s) code)
+    @ opt_field "message" (Option.map (fun s -> J.Str s) message)
+    @ opt_field "rect" (Option.map rect_json rect)
+    @ (match moves with
+      | [] -> []
+      | _ ->
+        [
+          ( "moves",
+            J.Arr
+              (List.map
+                 (fun (mname, src, dst) ->
+                   J.Obj
+                     [
+                       ("module", J.Str mname);
+                       ("src", rect_json src);
+                       ("dst", rect_json dst);
+                     ])
+                 moves) );
+        ])
+    @ opt_field "layout" (Option.map layout_json layout))

@@ -13,9 +13,23 @@
     - [{"op":"stats"}]
     - [{"op":"shutdown"}]
 
+    Online floorplanning (per-session {!Rfloor_online.Layout} state,
+    handled synchronously in arrival order):
+    - [{"op":"layout", "device":NAME | "device_text":TEXT}] —
+      establish (or reset) the session layout; with neither field,
+      report the current one (RF703 when none exists yet)
+    - [{"op":"add","name":N,"demand":{"clb":4,"bram":1},
+       "defrag":BOOL, "max_moves":INT}] — arrival; on fragmentation
+      the no-break defragmentation planner runs unless
+      [defrag:false]
+    - [{"op":"remove","name":N}] — departure
+    - [{"op":"defrag","max_moves":INT}] — explicit compaction
+
     Responses: [type] is ["result"] (per solve, in submission order),
     ["progress"] (streamed for solves that opted in, always before the
-    job's result frame), ["ack"] (per cancel), ["stats"], or
+    job's result frame), ["ack"] (per cancel), ["stats"], ["online"]
+    (per online request: op, outcome, the placed rectangle / executed
+    moves, and a layout summary; errors carry their RF7xx code), or
     ["error"]. *)
 
 type source_ref =
@@ -41,7 +55,26 @@ type solve_req = {
           unclamped — the session clamps it (RF603) *)
 }
 
-type request = Solve of solve_req | Cancel of string | Stats | Shutdown
+type online_req =
+  | Ol_layout of source_ref option
+      (** with a device: establish (or reset) the session layout;
+          without: report the current one *)
+  | Ol_add of {
+      oa_name : string;
+      oa_demand : Device.Resource.demand;
+      oa_defrag : bool;
+      oa_max_moves : int option;
+          (** unclamped; the session clamps (RF706) *)
+    }
+  | Ol_remove of string
+  | Ol_defrag of int option  (** max_moves, unclamped *)
+
+type request =
+  | Solve of solve_req
+  | Cancel of string
+  | Stats
+  | Shutdown
+  | Online of online_req
 
 val parse_request : string -> (request, string) result
 
@@ -55,6 +88,32 @@ val progress_frame : id:string -> Rfloor_obsv.Progress.snapshot -> string
 val ack_frame : op:string -> id:string -> ok:bool -> string
 val stats_frame : Pool.stats -> string
 val error_frame : ?id:string -> string -> string
+
+type layout_summary = {
+  ls_device : string;
+  ls_modules : int;
+  ls_occupancy : float;
+  ls_fragmentation : float;
+  ls_free_rects : int;
+}
+
+val online_frame :
+  op:string ->
+  outcome:string ->
+  ?name:string ->
+  ?code:string ->
+  ?message:string ->
+  ?rect:Device.Rect.t ->
+  ?moves:(string * Device.Rect.t * Device.Rect.t) list ->
+  ?layout:layout_summary ->
+  unit ->
+  string
+(** One [type:"online"] response: the request's [op], an [outcome]
+    (["established"], ["admitted"], ["defrag"], ["fallback"],
+    ["rejected"], ["removed"], ["compacted"], ["ok"] or ["error"]),
+    and when known the placed rectangle, the executed moves and the
+    post-request layout summary.  Error outcomes carry the RF7xx
+    [code] and rendered [message]. *)
 
 val version : string
 (** ["rfloor-service/1"]. *)

@@ -3,6 +3,8 @@ module Sync = Rfloor_sync
 module Solver = Rfloor.Solver
 module Progress = Rfloor_obsv.Progress
 module Statusz = Rfloor_obsv.Statusz
+module Ol = Rfloor_online
+module Diag = Rfloor_diag.Diagnostic
 
 (* The response queue decouples reading from answering: the reader
    thread parses and submits without ever blocking on a solve, so a
@@ -114,6 +116,243 @@ let pool_view pool =
     pv_cache_size = st.Pool.s_cache_entries;
   }
 
+(* ---------------- per-session online layout ---------------- *)
+
+(* All online ops run synchronously in the reader thread (their Ready
+   frames keep submission order with solve results); the statusz thunk
+   reads the ref from the HTTP domain, but the stored Layout.t is
+   immutable, so the worst case is a one-request-old snapshot. *)
+
+let layout_summary (dev, l) =
+  {
+    P.ls_device = dev;
+    ls_modules = Ol.Layout.modules l;
+    ls_occupancy = Ol.Layout.occupancy l;
+    ls_fragmentation = Ol.Layout.fragmentation l;
+    ls_free_rects = List.length (Ol.Layout.free_rects l);
+  }
+
+let layout_view (dev, l) =
+  {
+    Statusz.lv_device = dev;
+    lv_modules = Ol.Layout.modules l;
+    lv_occupancy = Ol.Layout.occupancy l;
+    lv_fragmentation = Ol.Layout.fragmentation l;
+    lv_free_rects = List.length (Ol.Layout.free_rects l);
+  }
+
+let move_triple (m : Ol.Defrag.move) = (m.Ol.Defrag.mv_name, m.Ol.Defrag.mv_src, m.Ol.Defrag.mv_dst)
+
+let diag_frame ~op ?name (d : Diag.t) =
+  P.online_frame ~op ~outcome:"error" ?name ~code:d.Diag.code
+    ~message:(Format.asprintf "%a" Diag.pp d) ()
+
+(* the RF704 fallback path: every live module re-placed with a fresh
+   image — the no-break guarantee is waived, which callers see as
+   outcome "fallback" carrying code RF704 *)
+let rebuild_from_assignment part ~demands assignment =
+  List.fold_left
+    (fun acc (name, rect) ->
+      match acc with
+      | Error _ as e -> e
+      | Ok l -> (
+        match List.assoc_opt name demands with
+        | None ->
+          Error
+            (Diag.diagf ~code:"RF702" Diag.Error (Diag.Layout name)
+               "fallback assignment names unknown module %S" name)
+        | Some demand -> Ol.Layout.place_at l name demand rect))
+    (Ok (Ol.Layout.create part))
+    assignment
+
+type online_ctx = {
+  oc_state : (string * Ol.Layout.t) option ref;
+  oc_rejected : string list ref;
+      (* arrivals the layout turned away: their later departures answer
+         "skipped", not RF702 — replayed traces stay error-free *)
+  oc_warn : Diag.t -> unit;
+  oc_on_move : Ol.Defrag.move -> unit;
+  oc_metrics : Rfloor_metrics.Registry.t;
+}
+
+let online_counter ctx name help =
+  Rfloor_metrics.Registry.counter ctx.oc_metrics ~help name
+
+let set_layout ctx dev l =
+  ctx.oc_state := Some (dev, l);
+  let module R = Rfloor_metrics.Registry in
+  R.Gauge.set
+    (R.gauge ctx.oc_metrics
+       ~help:"Occupied fraction of the online layout's usable tiles"
+       "rfloor_online_occupancy")
+    (Ol.Layout.occupancy l);
+  R.Gauge.set
+    (R.gauge ctx.oc_metrics
+       ~help:"1 - largest free rectangle / total free area of the online layout"
+       "rfloor_online_fragmentation")
+    (Ol.Layout.fragmentation l)
+
+let rf703 op =
+  Diag.diagf ~code:"RF703" Diag.Error (Diag.Layout op)
+    "online %S before a layout device was established (send \
+     {\"op\":\"layout\",\"device\":...} first)"
+    op
+
+(* max_moves outside [0, 8] is clamped with an RF706 warning (8 is
+   already far beyond what the BFS explores in bounded time) *)
+let clamp_max_moves ctx ~op = function
+  | None -> 3
+  | Some n when n >= 0 && n <= 8 -> n
+  | Some n ->
+    let clamped = max 0 (min 8 n) in
+    ctx.oc_warn
+      (Diag.diagf ~code:"RF706" Diag.Warning (Diag.Layout op)
+         "max_moves %d out of range [0, 8]; clamped to %d" n clamped);
+    clamped
+
+let handle_online ctx ~resolve_grid (req : P.online_req) =
+  let module R = Rfloor_metrics.Registry in
+  let incr name help = R.Counter.incr (online_counter ctx name help) in
+  let frame = P.online_frame in
+  let summary () = Option.map layout_summary !(ctx.oc_state) in
+  match req with
+  | P.Ol_layout src -> (
+    match src with
+    | None -> (
+      match !(ctx.oc_state) with
+      | None -> diag_frame ~op:"layout" (rf703 "layout")
+      | Some st -> frame ~op:"layout" ~outcome:"ok" ~layout:(layout_summary st) ())
+    | Some src -> (
+      match resolve_grid src with
+      | Error msg -> frame ~op:"layout" ~outcome:"error" ~message:msg ()
+      | Ok grid -> (
+        match Device.Partition.columnar grid with
+        | Error d -> diag_frame ~op:"layout" d
+        | Ok part ->
+          let dev = Device.Grid.name grid in
+          ctx.oc_rejected := [];
+          set_layout ctx dev (Ol.Layout.create part);
+          frame ~op:"layout" ~outcome:"established"
+            ?layout:(summary ()) ())))
+  | P.Ol_remove name -> (
+    match !(ctx.oc_state) with
+    | None -> diag_frame ~op:"remove" ~name (rf703 "remove")
+    | Some (dev, l) -> (
+      match Ol.Layout.remove l name with
+      | Error d ->
+        if List.mem name !(ctx.oc_rejected) then begin
+          ctx.oc_rejected :=
+            List.filter (fun n -> n <> name) !(ctx.oc_rejected);
+          frame ~op:"remove" ~outcome:"skipped" ~name ?layout:(summary ()) ()
+        end
+        else diag_frame ~op:"remove" ~name d
+      | Ok l' ->
+        set_layout ctx dev l';
+        incr "rfloor_online_removes_total" "Online departures executed";
+        frame ~op:"remove" ~outcome:"removed" ~name ?layout:(summary ()) ()))
+  | P.Ol_defrag max_moves -> (
+    match !(ctx.oc_state) with
+    | None -> diag_frame ~op:"defrag" (rf703 "defrag")
+    | Some (dev, l) -> (
+      let max_moves = clamp_max_moves ctx ~op:"defrag" max_moves in
+      let schedule = Ol.Defrag.compact ~max_moves l in
+      match Ol.Defrag.execute ~on_move:ctx.oc_on_move l schedule with
+      | Error d -> diag_frame ~op:"defrag" d
+      | Ok l' ->
+        set_layout ctx dev l';
+        incr "rfloor_online_defrags_total"
+          "Defragmentation episodes (planner or explicit compaction)";
+        R.Counter.add
+          (online_counter ctx "rfloor_online_moves_executed_total"
+             "Relocations executed through the bitstream filter")
+          (List.length schedule);
+        frame ~op:"defrag" ~outcome:"compacted"
+          ~moves:(List.map move_triple schedule)
+          ?layout:(summary ()) ()))
+  | P.Ol_add { oa_name; oa_demand; oa_defrag; oa_max_moves } -> (
+    match !(ctx.oc_state) with
+    | None -> diag_frame ~op:"add" ~name:oa_name (rf703 "add")
+    | Some (dev, l) -> (
+      let admitted outcome ?moves l' rect =
+        set_layout ctx dev l';
+        incr "rfloor_online_adds_total" "Online arrivals placed";
+        frame ~op:"add" ~outcome ~name:oa_name ~rect ?moves
+          ?layout:(summary ()) ()
+      in
+      match Ol.Layout.place l oa_name oa_demand with
+      | Ok (l', rect) ->
+        incr "rfloor_online_admission_hits_total"
+          "Arrivals admitted into an existing free rectangle";
+        admitted "admitted" l' rect
+      | Error d when d.Diag.code <> "RF701" ->
+        diag_frame ~op:"add" ~name:oa_name d
+      | Error d when not oa_defrag ->
+        incr "rfloor_online_rejects_total" "Arrivals turned away";
+        ctx.oc_rejected := oa_name :: !(ctx.oc_rejected);
+        frame ~op:"add" ~outcome:"rejected" ~name:oa_name ~code:d.Diag.code
+          ~message:(Format.asprintf "%a" Diag.pp d)
+          ?layout:(summary ()) ()
+      | Error _ -> (
+        let max_moves = clamp_max_moves ctx ~op:"add" oa_max_moves in
+        match Ol.Defrag.plan ~max_moves l ~name:oa_name ~demand:oa_demand with
+        | Error d ->
+          incr "rfloor_online_rejects_total" "Arrivals turned away";
+          ctx.oc_rejected := oa_name :: !(ctx.oc_rejected);
+          frame ~op:"add" ~outcome:"rejected" ~name:oa_name ~code:d.Diag.code
+            ~message:(Format.asprintf "%a" Diag.pp d)
+            ?layout:(summary ()) ()
+        | Ok (Ol.Defrag.Admit rect) -> (
+          (* Layout.place above just failed, so this cannot happen on a
+             consistent layout; place anyway rather than crash *)
+          match Ol.Layout.place l oa_name oa_demand with
+          | Ok (l', _) -> admitted "admitted" l' rect
+          | Error d -> diag_frame ~op:"add" ~name:oa_name d)
+        | Ok (Ol.Defrag.Moves (schedule, _)) -> (
+          match Ol.Defrag.execute ~on_move:ctx.oc_on_move l schedule with
+          | Error d -> diag_frame ~op:"add" ~name:oa_name d
+          | Ok l' -> (
+            match Ol.Layout.place l' oa_name oa_demand with
+            | Error d -> diag_frame ~op:"add" ~name:oa_name d
+            | Ok (l'', rect) ->
+              incr "rfloor_online_defrags_total"
+                "Defragmentation episodes (planner or explicit compaction)";
+              R.Counter.add
+                (online_counter ctx "rfloor_online_moves_executed_total"
+                   "Relocations executed through the bitstream filter")
+                (List.length schedule);
+              admitted "defrag"
+                ~moves:(List.map move_triple schedule)
+                l'' rect))
+        | Ok (Ol.Defrag.Fallback assignment) -> (
+          let demands =
+            (oa_name, oa_demand)
+            :: List.map
+                 (fun (e : Ol.Layout.entry) ->
+                   (e.Ol.Layout.e_name, e.Ol.Layout.e_demand))
+                 (Ol.Layout.entries l)
+          in
+          let part = Ol.Layout.partition l in
+          match rebuild_from_assignment part ~demands assignment with
+          | Error d -> diag_frame ~op:"add" ~name:oa_name d
+          | Ok l' -> (
+            ctx.oc_warn
+              (Diag.diagf ~code:"RF704" Diag.Warning (Diag.Layout oa_name)
+                 "defragmentation fell back to a full re-placement solve; \
+                  the no-break guarantee is waived for this arrival");
+            incr "rfloor_online_defrags_total"
+              "Defragmentation episodes (planner or explicit compaction)";
+            match Ol.Layout.find l' oa_name with
+            | None ->
+              diag_frame ~op:"add" ~name:oa_name
+                (Diag.diagf ~code:"RF701" Diag.Error (Diag.Layout oa_name)
+                   "fallback re-placement lost the arriving module")
+            | Some e ->
+              set_layout ctx dev l';
+              incr "rfloor_online_adds_total" "Online arrivals placed";
+              frame ~op:"add" ~outcome:"fallback" ~name:oa_name ~code:"RF704"
+                ~rect:e.Ol.Layout.e_rect
+                ?layout:(summary ()) ())))))
+
 let run ?(workers = 1) ?(cache_capacity = 128)
     ?(metrics = Rfloor_metrics.Registry.null) ?(trace = Rfloor_trace.disabled)
     ?(warn = fun (_ : Rfloor_diag.Diagnostic.t) -> ()) ?on_status ~devices
@@ -124,9 +363,29 @@ let run ?(workers = 1) ?(cache_capacity = 128)
      (so /statusz can list in-flight work), otherwise only for jobs
      that opted into progress frames *)
   let statusz_on = on_status <> None in
+  (* per-session online layout: mutated only by the reader thread; the
+     statusz thunk below reads the immutable snapshot *)
+  let online_state = ref None in
+  let online_ctx =
+    {
+      oc_state = online_state;
+      oc_rejected = ref [];
+      oc_warn = warn;
+      oc_on_move =
+        (fun (m : Ol.Defrag.move) ->
+          Rfloor_trace.move trace ~module_name:m.Ol.Defrag.mv_name
+            ~src:(Device.Rect.to_string m.Ol.Defrag.mv_src)
+            ~dst:(Device.Rect.to_string m.Ol.Defrag.mv_dst)
+            ());
+      oc_metrics = metrics;
+    }
+  in
   (match on_status with
   | Some f ->
-    f (fun () -> Statusz.render ~pool:(pool_view pool) ~jobs:(Progress.active board) ())
+    f (fun () ->
+        Statusz.render ~pool:(pool_view pool)
+          ?layout:(Option.map layout_view !online_state)
+          ~jobs:(Progress.active board) ())
   | None -> ());
   let out_mu = Sync.Mutex.create ~name:"session.out.mu" () in
   let write_frame frame =
@@ -225,6 +484,13 @@ let run ?(workers = 1) ?(cache_capacity = 128)
           | None -> false
         in
         push responses (Ready (P.ack_frame ~op:"cancel" ~id ~ok));
+        read_loop ()
+      | Ok (P.Online oreq) ->
+        push responses
+          (Ready
+             (handle_online online_ctx
+                ~resolve_grid:(resolve_grid ~devices)
+                oreq));
         read_loop ()
       | Ok (P.Solve sq) ->
         (if Hashtbl.mem tickets sq.P.sq_id then

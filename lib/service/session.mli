@@ -14,7 +14,16 @@
     {!Rfloor_obsv.Progress.Ticker} domain (no polling thread per job).
     All output goes through one mutex, and a job's progress entry is
     killed under that mutex right before its result frame is printed —
-    a progress frame never follows its job's result frame. *)
+    a progress frame never follows its job's result frame.
+
+    Online floorplanning ops ([layout]/[add]/[remove]/[defrag]) carry
+    per-session {!Rfloor_online.Layout} state: they are handled
+    synchronously in the reader thread, so their [type:"online"]
+    responses keep submission order with solve results.  Relocations
+    planned by the no-break defragmenter emit [move] trace events and
+    the [rfloor_online_*] metrics family; an established layout's
+    occupancy/fragmentation gauges also appear in the [/statusz]
+    document. *)
 
 val run :
   ?workers:int ->

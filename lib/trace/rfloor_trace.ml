@@ -34,6 +34,7 @@ module Event = struct
     | Stopped of { reason : string }
     | Lp_refactor of { reason : string }
     | Lp_warm of { result : string }
+    | Move of { module_name : string; src : string; dst : string }
     | Warning of string
     | Message of string
 
@@ -69,6 +70,7 @@ module Event = struct
     | Stopped _ -> "stopped"
     | Lp_refactor _ -> "refactor"
     | Lp_warm _ -> "warm"
+    | Move _ -> "move"
     | Warning _ -> "warning"
     | Message _ -> "message"
 
@@ -89,6 +91,8 @@ module Event = struct
     | Stopped { reason } -> Format.fprintf ppf "stopped: %s" reason
     | Lp_refactor { reason } -> Format.fprintf ppf "lp refactorize: %s" reason
     | Lp_warm { result } -> Format.fprintf ppf "lp warm start: %s" result
+    | Move { module_name; src; dst } ->
+      Format.fprintf ppf "move %s: %s -> %s" module_name src dst
     | Warning msg -> Format.fprintf ppf "warning: %s" msg
     | Message msg -> Format.fprintf ppf "%s" msg
 
@@ -138,6 +142,9 @@ module Event = struct
         Printf.sprintf ",\"reason\":\"%s\"" (json_escape reason)
       | Lp_warm { result } ->
         Printf.sprintf ",\"result\":\"%s\"" (json_escape result)
+      | Move { module_name; src; dst } ->
+        Printf.sprintf ",\"module\":\"%s\",\"src\":\"%s\",\"dst\":\"%s\""
+          (json_escape module_name) (json_escape src) (json_escape dst)
       | Warning msg | Message msg ->
         Printf.sprintf ",\"msg\":\"%s\"" (json_escape msg)
     in
@@ -355,6 +362,11 @@ module Event = struct
         | "warm" ->
           let* result = str "result" in
           Ok (Lp_warm { result })
+        | "move" ->
+          let* module_name = str "module" in
+          let* src = str "src" in
+          let* dst = str "dst" in
+          Ok (Move { module_name; src; dst })
         | "warning" ->
           let* msg = str "msg" in
           Ok (Warning msg)
@@ -792,6 +804,9 @@ let lp_refactor t ?(worker = 0) reason =
 
 let lp_warm t ?(worker = 0) result =
   if enabled t then send t worker (Event.Lp_warm { result })
+
+let move t ?(worker = 0) ~module_name ~src ~dst () =
+  if enabled t then send t worker (Event.Move { module_name; src; dst })
 
 let add_worker_totals t ~worker ~nodes ~iterations =
   if t.t_live then Metrics.add_worker t.t_m worker nodes iterations

@@ -62,6 +62,10 @@ module Event : sig
         (** a warm-started LP re-solve finished; [result] is ["dual"]
             when the dual simplex ran from the parent basis and
             ["fallback"] when the solve fell back to a cold start *)
+    | Move of { module_name : string; src : string; dst : string }
+        (** an online defragmentation relocated a placed module;
+            [src]/[dst] are rectangle strings as printed by
+            [Rect.to_string] *)
     | Warning of string
     | Message of string
 
@@ -263,6 +267,12 @@ val lp_refactor : t -> ?worker:int -> string -> unit
 val lp_warm : t -> ?worker:int -> string -> unit
 (** Emits an [Lp_warm] event (when enabled) recording how a
     warm-started LP re-solve finished (["dual"] or ["fallback"]). *)
+
+val move :
+  t -> ?worker:int -> module_name:string -> src:string -> dst:string ->
+  unit -> unit
+(** Emits a [Move] event (when enabled) recording one executed online
+    relocation. *)
 
 val add_worker_totals : t -> worker:int -> nodes:int -> iterations:int -> unit
 (** Called once per worker at the end of a solve; totals accumulate if

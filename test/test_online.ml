@@ -1,0 +1,305 @@
+(* Online floorplanning: incremental maximal-free-rectangle tracking
+   pinned against a brute-force oracle, admission, the no-break
+   defragmentation planner, and the seeded workload replayer. *)
+
+open Device
+module Fs = Rfloor_online.Free_space
+module Layout = Rfloor_online.Layout
+module Defrag = Rfloor_online.Defrag
+module Workload = Rfloor_online.Workload
+
+let mini_part = lazy (Partition.columnar_exn Devices.mini)
+
+(* Brute-force oracle, deliberately different from the library's
+   row-span sweep: enumerate every rectangle, keep the free ones, keep
+   those not contained in another free one. *)
+let oracle part occupied =
+  let g = part.Partition.grid in
+  let w = Grid.width g and h = Grid.height g in
+  let free_cell c r =
+    (not (Grid.in_forbidden g c r))
+    && not (List.exists (fun o -> Rect.contains_point o c r) occupied)
+  in
+  let rect_free rect =
+    let ok = ref true in
+    for c = rect.Rect.x to Rect.x2 rect do
+      for r = rect.Rect.y to Rect.y2 rect do
+        if not (free_cell c r) then ok := false
+      done
+    done;
+    !ok
+  in
+  let all = ref [] in
+  for x = 1 to w do
+    for y = 1 to h do
+      for rw = 1 to w - x + 1 do
+        for rh = 1 to h - y + 1 do
+          let rect = Rect.make ~x ~y ~w:rw ~h:rh in
+          if rect_free rect then all := rect :: !all
+        done
+      done
+    done
+  done;
+  let free = !all in
+  List.filter
+    (fun a ->
+      not
+        (List.exists
+           (fun b -> (not (Rect.equal a b)) && Rect.contains b a)
+           free))
+    free
+  |> List.sort Rect.compare
+
+let test_mer_differential () =
+  let checked = ref 0 in
+  for seed = 0 to 199 do
+    let grid = Devices.random (Random.State.make [| seed |]) in
+    match Partition.columnar grid with
+    | Error _ -> ()
+    | Ok part ->
+      let rng = Generators.Prng.make (seed * 7919) in
+      let placed = ref [] in
+      let mers = ref (Fs.recompute part ~occupied:[]) in
+      for op = 0 to 29 do
+        (if !placed <> [] && Generators.Prng.int rng 5 < 2 then begin
+           (* departure *)
+           let i = Generators.Prng.int rng (List.length !placed) in
+           let r = List.nth !placed i in
+           placed := List.filteri (fun j _ -> j <> i) !placed;
+           mers := Fs.remove part ~occupied:!placed !mers r
+         end
+         else
+           (* arrival into a random sub-rectangle of a random MER *)
+           match !mers with
+           | [] -> ()
+           | ms ->
+             let m = List.nth ms (Generators.Prng.int rng (List.length ms)) in
+             let rw = Generators.Prng.range rng 1 m.Rect.w in
+             let rh = Generators.Prng.range rng 1 m.Rect.h in
+             let x = Generators.Prng.range rng m.Rect.x (Rect.x2 m - rw + 1) in
+             let y = Generators.Prng.range rng m.Rect.y (Rect.y2 m - rh + 1) in
+             let r = Rect.make ~x ~y ~w:rw ~h:rh in
+             placed := r :: !placed;
+             mers := Fs.add !mers r);
+        incr checked;
+        if not (Fs.equal_sets !mers (oracle part !placed)) then
+          Alcotest.failf "MER set diverged (seed %d, op %d):@ inc=[%s]@ ref=[%s]"
+            seed op
+            (String.concat " " (List.map Rect.to_string !mers))
+            (String.concat " " (List.map Rect.to_string (oracle part !placed)))
+      done
+  done;
+  if !checked < 1000 then Alcotest.failf "too few differential checks (%d)" !checked
+
+let ok = function
+  | Ok v -> v
+  | Error (d : Rfloor_diag.Diagnostic.t) -> Alcotest.failf "diagnostic: %s" d.message
+
+let test_admission_best_fit () =
+  let part = Lazy.force mini_part in
+  let l = Layout.create part in
+  (* empty mini: free space is the whole 10x4 device, one MER *)
+  Alcotest.(check int) "one MER when empty" 1 (List.length (Layout.free_rects l));
+  Alcotest.(check (float 1e-9)) "fragmentation 0" 0. (Layout.fragmentation l);
+  let l, r1 = ok (Layout.place l "a" [ (Resource.Clb, 4) ]) in
+  (* 4 CLBs fit in a 1-column x 4-row strip of a CLB column *)
+  Alcotest.(check int) "minimal area" 4 (Rect.area r1);
+  Alcotest.(check bool) "differential" true (Layout.check_free_rects l);
+  Alcotest.(check bool) "occupancy > 0" true (Layout.occupancy l > 0.);
+  let l2 = ok (Layout.remove l "a") in
+  Alcotest.(check int) "empty again" 0 (Layout.modules l2);
+  Alcotest.(check int) "one MER again" 1 (List.length (Layout.free_rects l2))
+
+let test_admission_rejects_dup_and_unknown () =
+  let part = Lazy.force mini_part in
+  let l = Layout.create part in
+  let l, _ = ok (Layout.place l "a" [ (Resource.Clb, 2) ]) in
+  (match Layout.place l "a" [ (Resource.Clb, 2) ] with
+  | Error d -> Alcotest.(check string) "dup code" "RF702" d.Rfloor_diag.Diagnostic.code
+  | Ok _ -> Alcotest.fail "duplicate admitted");
+  match Layout.remove l "ghost" with
+  | Error d -> Alcotest.(check string) "unknown code" "RF702" d.Rfloor_diag.Diagnostic.code
+  | Ok _ -> Alcotest.fail "removed a ghost"
+
+(* A crafted one-move instance: an 8-wide, 1-tall all-CLB device with
+   modules at columns 1-2 and 4-5.  A 4-column arrival does not fit
+   (max free run is 3), but moving "b" right by one run makes room —
+   the planner must find a single-move schedule, and the non-moving
+   module must come through byte-identical. *)
+let one_move_device = lazy (Grid.of_strings ~name:"strip" [ "CCCCCCCC" ])
+
+let one_move_layout () =
+  let part = Partition.columnar_exn (Lazy.force one_move_device) in
+  let l = Layout.create part in
+  let l = ok (Layout.place_at l "a" [ (Resource.Clb, 2) ] (Rect.make ~x:1 ~y:1 ~w:2 ~h:1)) in
+  let l = ok (Layout.place_at l "b" [ (Resource.Clb, 2) ] (Rect.make ~x:4 ~y:1 ~w:2 ~h:1)) in
+  (part, l)
+
+let test_defrag_minimal_move () =
+  let _, l = one_move_layout () in
+  let demand = [ (Resource.Clb, 4) ] in
+  Alcotest.(check bool) "blocked" true (Layout.admission_rect l demand = None);
+  match ok (Defrag.plan ~fallback:false l ~name:"c" ~demand) with
+  | Defrag.Admit _ -> Alcotest.fail "planner claims admissible"
+  | Defrag.Fallback _ -> Alcotest.fail "planner fell back"
+  | Defrag.Moves (schedule, rect) ->
+    Alcotest.(check int) "one move" 1 (List.length schedule);
+    let a_before = Option.get (Layout.find l "a") in
+    let l' = ok (Defrag.execute l schedule) in
+    let a_after = Option.get (Layout.find l' "a") in
+    Alcotest.(check bool) "no-break: frames byte-identical" true
+      (Bytes.equal
+         (Bitstream.Image.serialize a_before.Layout.e_image)
+         (Bitstream.Image.serialize a_after.Layout.e_image));
+    let l'', placed = ok (Layout.place l' "c" demand) in
+    Alcotest.(check bool) "admitted at planned rect" true (Rect.equal rect placed);
+    Alcotest.(check bool) "differential" true (Layout.check_free_rects l'')
+
+let test_moved_module_payload_preserved () =
+  let _, l = one_move_layout () in
+  match ok (Defrag.plan ~fallback:false l ~name:"c" ~demand:[ (Resource.Clb, 4) ]) with
+  | Defrag.Moves (schedule, _) ->
+    let mv = List.hd schedule in
+    let before = Option.get (Layout.find l mv.Defrag.mv_name) in
+    let l' = ok (Defrag.execute l schedule) in
+    let after = Option.get (Layout.find l' mv.Defrag.mv_name) in
+    (* relocation rewrites addresses but never payload words *)
+    Alcotest.(check bool) "payload equal" true
+      (Bitstream.Image.payload_equal before.Layout.e_image after.Layout.e_image);
+    Alcotest.(check bool) "image differs (addresses moved)" true
+      (not
+         (Bytes.equal
+            (Bitstream.Image.serialize before.Layout.e_image)
+            (Bitstream.Image.serialize after.Layout.e_image)))
+  | _ -> Alcotest.fail "expected a move schedule"
+
+let test_move_rejects_bad_destination () =
+  let _, l = one_move_layout () in
+  (* overlaps module "b" *)
+  match Layout.move l "a" (Rect.make ~x:5 ~y:1 ~w:2 ~h:1) with
+  | Error d -> Alcotest.(check string) "code" "RF705" d.Rfloor_diag.Diagnostic.code
+  | Ok _ -> Alcotest.fail "moved onto an occupied rectangle"
+
+let test_workload_deterministic () =
+  let part = Lazy.force mini_part in
+  let a = Workload.generate ~seed:7 ~events:50 part in
+  let b = Workload.generate ~seed:7 ~events:50 part in
+  Alcotest.(check bool) "same trace" true (a = b);
+  let c = Workload.generate ~seed:8 ~events:50 part in
+  Alcotest.(check bool) "different seed differs" true (a <> c)
+
+let test_workload_replay_audits_clean () =
+  let part = Lazy.force mini_part in
+  let events = Workload.generate ~seed:2015 ~events:100 part in
+  let stats = Workload.replay ~check:true part events in
+  Alcotest.(check (list string)) "no violations" [] stats.Workload.s_violations;
+  Alcotest.(check int) "all events consumed" 100 stats.Workload.s_events;
+  Alcotest.(check bool) "final differential" true
+    (Layout.check_free_rects stats.Workload.s_final)
+
+(* ------------------------------------------------------------------ *)
+(* rfloor-service/1 online frames, end to end through Session.run *)
+
+let test_service_online_roundtrip () =
+  let module J = Rfloor_metrics.Json in
+  let input = Filename.temp_file "rfloor_online" ".ndjson" in
+  let output = Filename.temp_file "rfloor_online" ".out" in
+  let oc = open_out input in
+  List.iter
+    (fun line -> output_string oc (line ^ "\n"))
+    [
+      (* before any layout: RF703 *)
+      {|{"op":"add","name":"early","demand":{"clb":2}}|};
+      {|{"op":"layout","device":"mini"}|};
+      {|{"op":"add","name":"a","demand":{"clb":4}}|};
+      (* duplicate: RF702 *)
+      {|{"op":"add","name":"a","demand":{"clb":4}}|};
+      (* out-of-range bound: clamped with an RF706 warning *)
+      {|{"op":"defrag","max_moves":99}|};
+      {|{"op":"remove","name":"a"}|};
+      (* unknown (and never rejected): RF702 *)
+      {|{"op":"remove","name":"a"}|};
+      {|{"op":"layout"}|};
+      {|{"op":"shutdown"}|};
+    ];
+  close_out oc;
+  let warns = ref [] in
+  let ic = open_in input and out = open_out output in
+  Rfloor_service.Session.run
+    ~warn:(fun d -> warns := d.Rfloor_diag.Diagnostic.code :: !warns)
+    ~devices:(fun n -> if n = "mini" then Some Devices.mini else None)
+    ~designs:(fun _ -> None)
+    ic out;
+  close_in ic;
+  close_out out;
+  let lines =
+    let ic = open_in output in
+    let rec go acc =
+      match input_line ic with
+      | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+      | l -> go (l :: acc)
+    in
+    go []
+  in
+  Sys.remove input;
+  Sys.remove output;
+  let field key line =
+    match J.parse line with
+    | Error e -> Alcotest.fail (Printf.sprintf "bad frame %s: %s" line e)
+    | Ok j -> (
+      match J.member key j with
+      | Some (J.Str s) -> s
+      | _ -> "")
+  in
+  let outcomes = List.map (field "outcome") lines in
+  Alcotest.(check (list string))
+    "outcome sequence"
+    [
+      "error"; "established"; "admitted"; "error"; "compacted"; "removed";
+      "error"; "ok";
+    ]
+    outcomes;
+  let codes = List.map (field "code") lines in
+  Alcotest.(check string) "RF703 before layout" "RF703" (List.nth codes 0);
+  Alcotest.(check string) "RF702 duplicate add" "RF702" (List.nth codes 3);
+  Alcotest.(check string) "RF702 unknown remove" "RF702" (List.nth codes 6);
+  Alcotest.(check bool) "RF706 clamp warned" true (List.mem "RF706" !warns);
+  (* the final layout report is empty again *)
+  match J.parse (List.nth lines 7) with
+  | Error e -> Alcotest.fail e
+  | Ok j -> (
+    match J.member "layout" j with
+    | Some lay ->
+      Alcotest.(check bool)
+        "empty layout" true
+        (J.member "modules" lay = Some (J.Num 0.));
+      Alcotest.(check bool)
+        "zero occupancy" true
+        (J.member "occupancy" lay = Some (J.Num 0.))
+    | None -> Alcotest.fail "final layout frame lacks the layout summary")
+
+let suites =
+  [
+    ( "online",
+      [
+        Alcotest.test_case "MER incremental vs oracle (200 seeds)" `Slow
+          test_mer_differential;
+        Alcotest.test_case "admission best fit" `Quick test_admission_best_fit;
+        Alcotest.test_case "admission duplicate/unknown" `Quick
+          test_admission_rejects_dup_and_unknown;
+        Alcotest.test_case "defrag minimal move + no-break" `Quick
+          test_defrag_minimal_move;
+        Alcotest.test_case "moved module payload preserved" `Quick
+          test_moved_module_payload_preserved;
+        Alcotest.test_case "move rejects bad destination" `Quick
+          test_move_rejects_bad_destination;
+        Alcotest.test_case "workload deterministic" `Quick
+          test_workload_deterministic;
+        Alcotest.test_case "workload replay audits clean" `Quick
+          test_workload_replay_audits_clean;
+        Alcotest.test_case "service online round-trip" `Quick
+          test_service_online_roundtrip;
+      ] );
+  ]
